@@ -1,0 +1,92 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench accepts the same sizing flags so the default `for b in
+// build/bench/*` loop finishes in minutes on one CPU core (small model
+// variants, reduced grids) while `--network lenet5 --paper-scale` runs the
+// full configuration. Baselines are cached under artifacts/ and shared
+// across benches via core::Study.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "io/checkpoint.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace con::bench {
+
+struct BenchSetup {
+  core::StudyConfig study;
+  bool paper_scale = false;
+  bool epochs_explicit = false;  // --epochs was given on the command line
+};
+
+// Parse the common flags: --network, --train-size, --test-size,
+// --attack-size, --epochs, --finetune-epochs, --paper-scale, --seed.
+inline BenchSetup parse_common(util::CliFlags& flags,
+                               const std::string& default_network =
+                                   "lenet5-small") {
+  BenchSetup setup;
+  setup.paper_scale = flags.get_bool("paper-scale", false);
+  setup.epochs_explicit = flags.has("epochs");
+  core::StudyConfig& cfg = setup.study;
+  cfg.network = flags.get_string("network", default_network);
+  const bool cifar = cfg.network.rfind("cifarnet", 0) == 0;
+  if (setup.paper_scale) {
+    cfg.train_size = 8000;
+    cfg.test_size = 2000;
+    cfg.attack_size = 500;
+    cfg.baseline_epochs = cifar ? 30 : 20;
+    cfg.finetune.epochs = 6;
+  } else {
+    cfg.train_size = 2000;
+    cfg.test_size = 400;
+    cfg.attack_size = 100;
+    cfg.baseline_epochs = cifar ? 16 : 6;
+    cfg.finetune.epochs = 2;
+  }
+  cfg.train_size = flags.get_int("train-size", cfg.train_size);
+  cfg.test_size = flags.get_int("test-size", cfg.test_size);
+  cfg.attack_size = flags.get_int("attack-size", cfg.attack_size);
+  cfg.baseline_epochs =
+      static_cast<int>(flags.get_int("epochs", cfg.baseline_epochs));
+  cfg.finetune.epochs = static_cast<int>(
+      flags.get_int("finetune-epochs", cfg.finetune.epochs));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  return setup;
+}
+
+// Study config for a specific network within a multi-network bench loop:
+// re-resolves the per-network default epoch budget unless --epochs was
+// given explicitly.
+inline core::StudyConfig for_network(const BenchSetup& setup,
+                                     const std::string& net) {
+  core::StudyConfig cfg = setup.study;
+  cfg.network = net;
+  if (!setup.epochs_explicit) {
+    const bool cifar = net.rfind("cifarnet", 0) == 0;
+    cfg.baseline_epochs =
+        setup.paper_scale ? (cifar ? 30 : 20) : (cifar ? 16 : 6);
+  }
+  return cfg;
+}
+
+// Write a result table both to stdout and to artifacts/<name>.csv.
+inline void emit_table(const util::Table& table, const std::string& name,
+                       const std::string& caption) {
+  std::printf("\n%s\n%s", caption.c_str(), table.to_string().c_str());
+  const std::string path = io::artifacts_dir() + "/" + name + ".csv";
+  table.write_csv(path);
+  std::printf("(series written to %s)\n", path.c_str());
+}
+
+// Print a qualitative shape-check line: the reproduction target is trend
+// agreement with the paper, not absolute numbers.
+inline void shape_check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-DIFF", claim.c_str());
+}
+
+}  // namespace con::bench

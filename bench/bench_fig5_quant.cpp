@@ -1,0 +1,144 @@
+// Figure 5 reproduction: transferability properties for fixed-point
+// quantisation of weights AND activations.
+//
+// For each network and attack, sweeps the fixed-point bitwidth (with the
+// paper's integer-bit allocation: 4->1, 8->2, else 4 integer bits) and
+// reports the same four series as Figure 2. Includes the weight-only
+// ablation (--no-act-quant) for the paper's claim that activation clipping
+// drives the marginal defence.
+//
+//   bench_fig5_quant [--network lenet5-small] [--attacks ifgsm,ifgm,deepfool]
+//                    [--bitwidths 4,8,16,32] [--no-act-quant]
+//                    [--both-networks]
+#include <cstdio>
+#include <sstream>
+
+#include "attacks/params.h"
+#include "bench_common.h"
+#include "core/sweeps.h"
+#include "util/ascii_plot.h"
+
+using namespace con;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
+}
+
+void run_panel(core::Study& study, attacks::AttackKind attack,
+               const std::vector<int>& bitwidths,
+               std::vector<nn::Sequential>& family, bool act_quant) {
+  const std::string net = study.config().network;
+  const attacks::AttackParams params = attacks::paper_params(attack, net);
+  auto points = core::sweep_scenarios(study.baseline(), family, attack,
+                                      params, study.attack_set());
+
+  util::Table t({"bitwidth", "base_acc", "comp_to_comp", "full_to_comp",
+                 "comp_to_full"});
+  for (std::size_t i = 0; i < bitwidths.size(); ++i) {
+    t.add_row({std::to_string(bitwidths[i]),
+               util::format_double(points[i].base_accuracy, 3),
+               util::format_double(points[i].comp_to_comp, 3),
+               util::format_double(points[i].full_to_comp, 3),
+               util::format_double(points[i].comp_to_full, 3)});
+  }
+  const std::string tag = std::string(act_quant ? "" : "weightonly_") + net +
+                          "_" + attacks::attack_name(attack);
+  bench::emit_table(t, "fig5_" + tag,
+                    "-- Fig.5 panel: " + net + " / " +
+                        attacks::attack_name(attack) +
+                        (act_quant ? "" : " (weight-only ablation)"));
+
+  std::vector<util::Series> lines(4);
+  lines[0].label = "base";
+  lines[1].label = "comp->comp";
+  lines[2].label = "full->comp";
+  lines[3].label = "comp->full";
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < bitwidths.size(); ++i) {
+    xs.push_back(bitwidths[i]);
+    lines[0].ys.push_back(points[i].base_accuracy);
+    lines[1].ys.push_back(points[i].comp_to_comp);
+    lines[2].ys.push_back(points[i].full_to_comp);
+    lines[3].ys.push_back(points[i].comp_to_full);
+  }
+  std::printf("%s", util::render_plot(xs, lines).c_str());
+
+  // Shape checks (§4.2). The paper's claims differ by attack family:
+  // fast-gradient attacks stay stable above 8 bits and lose transfer at
+  // 4 bits (integer-precision clipping); DeepFool instead "struggles to
+  // generate effective adversarial samples when models are quantized" —
+  // its self-attack weakens.
+  if (bitwidths.size() >= 3 && bitwidths.front() == 4) {
+    const auto& p4 = points.front();
+    const auto& p_hi = points.back();
+    if (attack == attacks::AttackKind::kDeepFool) {
+      bench::shape_check(p4.comp_to_comp + 0.02 >= p_hi.comp_to_comp,
+                         "DeepFool struggles on heavily quantised models "
+                         "(self-attack accuracy rises at 4 bits)");
+      bench::shape_check(p4.comp_to_full + 0.02 >= p_hi.comp_to_full,
+                         "4-bit clipping weakens comp->full transfer");
+    } else {
+      double mid_spread = 0.0;
+      for (std::size_t i = 1; i < points.size(); ++i) {
+        mid_spread = std::max(mid_spread,
+                              std::fabs(points[i].comp_to_full -
+                                        p_hi.comp_to_full));
+      }
+      bench::shape_check(mid_spread < 0.25,
+                         "transfer is stable at bitwidths >= 8");
+      bench::shape_check(p4.comp_to_full + 0.02 >= p_hi.comp_to_full,
+                         "4-bit clipping weakens comp->full transfer");
+      bench::shape_check(p4.full_to_comp + 0.02 >= p_hi.full_to_comp,
+                         "4-bit clipping weakens full->comp transfer");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  bench::BenchSetup setup = bench::parse_common(flags);
+  const bool both = flags.get_bool("both-networks", false);
+  const bool act_quant = flags.get_bool("act-quant", true);
+  const std::string attack_list =
+      flags.get_string("attacks", "ifgsm,ifgm,deepfool");
+  const std::string bit_list = flags.get_string(
+      "bitwidths", setup.paper_scale ? "4,8,12,16,24,32" : "4,8,16,32");
+  flags.check_unused();
+
+  std::vector<int> bitwidths;
+  for (const std::string& b : split_csv(bit_list)) {
+    bitwidths.push_back(std::stoi(b));
+  }
+
+  std::vector<std::string> networks = {setup.study.network};
+  if (both) {
+    networks = {"lenet5-small", "cifarnet-small"};
+    if (setup.paper_scale) networks = {"lenet5", "cifarnet"};
+  }
+
+  std::printf("== Figure 5: transferability under fixed-point quantisation "
+              "(%s) ==\n",
+              act_quant ? "weights + activations" : "weights only");
+  for (const std::string& net : networks) {
+    core::StudyConfig cfg = bench::for_network(setup, net);
+    core::Study study(cfg);
+    std::printf("\nnetwork %s: baseline accuracy %.3f\n", net.c_str(),
+                study.baseline_accuracy());
+    auto family = core::build_quantized_family(study.baseline(),
+                                               study.train_set(), bitwidths,
+                                               cfg.finetune, act_quant);
+    for (const std::string& a : split_csv(attack_list)) {
+      run_panel(study, attacks::attack_from_name(a), bitwidths, family,
+                act_quant);
+    }
+  }
+  return 0;
+}

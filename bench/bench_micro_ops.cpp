@@ -1,0 +1,142 @@
+// Micro-benchmarks for the substrate operations: tensor algebra, layer
+// forward/backward, compression transforms and attack inner loops. These
+// are google-benchmark timings, not figure reproductions — use them to spot
+// performance regressions in the kernels the study spends its time in.
+#include <benchmark/benchmark.h>
+
+#include "attacks/attack.h"
+#include "compress/fixed_point.h"
+#include "compress/pruner.h"
+#include "models/model_zoo.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "util/rng.h"
+
+using namespace con;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t{std::move(shape)};
+  tensor::fill_normal(t, rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = state.range(0);
+  Tensor a = random_tensor({n, n}, 1);
+  Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulSparseA(benchmark::State& state) {
+  // Pruned weight matrices hit the zero-skip path in matmul.
+  const auto n = state.range(0);
+  Tensor a = random_tensor({n, n}, 3);
+  // zero out 90%
+  util::Rng rng(4);
+  for (float& v : a.flat()) {
+    if (rng.uniform() < 0.9) v = 0.0f;
+  }
+  Tensor b = random_tensor({n, n}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+}
+BENCHMARK(BM_MatmulSparseA)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  Tensor img = random_tensor({3, 32, 32}, 6);
+  tensor::Conv2dGeometry g{.in_channels = 3, .in_h = 32, .in_w = 32,
+                           .kernel_h = 3, .kernel_w = 3, .stride = 1,
+                           .padding = 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::im2col(img, g));
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_LeNetForward(benchmark::State& state) {
+  nn::Sequential m = models::make_lenet5_small(7);
+  Tensor x = random_tensor({static_cast<tensor::Index>(state.range(0)), 1, 28,
+                            28},
+                           8);
+  tensor::clamp_inplace(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LeNetForward)->Arg(1)->Arg(16);
+
+void BM_LeNetForwardBackward(benchmark::State& state) {
+  nn::Sequential m = models::make_lenet5_small(9);
+  Tensor x = random_tensor({16, 1, 28, 28}, 10);
+  tensor::clamp_inplace(x, 0.0f, 1.0f);
+  std::vector<int> labels;
+  for (int i = 0; i < 16; ++i) labels.push_back(i % 10);
+  for (auto _ : state) {
+    m.zero_grad();
+    Tensor logits = m.forward(x, true);
+    nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    benchmark::DoNotOptimize(m.backward(loss.grad_logits));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_LeNetForwardBackward);
+
+void BM_FixedPointQuantizeTensor(benchmark::State& state) {
+  Tensor w = random_tensor({static_cast<tensor::Index>(state.range(0))}, 11);
+  const auto fmt = compress::FixedPointFormat::paper_format(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::fixed_point_quantize(w, fmt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FixedPointQuantizeTensor)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DnsMaskUpdate(benchmark::State& state) {
+  nn::Sequential m = models::make_lenet5_small(12);
+  compress::DnsPruner pruner(m, compress::DnsConfig{.target_density = 0.3});
+  for (auto _ : state) {
+    pruner.update_masks();
+  }
+}
+BENCHMARK(BM_DnsMaskUpdate);
+
+void BM_FgsmBatch(benchmark::State& state) {
+  nn::Sequential m = models::make_lenet5_small(13);
+  Tensor x = random_tensor({8, 1, 28, 28}, 14);
+  tensor::clamp_inplace(x, 0.0f, 1.0f);
+  std::vector<int> labels = {0, 1, 2, 3, 4, 5, 6, 7};
+  const attacks::AttackParams p{.epsilon = 0.02f, .iterations = 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::fgsm(m, x, labels, p));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_FgsmBatch);
+
+void BM_DeepFoolSingle(benchmark::State& state) {
+  nn::Sequential m = models::make_lenet5_small(15);
+  Tensor x = random_tensor({1, 1, 28, 28}, 16);
+  tensor::clamp_inplace(x, 0.0f, 1.0f);
+  std::vector<int> labels = {3};
+  const attacks::AttackParams p{.epsilon = 0.02f, .iterations = 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::deepfool_images(m, x, labels, p));
+  }
+}
+BENCHMARK(BM_DeepFoolSingle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// run_study: the configurable experiment driver.
+//
+// A single binary that runs any slice of the study from the command line —
+// pick the network, compression family and level, attack and scenario set —
+// and prints the scenario table plus perturbation statistics. This is the
+// tool you would script to extend the paper's grid to new configurations.
+//
+//   ./run_study --network lenet5-small --compress prune --level 0.3 \
+//               --attack ifgsm
+//   ./run_study --compress quant --level 8 --attack deepfool
+//   ./run_study --compress cluster --level 4 --attack ifgm
+#include <cstdio>
+#include <string>
+
+#include "attacks/attack.h"
+#include "compress/clustering.h"
+#include "compress/finetune.h"
+#include "core/study.h"
+#include "core/transfer.h"
+#include "nn/trainer.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace con;
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  core::StudyConfig cfg;
+  cfg.network = flags.get_string("network", "lenet5-small");
+  cfg.train_size = flags.get_int("train-size", 2000);
+  cfg.test_size = flags.get_int("test-size", 400);
+  cfg.attack_size = flags.get_int("attack-size", 100);
+  cfg.baseline_epochs = static_cast<int>(flags.get_int(
+      "epochs", cfg.network.rfind("cifarnet", 0) == 0 ? 16 : 6));
+  cfg.finetune.epochs = static_cast<int>(flags.get_int("finetune-epochs", 2));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  const std::string compress_kind = flags.get_string("compress", "prune");
+  const double level = flags.get_double(
+      "level", compress_kind == "prune" ? 0.3 : 8.0);
+  const std::string attack_name = flags.get_string("attack", "ifgsm");
+  flags.check_unused();
+
+  core::Study study(cfg);
+  std::printf("network   : %s (baseline accuracy %.3f)\n",
+              cfg.network.c_str(), study.baseline_accuracy());
+
+  nn::Sequential compressed("unset");
+  if (compress_kind == "prune") {
+    compressed = compress::make_pruned_model(
+        study.baseline(), study.train_set(), level, cfg.finetune);
+    std::printf("compress  : pruned to density %.2f (achieved %.3f)\n", level,
+                compressed.density());
+  } else if (compress_kind == "quant") {
+    compressed = compress::make_quantized_model(
+        study.baseline(), study.train_set(), static_cast<int>(level),
+        cfg.finetune);
+    std::printf("compress  : %d-bit fixed point, weights + activations\n",
+                static_cast<int>(level));
+  } else if (compress_kind == "cluster") {
+    compressed = compress::cluster_model(study.baseline(),
+                                         static_cast<int>(level));
+    std::printf("compress  : %d-bit weight-clustering codebook\n",
+                static_cast<int>(level));
+  } else {
+    std::fprintf(stderr,
+                 "unknown --compress '%s' (prune | quant | cluster)\n",
+                 compress_kind.c_str());
+    return 1;
+  }
+
+  const attacks::AttackKind attack = attacks::attack_from_name(attack_name);
+  const attacks::AttackParams params =
+      attacks::paper_params(attack, cfg.network);
+  std::printf("attack    : %s (eps %.3g, %d iterations)\n\n",
+              attack_name.c_str(), params.epsilon, params.iterations);
+
+  core::ScenarioPoint p = core::evaluate_scenarios(
+      study.baseline(), compressed, attack, params, study.attack_set());
+
+  util::Table t({"measurement", "accuracy"});
+  t.add_row({"compressed model, clean", util::format_double(p.base_accuracy, 3)});
+  t.add_row({"scenario 1  COMP->COMP", util::format_double(p.comp_to_comp, 3)});
+  t.add_row({"scenario 2  FULL->COMP", util::format_double(p.full_to_comp, 3)});
+  t.add_row({"scenario 3  COMP->FULL", util::format_double(p.comp_to_full, 3)});
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Perturbation statistics, the paper's sanity check on attack strength.
+  tensor::Tensor adv = attacks::run_attack(
+      attack, compressed, study.attack_set().images,
+      study.attack_set().labels, params);
+  attacks::PerturbationStats stats =
+      attacks::perturbation_stats(study.attack_set().images, adv);
+  std::printf("perturbations: mean l2 %.3f, mean linf %.3f, changed pixels "
+              "%.0f%%\n",
+              stats.mean_l2, stats.mean_linf,
+              100.0 * stats.mean_l0_fraction);
+  return 0;
+}

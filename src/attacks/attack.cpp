@@ -1,0 +1,63 @@
+#include "attacks/attack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace con::attacks {
+
+using tensor::Index;
+
+Tensor run_attack(AttackKind kind, nn::Sequential& model, const Tensor& images,
+                  const std::vector<int>& labels, const AttackParams& params,
+                  int num_classes) {
+  switch (kind) {
+    case AttackKind::kFgm:
+      return fgm(model, images, labels, params);
+    case AttackKind::kFgsm:
+      return fgsm(model, images, labels, params);
+    case AttackKind::kIfgm:
+      return ifgm(model, images, labels, params);
+    case AttackKind::kIfgsm:
+      return ifgsm(model, images, labels, params);
+    case AttackKind::kDeepFool:
+      return deepfool_images(model, images, labels, params, num_classes);
+  }
+  throw std::logic_error("unreachable attack kind");
+}
+
+PerturbationStats perturbation_stats(const Tensor& clean,
+                                     const Tensor& adversarial) {
+  if (clean.shape() != adversarial.shape()) {
+    throw std::invalid_argument("perturbation_stats: shape mismatch");
+  }
+  if (clean.rank() < 1 || clean.dim(0) == 0) {
+    throw std::invalid_argument("perturbation_stats: empty batch");
+  }
+  const Index n = clean.dim(0);
+  const Index per_sample = clean.numel() / n;
+  const float* c = clean.data();
+  const float* a = adversarial.data();
+  PerturbationStats stats;
+  for (Index s = 0; s < n; ++s) {
+    double l2 = 0.0, linf = 0.0;
+    Index changed = 0;
+    for (Index i = s * per_sample; i < (s + 1) * per_sample; ++i) {
+      const double d = static_cast<double>(a[i]) - c[i];
+      l2 += d * d;
+      linf = std::max(linf, std::fabs(d));
+      if (d != 0.0) ++changed;
+    }
+    stats.mean_l2 += std::sqrt(l2);
+    stats.mean_linf += linf;
+    stats.mean_l0_fraction +=
+        static_cast<double>(changed) / static_cast<double>(per_sample);
+  }
+  stats.mean_l2 /= static_cast<double>(n);
+  stats.mean_linf /= static_cast<double>(n);
+  stats.mean_l0_fraction /= static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace con::attacks

@@ -1,0 +1,28 @@
+// Unified attack dispatch — the entry point used by the transfer-study
+// harness and the benches.
+#pragma once
+
+#include "attacks/deepfool.h"
+#include "attacks/fast_gradient.h"
+#include "attacks/params.h"
+
+namespace con::attacks {
+
+// Generate adversarial samples for `images` against `model` (white-box:
+// gradients are taken from `model` itself).
+Tensor run_attack(AttackKind kind, nn::Sequential& model, const Tensor& images,
+                  const std::vector<int>& labels, const AttackParams& params,
+                  int num_classes = 10);
+
+// Perturbation statistics, used to sanity-check attack strength the way the
+// paper does ("perturbations of a sensible l2 and l0").
+struct PerturbationStats {
+  double mean_l2 = 0.0;
+  double mean_linf = 0.0;
+  double mean_l0_fraction = 0.0;  // fraction of changed pixels
+};
+
+PerturbationStats perturbation_stats(const Tensor& clean,
+                                     const Tensor& adversarial);
+
+}  // namespace con::attacks

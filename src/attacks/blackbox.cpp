@@ -1,0 +1,162 @@
+#include "attacks/blackbox.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "attacks/gradient.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace con::attacks {
+
+using tensor::Index;
+
+std::vector<int> ModelOracle::query(const Tensor& images) {
+  queries_ += static_cast<std::size_t>(images.dim(0));
+  return nn::predict(*victim_, images);
+}
+
+SubstituteResult train_substitute(LabelOracle& oracle, const Tensor& seeds,
+                                  const SubstituteConfig& config) {
+  if (!config.make_substitute) {
+    throw std::invalid_argument("train_substitute: no substitute builder");
+  }
+  if (seeds.rank() < 2 || seeds.dim(0) < 2) {
+    throw std::invalid_argument("train_substitute: need a seed batch");
+  }
+
+  Tensor train_images = seeds;
+  std::vector<int> train_labels = oracle.query(train_images);
+
+  SubstituteResult result{.substitute = config.make_substitute()};
+  nn::TrainConfig tc;
+  tc.epochs = config.epochs_per_round;
+  tc.batch_size = config.batch_size;
+  tc.base_lr = config.learning_rate;
+  tc.shuffle_seed = config.seed;
+  tc.use_paper_lr_schedule = false;
+
+  for (int round = 0;; ++round) {
+    nn::train_classifier(result.substitute, train_images, train_labels, tc);
+    if (round >= config.augmentation_rounds) break;
+
+    // Jacobian-based augmentation: for each current sample, step along the
+    // sign of the substitute's gradient of the ORACLE label's logit — the
+    // direction that most changes the substitute's view of that class —
+    // and have the oracle label the new points.
+    const Index n = train_images.dim(0);
+    std::vector<Index> sample_dims = {1};
+    for (Index i = 1; i < train_images.rank(); ++i) {
+      sample_dims.push_back(train_images.dim(i));
+    }
+    const tensor::Shape one_shape{sample_dims};
+    Tensor augmented = train_images;  // same shape: one new point per old
+    const int num_classes = 10;
+    for (Index i = 0; i < n; ++i) {
+      Tensor x = tensor::slice_batch(train_images, i).reshaped(one_shape);
+      Tensor grad = logit_input_gradient(
+          result.substitute, x,
+          train_labels[static_cast<std::size_t>(i)], num_classes);
+      Tensor stepped = tensor::add_scaled(x, tensor::sign(grad),
+                                          config.lambda);
+      tensor::clamp_inplace(stepped, 0.0f, 1.0f);
+      tensor::set_batch(augmented, i,
+                        stepped.reshaped(tensor::slice_batch(train_images, i)
+                                             .shape()));
+    }
+    std::vector<int> new_labels = oracle.query(augmented);
+
+    // S <- S ∪ augmented
+    std::vector<Index> dims = train_images.shape().dims();
+    dims[0] = 2 * n;
+    Tensor merged{tensor::Shape{dims}};
+    for (Index i = 0; i < n; ++i) {
+      tensor::set_batch(merged, i, tensor::slice_batch(train_images, i));
+      tensor::set_batch(merged, n + i, tensor::slice_batch(augmented, i));
+    }
+    train_images = std::move(merged);
+    train_labels.insert(train_labels.end(), new_labels.begin(),
+                        new_labels.end());
+  }
+
+  result.oracle_queries = oracle.queries_used();
+  result.final_train_size = train_images.dim(0);
+  // agreement on the original seeds
+  const std::vector<int> sub_pred = nn::predict(result.substitute, seeds);
+  std::size_t agree = 0;
+  for (Index i = 0; i < seeds.dim(0); ++i) {
+    if (sub_pred[static_cast<std::size_t>(i)] ==
+        train_labels[static_cast<std::size_t>(i)]) {
+      ++agree;
+    }
+  }
+  result.agreement =
+      static_cast<double>(agree) / static_cast<double>(seeds.dim(0));
+  return result;
+}
+
+Tensor nes_attack(
+    const std::function<Tensor(const Tensor&)>& probability_oracle,
+    const Tensor& images, const std::vector<int>& labels,
+    const NesParams& params) {
+  if (images.rank() < 2 ||
+      static_cast<std::size_t>(images.dim(0)) != labels.size()) {
+    throw std::invalid_argument("nes_attack: bad batch");
+  }
+  if (params.samples <= 0 || params.iterations <= 0 || params.sigma <= 0.0f) {
+    throw std::invalid_argument("nes_attack: bad parameters");
+  }
+  util::Rng rng(params.seed);
+  const Index n = images.dim(0);
+  const Index per_sample = images.numel() / n;
+  Tensor adv = images;
+
+  std::vector<Index> sample_dims = {1};
+  for (Index i = 1; i < images.rank(); ++i) sample_dims.push_back(images.dim(i));
+  const tensor::Shape one_shape{sample_dims};
+
+  for (Index s = 0; s < n; ++s) {
+    const int y = labels[static_cast<std::size_t>(s)];
+    Tensor x = tensor::slice_batch(adv, s).reshaped(one_shape);
+    const Tensor x0 = x;
+    for (int it = 0; it < params.iterations; ++it) {
+      // NES estimate of ∇ₓ[-log p_y] via antithetic sampling.
+      Tensor grad_est(x.shape());
+      for (int k = 0; k < params.samples; ++k) {
+        Tensor noise(x.shape());
+        for (float& v : noise.flat()) v = rng.normal_f(0.0f, 1.0f);
+        Tensor plus = tensor::add_scaled(x, noise, params.sigma);
+        Tensor minus = tensor::add_scaled(x, noise, -params.sigma);
+        tensor::clamp_inplace(plus, 0.0f, 1.0f);
+        tensor::clamp_inplace(minus, 0.0f, 1.0f);
+        const float p_plus =
+            std::max(1e-12f, probability_oracle(plus).at({0, y}));
+        const float p_minus =
+            std::max(1e-12f, probability_oracle(minus).at({0, y}));
+        const float score = -std::log(p_plus) + std::log(p_minus);
+        tensor::add_scaled_inplace(grad_est, noise,
+                                   score / (2.0f * params.sigma *
+                                            static_cast<float>(params.samples)));
+      }
+      // FGSM step on the estimate, clipped to the per-iteration ball.
+      float* xv = x.data();
+      const float* g = grad_est.data();
+      const float* orig = x0.data();
+      const float ball =
+          params.epsilon * static_cast<float>(params.iterations);
+      for (Index i = 0; i < per_sample; ++i) {
+        float v = xv[i] + params.epsilon *
+                              (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f));
+        v = std::min(orig[i] + ball, std::max(orig[i] - ball, v));
+        xv[i] = std::min(1.0f, std::max(0.0f, v));
+      }
+    }
+    tensor::set_batch(adv, s,
+                      x.reshaped(tensor::slice_batch(images, s).shape()));
+  }
+  return adv;
+}
+
+}  // namespace con::attacks

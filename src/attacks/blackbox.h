@@ -1,0 +1,89 @@
+// Black-box attacks: the "practical black-box" substitute-model pipeline
+// (Papernot et al. 2017, cited in §2.3) and NES score-based gradient
+// estimation.
+//
+// The paper's Scenario 2/3 taxonomy assumes the attacker holds SOME model
+// of the family; Papernot et al. showed the assumption can be dropped — an
+// attacker with only label-query access trains a substitute via
+// Jacobian-based dataset augmentation and transfers white-box attacks from
+// it. This module supplies that machinery so the harness can ask: is a
+// compressed deployment any safer against a *pure* black-box adversary?
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "attacks/params.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace con::attacks {
+
+using tensor::Tensor;
+
+// The victim as the attacker sees it: label queries only.
+class LabelOracle {
+ public:
+  virtual ~LabelOracle() = default;
+  virtual std::vector<int> query(const Tensor& images) = 0;
+  // Number of label queries issued so far (attack budget accounting).
+  virtual std::size_t queries_used() const = 0;
+};
+
+// Oracle backed by a local model (for experiments; a real attacker would
+// hit a remote API).
+class ModelOracle : public LabelOracle {
+ public:
+  explicit ModelOracle(nn::Sequential& victim) : victim_(&victim) {}
+  std::vector<int> query(const Tensor& images) override;
+  std::size_t queries_used() const override { return queries_; }
+
+ private:
+  nn::Sequential* victim_;
+  std::size_t queries_ = 0;
+};
+
+struct SubstituteConfig {
+  // Builds the substitute architecture (the attacker guesses it; it need
+  // not match the victim).
+  std::function<nn::Sequential()> make_substitute;
+  int augmentation_rounds = 3;  // Jacobian-based dataset augmentation
+  float lambda = 0.1f;          // augmentation step size
+  int epochs_per_round = 4;
+  int batch_size = 32;
+  float learning_rate = 0.01f;
+  std::uint64_t seed = 0xb1ab;
+};
+
+struct SubstituteResult {
+  nn::Sequential substitute;
+  std::size_t oracle_queries = 0;
+  tensor::Index final_train_size = 0;
+  double agreement = 0.0;  // label agreement with the oracle on the seeds
+};
+
+// Papernot et al.'s substitute training: label a small seed set via the
+// oracle, fit the substitute, then repeatedly augment the set along the
+// substitute's Jacobian directions and re-label.
+SubstituteResult train_substitute(LabelOracle& oracle, const Tensor& seeds,
+                                  const SubstituteConfig& config);
+
+// NES gradient estimation (score-based black-box): estimates ∇ₓ of the
+// victim's loss from probability queries using antithetic Gaussian
+// sampling, then takes FGSM steps along the estimate.
+struct NesParams {
+  float epsilon = 0.05f;   // per-step size and ball radius per iteration
+  int iterations = 5;
+  int samples = 30;        // antithetic pairs per gradient estimate
+  float sigma = 0.01f;     // finite-difference smoothing radius
+  std::uint64_t seed = 0xe5;
+};
+
+// `probability_oracle(images)` returns softmax outputs [N, K] (score
+// access). Returns adversarial images.
+Tensor nes_attack(const std::function<Tensor(const Tensor&)>& probability_oracle,
+                  const Tensor& images, const std::vector<int>& labels,
+                  const NesParams& params);
+
+}  // namespace con::attacks

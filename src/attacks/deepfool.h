@@ -1,0 +1,37 @@
+// DeepFool (Moosavi-Dezfooli et al. 2016), L2 variant as used in the paper.
+//
+// Iteratively linearises the classifier around the current iterate and
+// steps to the nearest linearised decision boundary; the final perturbation
+// is inflated by a small overshoot (the paper's Table 1 ε) to push the
+// sample across the boundary. Unlike IFGSM it neither scales nor clips
+// gradients, which is why the paper finds it produces the smallest — and
+// under quantisation the most fragile — perturbations.
+#pragma once
+
+#include <vector>
+
+#include "attacks/params.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace con::attacks {
+
+using tensor::Tensor;
+
+struct DeepFoolResult {
+  Tensor adversarial;      // same shape as the input batch
+  std::vector<int> iterations_used;  // per sample
+  std::vector<float> perturbation_l2;  // per sample, ‖x_adv − x‖₂
+};
+
+// params.epsilon = overshoot factor, params.iterations = max iterations.
+DeepFoolResult deepfool(nn::Sequential& model, const Tensor& images,
+                        const std::vector<int>& labels,
+                        const AttackParams& params, int num_classes = 10);
+
+// Convenience wrapper returning only the adversarial batch.
+Tensor deepfool_images(nn::Sequential& model, const Tensor& images,
+                       const std::vector<int>& labels,
+                       const AttackParams& params, int num_classes = 10);
+
+}  // namespace con::attacks

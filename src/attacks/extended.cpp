@@ -1,0 +1,223 @@
+#include "attacks/extended.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "attacks/gradient.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace con::attacks {
+
+using tensor::Index;
+
+namespace {
+
+void check_batch(const Tensor& images, const std::vector<int>& labels) {
+  if (images.rank() < 2) {
+    throw std::invalid_argument("attack: images must be batched");
+  }
+  if (static_cast<std::size_t>(images.dim(0)) != labels.size()) {
+    throw std::invalid_argument("attack: image/label count mismatch");
+  }
+}
+
+Tensor per_sample_loss_gradient(nn::Sequential& model, const Tensor& batch,
+                                const std::vector<int>& labels) {
+  Tensor g = loss_input_gradient(model, batch, labels);
+  tensor::scale_inplace(g, static_cast<float>(batch.dim(0)));
+  return g;
+}
+
+}  // namespace
+
+Tensor pgd(nn::Sequential& model, const Tensor& images,
+           const std::vector<int>& labels, const PgdParams& params) {
+  check_batch(images, labels);
+  if (params.epsilon <= 0.0f || params.step_size <= 0.0f ||
+      params.iterations <= 0) {
+    throw std::invalid_argument("pgd: parameters must be positive");
+  }
+  const Index n = images.numel();
+  Tensor adv = images;
+  if (params.random_start) {
+    util::Rng rng(params.seed);
+    float* a = adv.data();
+    for (Index i = 0; i < n; ++i) {
+      a[i] += rng.uniform_f(-params.epsilon, params.epsilon);
+    }
+    tensor::clamp_inplace(adv, 0.0f, 1.0f);
+  }
+  const float* orig = images.data();
+  for (int it = 0; it < params.iterations; ++it) {
+    Tensor grad = per_sample_loss_gradient(model, adv, labels);
+    const float* g = grad.data();
+    float* a = adv.data();
+    for (Index i = 0; i < n; ++i) {
+      const float step =
+          params.step_size *
+          (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f));
+      float v = a[i] + step;
+      // Project onto the ε-ball around the ORIGINAL image, then the pixel
+      // domain — this is the Madry projection, not the paper's
+      // previous-iterate clip.
+      v = std::min(orig[i] + params.epsilon,
+                   std::max(orig[i] - params.epsilon, v));
+      a[i] = std::min(1.0f, std::max(0.0f, v));
+    }
+  }
+  return adv;
+}
+
+Tensor mi_fgsm(nn::Sequential& model, const Tensor& images,
+               const std::vector<int>& labels, const MiFgsmParams& params) {
+  check_batch(images, labels);
+  if (params.epsilon <= 0.0f || params.iterations <= 0) {
+    throw std::invalid_argument("mi_fgsm: parameters must be positive");
+  }
+  const Index total = images.numel();
+  const Index batch = images.dim(0);
+  const Index per_sample = total / batch;
+  const float alpha =
+      params.epsilon / static_cast<float>(params.iterations);
+  Tensor adv = images;
+  Tensor momentum(images.shape());
+  const float* orig = images.data();
+  for (int it = 0; it < params.iterations; ++it) {
+    Tensor grad = per_sample_loss_gradient(model, adv, labels);
+    // Normalise each sample's gradient by its L1 norm before accumulation
+    // (the MI-FGSM update rule).
+    float* g = grad.data();
+    for (Index s = 0; s < batch; ++s) {
+      double l1 = 0.0;
+      for (Index i = s * per_sample; i < (s + 1) * per_sample; ++i) {
+        l1 += std::fabs(g[i]);
+      }
+      const float inv = l1 > 1e-12 ? static_cast<float>(1.0 / l1) : 0.0f;
+      for (Index i = s * per_sample; i < (s + 1) * per_sample; ++i) {
+        g[i] *= inv;
+      }
+    }
+    float* m = momentum.data();
+    float* a = adv.data();
+    for (Index i = 0; i < total; ++i) {
+      m[i] = params.decay * m[i] + g[i];
+      const float step =
+          alpha * (m[i] > 0.0f ? 1.0f : (m[i] < 0.0f ? -1.0f : 0.0f));
+      float v = a[i] + step;
+      v = std::min(orig[i] + params.epsilon,
+                   std::max(orig[i] - params.epsilon, v));
+      a[i] = std::min(1.0f, std::max(0.0f, v));
+    }
+  }
+  return adv;
+}
+
+Tensor targeted_ifgsm(nn::Sequential& model, const Tensor& images,
+                      const std::vector<int>& target_labels,
+                      const AttackParams& params) {
+  check_batch(images, target_labels);
+  if (params.epsilon <= 0.0f || params.iterations <= 0) {
+    throw std::invalid_argument("targeted_ifgsm: parameters must be positive");
+  }
+  const Index n = images.numel();
+  Tensor adv = images;
+  for (int it = 0; it < params.iterations; ++it) {
+    Tensor grad = per_sample_loss_gradient(model, adv, target_labels);
+    const float* g = grad.data();
+    const float* prev = adv.data();
+    Tensor next = adv;
+    float* x = next.data();
+    for (Index i = 0; i < n; ++i) {
+      // DESCEND the loss toward the target class: minus sign.
+      const float step =
+          -params.epsilon *
+          (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f));
+      float v = prev[i] + step;
+      v = std::min(prev[i] + params.epsilon,
+                   std::max(prev[i] - params.epsilon, v));
+      x[i] = std::min(1.0f, std::max(0.0f, v));
+    }
+    adv = std::move(next);
+  }
+  return adv;
+}
+
+Tensor jsma(nn::Sequential& model, const Tensor& images,
+            const std::vector<int>& labels, const JsmaParams& params,
+            int num_classes) {
+  check_batch(images, labels);
+  if (params.max_pixels <= 0) {
+    throw std::invalid_argument("jsma: max_pixels must be positive");
+  }
+  const Index batch = images.dim(0);
+  Tensor result = images;
+  for (Index s = 0; s < batch; ++s) {
+    Tensor sample = tensor::slice_batch(images, s);
+    std::vector<Index> dims = {1};
+    for (Index d : sample.shape().dims()) dims.push_back(d);
+    Tensor x = sample.reshaped(tensor::Shape{dims});
+    const int y = labels[static_cast<std::size_t>(s)];
+
+    // Pick the target: requested class, or the runner-up logit.
+    Tensor logits = model.forward(x, false);
+    int target = params.target_class;
+    if (target < 0 || target == y) {
+      float best = -1e30f;
+      for (int k = 0; k < num_classes; ++k) {
+        if (k == y) continue;
+        if (logits.at({0, k}) > best) {
+          best = logits.at({0, k});
+          target = k;
+        }
+      }
+    }
+
+    std::vector<bool> used(static_cast<std::size_t>(x.numel()), false);
+    for (int picked = 0; picked < params.max_pixels; ++picked) {
+      Tensor grad_t = logit_input_gradient(model, x, target, num_classes);
+      Tensor grad_y = logit_input_gradient(model, x, y, num_classes);
+      // Saliency: pixels whose increase helps the target and hurts the
+      // true class (and symmetrically for decrease).
+      Index best_idx = -1;
+      float best_score = 0.0f;
+      float best_dir = 0.0f;
+      const float* gt = grad_t.data();
+      const float* gy = grad_y.data();
+      const float* xv = x.data();
+      for (Index i = 0; i < x.numel(); ++i) {
+        if (used[static_cast<std::size_t>(i)]) continue;
+        // increasing the pixel
+        if (gt[i] > 0.0f && gy[i] < 0.0f && xv[i] < 1.0f) {
+          const float score = gt[i] * (-gy[i]);
+          if (score > best_score) {
+            best_score = score;
+            best_idx = i;
+            best_dir = 1.0f;
+          }
+        }
+        // decreasing the pixel
+        if (gt[i] < 0.0f && gy[i] > 0.0f && xv[i] > 0.0f) {
+          const float score = (-gt[i]) * gy[i];
+          if (score > best_score) {
+            best_score = score;
+            best_idx = i;
+            best_dir = -1.0f;
+          }
+        }
+      }
+      if (best_idx < 0) break;  // no useful pixel left
+      used[static_cast<std::size_t>(best_idx)] = true;
+      float& pixel = x[best_idx];
+      pixel = std::min(1.0f, std::max(0.0f, pixel + best_dir * params.theta));
+
+      Tensor new_logits = model.forward(x, false);
+      if (tensor::argmax_row(new_logits, 0) == target) break;
+    }
+    tensor::set_batch(result, s, x.reshaped(sample.shape()));
+  }
+  return result;
+}
+
+}  // namespace con::attacks

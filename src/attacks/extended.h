@@ -1,0 +1,64 @@
+// Extended attack suite beyond the paper's three evaluation attacks.
+//
+// The paper's related-work section surveys the wider attack literature;
+// this module implements the natural neighbours so the transfer harness can
+// probe them too:
+//  - PGD: IFGSM with a random start inside the ε-ball and projection onto
+//    the ball around the ORIGINAL image (Madry-style) — the de-facto
+//    standard white-box attack.
+//  - MI-FGSM: momentum-accumulated gradients, known to transfer better than
+//    plain iterative FGSM (useful as an upper-bound probe where the
+//    paper's attacks probe the lower bound).
+//  - Targeted IFGSM: drive the sample toward a chosen class instead of away
+//    from the true one.
+//  - JSMA (Papernot et al. 2016b): greedy saliency-map attack that perturbs
+//    the few most influential pixels — an L0-style attack.
+#pragma once
+
+#include <vector>
+
+#include "attacks/params.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace con::attacks {
+
+using tensor::Tensor;
+
+struct PgdParams {
+  float epsilon = 0.1f;       // radius of the L∞ ball around the original
+  float step_size = 0.02f;    // per-iteration step
+  int iterations = 12;
+  bool random_start = true;
+  std::uint64_t seed = 0x96d;
+};
+
+Tensor pgd(nn::Sequential& model, const Tensor& images,
+           const std::vector<int>& labels, const PgdParams& params);
+
+struct MiFgsmParams {
+  float epsilon = 0.1f;     // total L∞ budget
+  int iterations = 10;
+  float decay = 1.0f;       // momentum decay μ
+};
+
+Tensor mi_fgsm(nn::Sequential& model, const Tensor& images,
+               const std::vector<int>& labels, const MiFgsmParams& params);
+
+// Targeted iterative FGSM: descends the loss toward `target_labels`.
+Tensor targeted_ifgsm(nn::Sequential& model, const Tensor& images,
+                      const std::vector<int>& target_labels,
+                      const AttackParams& params);
+
+struct JsmaParams {
+  float theta = 1.0f;        // per-pixel perturbation (sign decides +/-)
+  int max_pixels = 40;       // L0 budget: pixels the attack may change
+  int target_class = -1;     // -1: most-likely wrong class per sample
+};
+
+Tensor jsma(nn::Sequential& model, const Tensor& images,
+            const std::vector<int>& labels, const JsmaParams& params,
+            int num_classes = 10);
+
+}  // namespace con::attacks

@@ -1,0 +1,98 @@
+#include "attacks/fast_gradient.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "attacks/gradient.h"
+#include "tensor/ops.h"
+
+namespace con::attacks {
+
+using tensor::Index;
+
+namespace {
+
+void check_inputs(const Tensor& images, const std::vector<int>& labels,
+                  const AttackParams& params) {
+  if (images.rank() < 2) {
+    throw std::invalid_argument("attack: images must be batched");
+  }
+  if (static_cast<std::size_t>(images.dim(0)) != labels.size()) {
+    throw std::invalid_argument("attack: image/label count mismatch");
+  }
+  if (params.epsilon <= 0.0f || params.iterations <= 0) {
+    throw std::invalid_argument("attack: epsilon and iterations must be > 0");
+  }
+}
+
+// The batch loss is a mean; rescale by N so each sample sees the gradient
+// of its own (un-averaged) loss, making batched attacks identical to
+// per-sample attacks.
+Tensor per_sample_loss_gradient(nn::Sequential& model, const Tensor& batch,
+                                const std::vector<int>& labels) {
+  Tensor g = loss_input_gradient(model, batch, labels);
+  tensor::scale_inplace(g, static_cast<float>(batch.dim(0)));
+  return g;
+}
+
+enum class StepRule { kGradient, kSign };
+
+Tensor iterate_fast_gradient(nn::Sequential& model, const Tensor& images,
+                             const std::vector<int>& labels,
+                             const AttackParams& params, StepRule rule) {
+  check_inputs(images, labels, params);
+  Tensor adv = images;
+  const Index n = adv.numel();
+  for (int it = 0; it < params.iterations; ++it) {
+    Tensor grad = per_sample_loss_gradient(model, adv, labels);
+    const float* g = grad.data();
+    const float* prev = adv.data();
+    Tensor next = adv;
+    float* x = next.data();
+    const float eps = params.epsilon;
+    for (Index i = 0; i < n; ++i) {
+      const float step =
+          rule == StepRule::kSign
+              ? eps * (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f))
+              : eps * g[i];
+      float v = prev[i] + step;
+      // Clip to the ε-ball around the previous iterate (Algorithm 1), then
+      // to the valid pixel domain.
+      v = std::min(prev[i] + eps, std::max(prev[i] - eps, v));
+      v = std::min(1.0f, std::max(0.0f, v));
+      x[i] = v;
+    }
+    adv = std::move(next);
+  }
+  return adv;
+}
+
+}  // namespace
+
+Tensor fgm(nn::Sequential& model, const Tensor& images,
+           const std::vector<int>& labels, const AttackParams& params) {
+  AttackParams single = params;
+  single.iterations = 1;
+  return iterate_fast_gradient(model, images, labels, single,
+                               StepRule::kGradient);
+}
+
+Tensor fgsm(nn::Sequential& model, const Tensor& images,
+            const std::vector<int>& labels, const AttackParams& params) {
+  AttackParams single = params;
+  single.iterations = 1;
+  return iterate_fast_gradient(model, images, labels, single, StepRule::kSign);
+}
+
+Tensor ifgsm(nn::Sequential& model, const Tensor& images,
+             const std::vector<int>& labels, const AttackParams& params) {
+  return iterate_fast_gradient(model, images, labels, params, StepRule::kSign);
+}
+
+Tensor ifgm(nn::Sequential& model, const Tensor& images,
+            const std::vector<int>& labels, const AttackParams& params) {
+  return iterate_fast_gradient(model, images, labels, params,
+                               StepRule::kGradient);
+}
+
+}  // namespace con::attacks

@@ -1,0 +1,37 @@
+// Fast-gradient attack family (Goodfellow et al. 2015; iterative versions
+// after Kurakin et al. 2016, Algorithm 1 of the paper).
+//
+// All attacks operate in pixel space: adversarial images are clamped to the
+// valid [0, 1] domain, and each iteration's result is clipped to an L∞ ball
+// of radius ε around the previous iterate ("the intermediate results get
+// clipped to ensure that the resulting adversarial images lie within ε of
+// the previous iteration", §3.3).
+#pragma once
+
+#include <vector>
+
+#include "attacks/params.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace con::attacks {
+
+using tensor::Tensor;
+
+// Single-step FGM: X + ε·∇ₓJ.
+Tensor fgm(nn::Sequential& model, const Tensor& images,
+           const std::vector<int>& labels, const AttackParams& params);
+
+// Single-step FGSM: X + ε·sign(∇ₓJ).
+Tensor fgsm(nn::Sequential& model, const Tensor& images,
+            const std::vector<int>& labels, const AttackParams& params);
+
+// Iterative FGSM (Algorithm 1): per-iteration sign step of ε, clipped.
+Tensor ifgsm(nn::Sequential& model, const Tensor& images,
+             const std::vector<int>& labels, const AttackParams& params);
+
+// Iterative FGM: identical except N = ∇ₓJ (gradient amplitudes, not sign).
+Tensor ifgm(nn::Sequential& model, const Tensor& images,
+            const std::vector<int>& labels, const AttackParams& params);
+
+}  // namespace con::attacks

@@ -1,0 +1,40 @@
+#include "attacks/gradient.h"
+
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace con::attacks {
+
+Tensor loss_input_gradient(nn::Sequential& model, const Tensor& batch,
+                           const std::vector<int>& labels) {
+  model.zero_grad();
+  Tensor logits = model.forward(batch, /*train=*/false);
+  nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  Tensor grad_input = model.backward(loss.grad_logits);
+  model.zero_grad();
+  return grad_input;
+}
+
+Tensor logit_input_gradient(nn::Sequential& model, const Tensor& sample_batch,
+                            int class_index, int num_classes) {
+  if (sample_batch.dim(0) != 1) {
+    throw std::invalid_argument(
+        "logit_input_gradient expects a single-sample batch");
+  }
+  model.zero_grad();
+  Tensor logits = model.forward(sample_batch, /*train=*/false);
+  if (logits.dim(1) != num_classes) {
+    throw std::invalid_argument("logit_input_gradient: class count mismatch");
+  }
+  if (class_index < 0 || class_index >= num_classes) {
+    throw std::out_of_range("logit_input_gradient: class index out of range");
+  }
+  Tensor seed(logits.shape());
+  seed.at({0, class_index}) = 1.0f;
+  Tensor grad_input = model.backward(seed);
+  model.zero_grad();
+  return grad_input;
+}
+
+}  // namespace con::attacks

@@ -1,0 +1,24 @@
+// Input-gradient computation shared by all white-box attacks.
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace con::attacks {
+
+using tensor::Tensor;
+
+// ∇ₓ J(θ, X, y) for a batch X [N,...] with true labels y: forward in eval
+// mode, softmax-cross-entropy, backward to the input. Parameter gradients
+// are zeroed afterwards — attacks must not perturb training state.
+Tensor loss_input_gradient(nn::Sequential& model, const Tensor& batch,
+                           const std::vector<int>& labels);
+
+// ∇ₓ f_k(X): gradient of logit k w.r.t. a single-sample batch [1,...].
+// Used by DeepFool, which needs per-class decision-boundary geometry.
+Tensor logit_input_gradient(nn::Sequential& model, const Tensor& sample_batch,
+                            int class_index, int num_classes);
+
+}  // namespace con::attacks

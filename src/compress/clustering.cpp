@@ -1,0 +1,160 @@
+#include "compress/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace con::compress {
+
+using tensor::Index;
+
+std::vector<float> kmeans_1d(const std::vector<float>& values, int k,
+                             std::uint64_t seed, int iterations) {
+  if (values.empty()) throw std::invalid_argument("kmeans_1d: no data");
+  if (k < 1) throw std::invalid_argument("kmeans_1d: k must be >= 1");
+
+  // Initialise centroids on linearly spaced quantiles of the sorted data —
+  // deterministic and well-spread (the rng only breaks exact ties).
+  std::vector<float> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  util::Rng rng(seed);
+  std::vector<float> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const double q = (c + 0.5) / static_cast<double>(k);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    centroids.push_back(sorted[idx]);
+  }
+  std::sort(centroids.begin(), centroids.end());
+  centroids.erase(std::unique(centroids.begin(), centroids.end()),
+                  centroids.end());
+
+  std::vector<double> sums(centroids.size());
+  std::vector<std::size_t> counts(centroids.size());
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (float v : values) {
+      // nearest centroid by binary search over the sorted centroid list
+      const auto up = std::lower_bound(centroids.begin(), centroids.end(), v);
+      std::size_t best = static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(up - centroids.begin(),
+                                   static_cast<std::ptrdiff_t>(
+                                       centroids.size() - 1)));
+      if (best > 0 &&
+          std::fabs(centroids[best - 1] - v) <= std::fabs(centroids[best] - v)) {
+        best = best - 1;
+      }
+      sums[best] += v;
+      counts[best] += 1;
+    }
+    bool moved = false;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] == 0) {
+        // dead centroid: respawn on a random data point
+        centroids[c] = values[rng.below(values.size())];
+        moved = true;
+        continue;
+      }
+      const float next = static_cast<float>(sums[c] /
+                                            static_cast<double>(counts[c]));
+      if (next != centroids[c]) {
+        centroids[c] = next;
+        moved = true;
+      }
+    }
+    std::sort(centroids.begin(), centroids.end());
+    if (!moved) break;
+  }
+  centroids.erase(std::unique(centroids.begin(), centroids.end()),
+                  centroids.end());
+  return centroids;
+}
+
+Tensor snap_to_centroids(const Tensor& t,
+                         const std::vector<float>& centroids) {
+  if (centroids.empty()) {
+    throw std::invalid_argument("snap_to_centroids: empty codebook");
+  }
+  Tensor out = t;
+  for (float& v : out.flat()) {
+    const auto up = std::lower_bound(centroids.begin(), centroids.end(), v);
+    std::size_t best = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(up - centroids.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     centroids.size() - 1)));
+    if (best > 0 &&
+        std::fabs(centroids[best - 1] - v) <= std::fabs(centroids[best] - v)) {
+      best = best - 1;
+    }
+    v = centroids[best];
+  }
+  return out;
+}
+
+ClusterWeightTransform::ClusterWeightTransform(std::vector<float> centroids,
+                                               int bits)
+    : centroids_(std::move(centroids)), bits_(bits) {
+  if (centroids_.empty()) {
+    throw std::invalid_argument("ClusterWeightTransform: empty codebook");
+  }
+  std::sort(centroids_.begin(), centroids_.end());
+  // Zero must be representable so pruned weights stay pruned.
+  if (std::none_of(centroids_.begin(), centroids_.end(),
+                   [](float c) { return c == 0.0f; })) {
+    centroids_.insert(
+        std::lower_bound(centroids_.begin(), centroids_.end(), 0.0f), 0.0f);
+  }
+}
+
+void ClusterWeightTransform::apply(const Tensor& raw, Tensor& effective,
+                                   Tensor& gate) const {
+  effective = snap_to_centroids(raw, centroids_);
+  // Masked weights must remain exactly zero even if a nonzero centroid sits
+  // closer to zero than the zero centroid (cannot happen after the ctor
+  // guarantees a zero entry, but keep it robust).
+  for (Index i = 0; i < raw.numel(); ++i) {
+    if (raw[i] == 0.0f) effective[i] = 0.0f;
+  }
+  gate.fill(1.0f);  // plain straight-through
+}
+
+std::string ClusterWeightTransform::describe() const {
+  return "weight clustering, " + std::to_string(centroids_.size()) +
+         " shared values (" + std::to_string(bits_) + "-bit codes)";
+}
+
+nn::Sequential cluster_model(const nn::Sequential& model, int bits,
+                             std::uint64_t seed) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("cluster_model: bits must be in [1, 16]");
+  }
+  nn::Sequential out = model.clone();
+  out.set_name(model.name() + "-c" + std::to_string(bits));
+  const int k = 1 << bits;
+  for (nn::Parameter* p : out.parameters()) {
+    if (!p->compressible) continue;
+    // Cluster only the surviving (non-zero effective) weights, like deep
+    // compression does after pruning.
+    Tensor eff = p->effective();
+    std::vector<float> nonzero;
+    nonzero.reserve(static_cast<std::size_t>(eff.numel()));
+    for (float v : eff.flat()) {
+      if (v != 0.0f) nonzero.push_back(v);
+    }
+    if (nonzero.empty()) continue;
+    std::vector<float> centroids =
+        kmeans_1d(nonzero, k, seed ^ util::hash_name(p->name));
+    p->transform =
+        std::make_shared<const ClusterWeightTransform>(std::move(centroids),
+                                                       bits);
+  }
+  return out;
+}
+
+}  // namespace con::compress

@@ -1,0 +1,57 @@
+// Weight clustering (shared weights), the "trained quantization" stage of
+// deep compression (Han et al. 2016b, cited in §2.2).
+//
+// Each compressible parameter's non-zero weights are clustered with k-means
+// in 1-D; the effective weights are the cluster centroids, so a parameter
+// ships as ceil(log2 k) bits per weight plus a tiny codebook. The transform
+// plugs into nn::Parameter like fixed-point quantisation does, which lets
+// the transfer harness ask the paper's question for a third compression
+// family: do adversarial samples survive codebook quantisation?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace con::compress {
+
+using tensor::Tensor;
+
+// 1-D k-means. Returns the k centroids (fewer if the data has fewer
+// distinct values); deterministic in `seed`.
+std::vector<float> kmeans_1d(const std::vector<float>& values, int k,
+                             std::uint64_t seed, int iterations = 25);
+
+// Snap every element of `t` to its nearest centroid.
+Tensor snap_to_centroids(const Tensor& t, const std::vector<float>& centroids);
+
+// Weight transform: cluster once at construction (per parameter), then snap
+// in apply(). Zero survives as its own implicit centroid so pruning masks
+// compose. The gradient gate is all-ones (plain straight-through): cluster
+// assignment is piecewise constant, so STE is the standard choice.
+class ClusterWeightTransform : public nn::WeightTransform {
+ public:
+  ClusterWeightTransform(std::vector<float> centroids, int bits);
+
+  void apply(const Tensor& raw, Tensor& effective,
+             Tensor& gate) const override;
+  std::string describe() const override;
+
+  const std::vector<float>& centroids() const { return centroids_; }
+  int bits() const { return bits_; }
+
+ private:
+  std::vector<float> centroids_;  // sorted
+  int bits_;
+};
+
+// Deep-compression-style model transform: clusters every compressible
+// parameter's (masked) weights into 2^bits shared values and attaches the
+// snap transform. Returns a deep copy; `model` is untouched.
+nn::Sequential cluster_model(const nn::Sequential& model, int bits,
+                             std::uint64_t seed = 0xc1u);
+
+}  // namespace con::compress

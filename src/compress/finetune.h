@@ -1,0 +1,38 @@
+// Compression pipelines: derive a compressed model from a trained baseline
+// and fine-tune it, mirroring the paper's methodology (§3.2): "We used the
+// Mayo tool to generate pruned and quantised models, and fine-tuned these
+// models after pruning and quantisation."
+#pragma once
+
+#include "compress/pruner.h"
+#include "compress/quant_activation.h"
+#include "data/dataset.h"
+#include "nn/trainer.h"
+
+namespace con::compress {
+
+struct FineTuneConfig {
+  int epochs = 3;
+  int batch_size = 32;
+  float base_lr = 0.01f;  // paper: decays start from 0.01
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  std::uint64_t seed = 0xf17e;
+};
+
+// Clone `baseline`, prune to `density` with dynamic network surgery and
+// fine-tune on `train` (masks refresh during training). Set
+// `one_shot=true` for the Han-style ablation where masks never recover.
+nn::Sequential make_pruned_model(const nn::Sequential& baseline,
+                                 const data::Dataset& train, double density,
+                                 const FineTuneConfig& config,
+                                 bool one_shot = false);
+
+// Clone `baseline`, quantise weights/activations to the paper's fixed-point
+// format for `bitwidth` and fine-tune quantisation-aware (STE gradients).
+nn::Sequential make_quantized_model(const nn::Sequential& baseline,
+                                    const data::Dataset& train, int bitwidth,
+                                    const FineTuneConfig& config,
+                                    bool quantize_activations = true);
+
+}  // namespace con::compress

@@ -1,0 +1,79 @@
+#include "compress/fixed_point.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace con::compress {
+
+using tensor::Index;
+
+float FixedPointFormat::step() const {
+  return std::ldexp(1.0f, -fraction_bits());
+}
+
+float FixedPointFormat::lo() const {
+  return -std::ldexp(1.0f, integer_bits - 1);
+}
+
+float FixedPointFormat::hi() const {
+  return std::ldexp(1.0f, integer_bits - 1) - step();
+}
+
+FixedPointFormat FixedPointFormat::paper_format(int total_bits) {
+  if (total_bits < 2) {
+    throw std::invalid_argument("fixed-point bitwidth must be >= 2");
+  }
+  int integer_bits = 4;
+  if (total_bits == 4) integer_bits = 1;
+  else if (total_bits == 8) integer_bits = 2;
+  if (integer_bits >= total_bits) integer_bits = total_bits - 1;
+  return FixedPointFormat{.total_bits = total_bits,
+                          .integer_bits = integer_bits};
+}
+
+std::string FixedPointFormat::to_string() const {
+  return "Q" + std::to_string(integer_bits) + "." +
+         std::to_string(fraction_bits()) + " (" + std::to_string(total_bits) +
+         " bits)";
+}
+
+float fixed_point_quantize(float v, const FixedPointFormat& fmt) {
+  const float s = fmt.step();
+  float q = std::nearbyint(v / s) * s;
+  const float lo = fmt.lo();
+  const float hi = fmt.hi();
+  if (q < lo) q = lo;
+  if (q > hi) q = hi;
+  return q;
+}
+
+Tensor fixed_point_quantize(const Tensor& t, const FixedPointFormat& fmt) {
+  Tensor out = t;
+  for (float& v : out.flat()) v = fixed_point_quantize(v, fmt);
+  return out;
+}
+
+void FixedPointWeightTransform::apply(const Tensor& raw, Tensor& effective,
+                                      Tensor& gate) const {
+  const Index n = raw.numel();
+  const float* in = raw.data();
+  float* out = effective.data();
+  float* g = gate.data();
+  const float lo = fmt_.lo();
+  const float hi = fmt_.hi();
+  const float s = fmt_.step();
+  for (Index i = 0; i < n; ++i) {
+    float q = std::nearbyint(in[i] / s) * s;
+    const bool saturated = q < lo || q > hi;
+    if (q < lo) q = lo;
+    if (q > hi) q = hi;
+    out[i] = q;
+    g[i] = saturated ? 0.0f : 1.0f;
+  }
+}
+
+std::string FixedPointWeightTransform::describe() const {
+  return "fixed-point " + fmt_.to_string();
+}
+
+}  // namespace con::compress

@@ -1,0 +1,167 @@
+#include "compress/integer_exec.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace con::compress {
+
+using tensor::Index;
+using tensor::Tensor;
+
+namespace {
+
+// Round-to-nearest-even right shift — the integer twin of the float path's
+// std::nearbyint under the default rounding mode. shift must be >= 0.
+std::int64_t rshift_round_half_even(std::int64_t v, int shift) {
+  if (shift == 0) return v;
+  const std::int64_t q = v >> shift;  // arithmetic shift: floor division
+  const std::int64_t r = v - (q << shift);
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  if (r > half || (r == half && (q & 1))) return q + 1;
+  return q;
+}
+
+std::int64_t quantize_to_code(float v, const FixedPointFormat& fmt) {
+  const float s = fmt.step();
+  std::int64_t code =
+      static_cast<std::int64_t>(std::nearbyint(static_cast<double>(v) / s));
+  const std::int64_t lo = -(std::int64_t{1} << (fmt.total_bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (fmt.total_bits - 1)) - 1;
+  if (code < lo) code = lo;
+  if (code > hi) code = hi;
+  return code;
+}
+
+}  // namespace
+
+IntegerLinear lower_linear(const Tensor& weights, const Tensor& bias,
+                           const FixedPointFormat& weight_format,
+                           const FixedPointFormat& activation_format) {
+  if (weights.rank() != 2 || bias.rank() != 1 ||
+      bias.dim(0) != weights.dim(0)) {
+    throw std::invalid_argument("lower_linear: expected W [out, in], b [out]");
+  }
+  IntegerLinear layer;
+  layer.weight_format = weight_format;
+  layer.activation_format = activation_format;
+  layer.out_features = weights.dim(0);
+  layer.in_features = weights.dim(1);
+
+  const float sw = weight_format.step();
+  layer.weight_codes.reserve(static_cast<std::size_t>(weights.numel()));
+  for (Index i = 0; i < weights.numel(); ++i) {
+    const double code_f = static_cast<double>(weights[i]) / sw;
+    const auto code = static_cast<std::int64_t>(std::nearbyint(code_f));
+    if (std::fabs(code_f - static_cast<double>(code)) > 1e-6) {
+      throw std::invalid_argument(
+          "lower_linear: weight is not on the quantisation grid — run "
+          "fixed_point_quantize first");
+    }
+    layer.weight_codes.push_back(static_cast<std::int32_t>(code));
+  }
+  // Bias lives at the accumulator's scale sw * sx.
+  const double acc_scale = static_cast<double>(sw) *
+                           static_cast<double>(activation_format.step());
+  layer.bias_codes.reserve(static_cast<std::size_t>(bias.numel()));
+  for (Index i = 0; i < bias.numel(); ++i) {
+    layer.bias_codes.push_back(static_cast<std::int64_t>(
+        std::nearbyint(static_cast<double>(bias[i]) / acc_scale)));
+  }
+  return layer;
+}
+
+Tensor integer_linear_forward(const IntegerLinear& layer, const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != layer.in_features) {
+    throw std::invalid_argument("integer_linear_forward: bad input shape");
+  }
+  const Index n = x.dim(0);
+  const FixedPointFormat& afmt = layer.activation_format;
+  const FixedPointFormat& wfmt = layer.weight_format;
+
+  // Input codes.
+  std::vector<std::int64_t> x_codes(static_cast<std::size_t>(x.numel()));
+  for (Index i = 0; i < x.numel(); ++i) {
+    x_codes[static_cast<std::size_t>(i)] = quantize_to_code(x[i], afmt);
+  }
+
+  // Requantising the accumulator (scale 2^-(fw+fa)) to the activation grid
+  // (scale 2^-fa) is a right shift by fw bits.
+  const int shift = wfmt.fraction_bits();
+  const std::int64_t out_lo = -(std::int64_t{1} << (afmt.total_bits - 1));
+  const std::int64_t out_hi =
+      (std::int64_t{1} << (afmt.total_bits - 1)) - 1;
+
+  Tensor y({n, layer.out_features});
+  const float sa = afmt.step();
+  for (Index i = 0; i < n; ++i) {
+    for (Index o = 0; o < layer.out_features; ++o) {
+      std::int64_t acc = layer.bias_codes[static_cast<std::size_t>(o)];
+      const std::int32_t* wrow =
+          layer.weight_codes.data() + o * layer.in_features;
+      const std::int64_t* xrow = x_codes.data() + i * layer.in_features;
+      for (Index k = 0; k < layer.in_features; ++k) {
+        acc += static_cast<std::int64_t>(wrow[k]) * xrow[k];
+      }
+      std::int64_t out_code = rshift_round_half_even(acc, shift);
+      if (out_code < out_lo) out_code = out_lo;
+      if (out_code > out_hi) out_code = out_hi;
+      y.at({i, o}) = static_cast<float>(out_code) * sa;
+    }
+  }
+  return y;
+}
+
+Tensor fake_quant_linear_forward(const Tensor& weights, const Tensor& bias,
+                                 const FixedPointFormat& wfmt,
+                                 const FixedPointFormat& afmt,
+                                 const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != weights.dim(1)) {
+    throw std::invalid_argument("fake_quant_linear_forward: bad input shape");
+  }
+  const Index n = x.dim(0);
+  const Index out = weights.dim(0);
+  const Index in = weights.dim(1);
+  // Quantise inputs to the activation grid (saturating to the *code* range,
+  // matching quantize_to_code).
+  Tensor xq({n, in});
+  const float sa = afmt.step();
+  for (Index i = 0; i < x.numel(); ++i) {
+    xq[i] = static_cast<float>(quantize_to_code(x[i], afmt)) * sa;
+  }
+  // Bias snapped to the accumulator grid, as the integer path stores it.
+  const double acc_scale =
+      static_cast<double>(wfmt.step()) * static_cast<double>(sa);
+  Tensor y({n, out});
+  for (Index i = 0; i < n; ++i) {
+    for (Index o = 0; o < out; ++o) {
+      double acc = std::nearbyint(static_cast<double>(bias[o]) / acc_scale) *
+                   acc_scale;
+      for (Index k = 0; k < in; ++k) {
+        acc += static_cast<double>(weights[o * in + k]) * xq[i * in + k];
+      }
+      // Requantise to the activation grid with saturation at the full code
+      // range (same bounds as the integer path).
+      const double code = std::nearbyint(acc / sa);
+      const double lo = -std::ldexp(1.0, afmt.total_bits - 1);
+      const double hi = std::ldexp(1.0, afmt.total_bits - 1) - 1.0;
+      y.at({i, o}) =
+          static_cast<float>(std::min(hi, std::max(lo, code)) * sa);
+    }
+  }
+  return y;
+}
+
+float integer_vs_fake_divergence(const IntegerLinear& layer,
+                                 const Tensor& weights, const Tensor& bias,
+                                 const Tensor& x) {
+  Tensor a = integer_linear_forward(layer, x);
+  Tensor b = fake_quant_linear_forward(weights, bias, layer.weight_format,
+                                       layer.activation_format, x);
+  float worst = 0.0f;
+  for (Index i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace con::compress

@@ -1,0 +1,62 @@
+// True integer execution of quantised layers.
+//
+// Fake-quantisation (quant_activation.h) simulates fixed-point arithmetic
+// in float; a real edge NPU computes with integers. This module provides
+// the integer path for fully-connected layers — int64 accumulation over
+// integer weight/activation codes, followed by a requantising shift — and
+// the verification that it produces bit-identical results to the
+// fake-quantised float path. That equivalence is what justifies running the
+// whole study in the (much more convenient) fake-quantised form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/fixed_point.h"
+#include "tensor/tensor.h"
+
+namespace con::compress {
+
+// A fully-connected layer lowered to integer arithmetic. Weight codes are
+// w / step(wfmt); input codes are x / step(xfmt); the bias is pre-scaled to
+// the accumulator's fixed-point position.
+struct IntegerLinear {
+  FixedPointFormat weight_format;
+  FixedPointFormat activation_format;
+  tensor::Index in_features = 0;
+  tensor::Index out_features = 0;
+  std::vector<std::int32_t> weight_codes;  // [out, in]
+  std::vector<std::int64_t> bias_codes;    // [out], at accumulator scale
+};
+
+// Lower quantised weights/bias to integer codes. `weights` must already lie
+// on the weight format's grid (i.e. be the output of fixed_point_quantize);
+// throws if any value is off-grid, because silent re-rounding would hide
+// quantiser bugs.
+IntegerLinear lower_linear(const tensor::Tensor& weights,
+                           const tensor::Tensor& bias,
+                           const FixedPointFormat& weight_format,
+                           const FixedPointFormat& activation_format);
+
+// Integer forward pass: quantise x to codes, int64 matmul, add bias codes,
+// requantise the accumulator to the activation format (round-to-nearest,
+// saturate). Returns float values on the activation grid.
+tensor::Tensor integer_linear_forward(const IntegerLinear& layer,
+                                      const tensor::Tensor& x);
+
+// Reference float path: quantise x, multiply with the (already quantised)
+// weights in float, add bias, quantise the result to the activation format.
+tensor::Tensor fake_quant_linear_forward(const tensor::Tensor& weights,
+                                         const tensor::Tensor& bias,
+                                         const FixedPointFormat& wfmt,
+                                         const FixedPointFormat& afmt,
+                                         const tensor::Tensor& x);
+
+// Max absolute divergence between the integer and fake-quant paths on a
+// random input — the lowering is correct when this is exactly 0.
+float integer_vs_fake_divergence(const IntegerLinear& layer,
+                                 const tensor::Tensor& weights,
+                                 const tensor::Tensor& bias,
+                                 const tensor::Tensor& x);
+
+}  // namespace con::compress

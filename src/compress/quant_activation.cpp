@@ -1,0 +1,102 @@
+#include "compress/quant_activation.h"
+
+#include <stdexcept>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace con::compress {
+
+using tensor::Index;
+using tensor::Tensor;
+
+QuantActivation::QuantActivation(FixedPointFormat fmt, std::string layer_name)
+    : fmt_(fmt), name_(std::move(layer_name)) {}
+
+Tensor QuantActivation::forward(const Tensor& x, bool /*train*/) {
+  Tensor y(x.shape());
+  cached_gate_ = Tensor(x.shape());
+  const Index n = x.numel();
+  const float* in = x.data();
+  float* out = y.data();
+  float* g = cached_gate_.data();
+  const float lo = fmt_.lo();
+  const float hi = fmt_.hi();
+  const float s = fmt_.step();
+  for (Index i = 0; i < n; ++i) {
+    float q = std::nearbyint(in[i] / s) * s;
+    const bool saturated = q < lo || q > hi;
+    if (q < lo) q = lo;
+    if (q > hi) q = hi;
+    out[i] = q;
+    g[i] = saturated ? 0.0f : 1.0f;
+  }
+  return y;
+}
+
+Tensor QuantActivation::backward(const Tensor& grad_out) {
+  if (grad_out.shape() != cached_gate_.shape()) {
+    throw std::invalid_argument(name_ + ": grad shape mismatch");
+  }
+  return tensor::mul(grad_out, cached_gate_);
+}
+
+std::unique_ptr<nn::Layer> QuantActivation::clone() const {
+  return std::make_unique<QuantActivation>(fmt_, name_);
+}
+
+nn::Sequential quantize_model(const nn::Sequential& model,
+                              const QuantizeOptions& options) {
+  nn::Sequential q = model.clone();
+  q.set_name(model.name() + "-q" + std::to_string(options.format.total_bits));
+
+  if (options.quantize_weights) {
+    auto transform =
+        std::make_shared<const FixedPointWeightTransform>(options.format);
+    for (nn::Parameter* p : q.parameters()) {
+      if (p->compressible) p->transform = transform;
+    }
+  }
+
+  if (options.quantize_activations) {
+    // Insert after every layer that produces activations the hardware would
+    // keep in fixed point: parameterised layers and nonlinearities. Also
+    // quantise the network input (sensor data enters the fixed-point
+    // datapath first on a real accelerator).
+    std::size_t i = 0;
+    q.insert(0, std::make_unique<QuantActivation>(
+                    options.format, "quant_in"));
+    i = 1;
+    while (i < q.num_layers()) {
+      nn::Layer& layer = q.layer(i);
+      const bool produces_activations =
+          !layer.parameters().empty() || layer.name().rfind("relu", 0) == 0 ||
+          layer.name().rfind("tanh", 0) == 0;
+      const bool already_quant =
+          dynamic_cast<QuantActivation*>(&layer) != nullptr;
+      if (produces_activations && !already_quant) {
+        q.insert(i + 1, std::make_unique<QuantActivation>(
+                            options.format,
+                            "quant_" + layer.name()));
+        i += 2;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return q;
+}
+
+nn::Sequential strip_quantization(const nn::Sequential& model) {
+  nn::Sequential out(model.name() + "-dequant");
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    const nn::Layer& layer = model.layer(i);
+    if (dynamic_cast<const QuantActivation*>(&layer) != nullptr) continue;
+    out.add(layer.clone());
+  }
+  for (nn::Parameter* p : out.parameters()) p->transform.reset();
+  return out;
+}
+
+}  // namespace con::compress

@@ -1,0 +1,50 @@
+// Adversarial training defence.
+//
+// The paper's related work (Szegedy et al., Papernot et al.) notes that
+// training on adversarial samples hardens a model. This module implements
+// the standard mixed-batch scheme — each step trains on clean samples plus
+// adversarial versions crafted on the current weights — so the transfer
+// harness can measure how the defence interacts with compression (an
+// extension the paper leaves open).
+#pragma once
+
+#include "attacks/attack.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+
+namespace con::core {
+
+struct AdvTrainConfig {
+  nn::TrainConfig train;
+  attacks::AttackKind attack = attacks::AttackKind::kIfgsm;
+  attacks::AttackParams attack_params{.epsilon = 0.02f, .iterations = 4};
+  // Fraction of each batch replaced by adversarial versions (0.5 = half).
+  double adversarial_fraction = 0.5;
+};
+
+struct AdvTrainStats {
+  int steps = 0;
+  double final_clean_accuracy = 0.0;  // on the training set
+};
+
+// Adversarially trains `model` in place.
+AdvTrainStats adversarial_train(nn::Sequential& model,
+                                const data::Dataset& train,
+                                const AdvTrainConfig& config);
+
+// Robustness summary of a model under one attack: clean accuracy,
+// adversarial accuracy and the fooling rate among correctly-classified
+// samples.
+struct RobustnessReport {
+  double clean_accuracy = 0.0;
+  double adversarial_accuracy = 0.0;
+  double fooling_rate = 0.0;
+};
+
+RobustnessReport measure_robustness(nn::Sequential& model,
+                                    const data::Dataset& eval_set,
+                                    attacks::AttackKind attack,
+                                    const attacks::AttackParams& params);
+
+}  // namespace con::core

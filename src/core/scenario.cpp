@@ -1,0 +1,31 @@
+#include "core/scenario.h"
+
+#include <stdexcept>
+
+namespace con::core {
+
+std::string scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kCompToComp: return "COMP->COMP";
+    case Scenario::kFullToComp: return "FULL->COMP";
+    case Scenario::kCompToFull: return "COMP->FULL";
+  }
+  throw std::logic_error("unreachable scenario");
+}
+
+std::string scenario_description(Scenario s) {
+  switch (s) {
+    case Scenario::kCompToComp:
+      return "adversarial samples generated and applied on the same "
+             "compressed model (attacker owns the product)";
+    case Scenario::kFullToComp:
+      return "adversarial samples generated on the baseline model, applied "
+             "to compressed models (public model, proprietary derivatives)";
+    case Scenario::kCompToFull:
+      return "adversarial samples generated on compressed models, applied "
+             "to the hidden baseline model (edge device leaks the attack)";
+  }
+  throw std::logic_error("unreachable scenario");
+}
+
+}  // namespace con::core

@@ -1,0 +1,29 @@
+// The paper's compression-aware attack taxonomy (§3.1).
+//
+// "Compressed models" are pruned or quantised; the "baseline model" is the
+// dense full-precision network they derive from.
+//
+//  Scenario 1 (COMP→COMP): samples generated on a compressed model and
+//    applied to the same compressed model — the attacker bought the product.
+//  Scenario 2 (FULL→COMP): samples generated on the baseline, applied to
+//    compressed models — the attacker has the public model, the vendor
+//    ships compressed derivatives.
+//  Scenario 3 (COMP→FULL): samples generated on a compressed model, applied
+//    to the hidden baseline — edge devices leak attacks against the cloud
+//    model.
+#pragma once
+
+#include <string>
+
+namespace con::core {
+
+enum class Scenario {
+  kCompToComp = 1,
+  kFullToComp = 2,
+  kCompToFull = 3,
+};
+
+std::string scenario_name(Scenario s);
+std::string scenario_description(Scenario s);
+
+}  // namespace con::core

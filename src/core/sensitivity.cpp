@@ -1,0 +1,94 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "compress/fixed_point.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace con::core {
+
+using tensor::Index;
+using tensor::Tensor;
+
+namespace {
+
+// Magnitude threshold keeping round(density * n) entries (shared logic with
+// the pruner, restated locally to keep the scan self-contained and
+// side-effect-free on the model).
+float scan_threshold(const Tensor& values, double density) {
+  const Index n = values.numel();
+  const auto keep =
+      static_cast<Index>(std::llround(density * static_cast<double>(n)));
+  if (keep >= n) return 0.0f;
+  std::vector<float> mags(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) mags[static_cast<std::size_t>(i)] =
+      std::fabs(values[i]);
+  if (keep <= 0) {
+    return *std::max_element(mags.begin(), mags.end()) * 2.0f + 1.0f;
+  }
+  const std::size_t cut = static_cast<std::size_t>(n - keep);
+  std::nth_element(mags.begin(), mags.begin() + cut, mags.end());
+  return mags[cut];
+}
+
+}  // namespace
+
+std::vector<SensitivityPoint> prune_sensitivity_scan(
+    nn::Sequential& model, const data::Dataset& eval_set,
+    const std::vector<double>& densities, double* dense_accuracy) {
+  const double base =
+      nn::evaluate_accuracy(model, eval_set.images, eval_set.labels);
+  if (dense_accuracy != nullptr) *dense_accuracy = base;
+
+  std::vector<SensitivityPoint> points;
+  for (nn::Parameter* p : model.parameters()) {
+    if (!p->compressible) continue;
+    const Tensor saved_mask = p->mask;
+    for (double d : densities) {
+      const float alpha = scan_threshold(p->value, d);
+      Tensor mask(p->value.shape(), 1.0f);
+      for (Index i = 0; i < mask.numel(); ++i) {
+        if (std::fabs(p->value[i]) < alpha) mask[i] = 0.0f;
+      }
+      p->mask = std::move(mask);
+      points.push_back(SensitivityPoint{
+          .parameter = p->name,
+          .level = d,
+          .accuracy = nn::evaluate_accuracy(model, eval_set.images,
+                                            eval_set.labels)});
+    }
+    p->mask = saved_mask;
+  }
+  return points;
+}
+
+std::vector<SensitivityPoint> quant_sensitivity_scan(
+    nn::Sequential& model, const data::Dataset& eval_set,
+    const std::vector<int>& bitwidths, double* dense_accuracy) {
+  const double base =
+      nn::evaluate_accuracy(model, eval_set.images, eval_set.labels);
+  if (dense_accuracy != nullptr) *dense_accuracy = base;
+
+  std::vector<SensitivityPoint> points;
+  for (nn::Parameter* p : model.parameters()) {
+    if (!p->compressible) continue;
+    const auto saved_transform = p->transform;
+    for (int bits : bitwidths) {
+      p->transform = std::make_shared<const compress::FixedPointWeightTransform>(
+          compress::FixedPointFormat::paper_format(bits));
+      points.push_back(SensitivityPoint{
+          .parameter = p->name,
+          .level = static_cast<double>(bits),
+          .accuracy = nn::evaluate_accuracy(model, eval_set.images,
+                                            eval_set.labels)});
+    }
+    p->transform = saved_transform;
+  }
+  return points;
+}
+
+}  // namespace con::core

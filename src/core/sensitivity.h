@@ -1,0 +1,36 @@
+// Per-layer compression sensitivity scans.
+//
+// Classic compression methodology (Han et al. 2016b): before choosing
+// per-layer budgets, measure how much accuracy each layer costs when ONLY
+// that layer is compressed. The scan explains the paper's preferred-density
+// observation mechanistically — some layers carry far more slack than
+// others — and is the tool a deployment engineer runs before shipping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace con::core {
+
+struct SensitivityPoint {
+  std::string parameter;  // e.g. "conv1.weight"
+  double level = 0.0;     // density or bitwidth
+  double accuracy = 0.0;  // test accuracy with only this parameter compressed
+};
+
+// For each compressible parameter and each density: magnitude-prune only
+// that parameter (no fine-tuning) and evaluate. The all-dense accuracy is
+// returned via `dense_accuracy`.
+std::vector<SensitivityPoint> prune_sensitivity_scan(
+    nn::Sequential& model, const data::Dataset& eval_set,
+    const std::vector<double>& densities, double* dense_accuracy = nullptr);
+
+// Same, quantising only one parameter (weights only) per measurement.
+std::vector<SensitivityPoint> quant_sensitivity_scan(
+    nn::Sequential& model, const data::Dataset& eval_set,
+    const std::vector<int>& bitwidths, double* dense_accuracy = nullptr);
+
+}  // namespace con::core

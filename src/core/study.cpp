@@ -1,0 +1,92 @@
+#include "core/study.h"
+
+#include <stdexcept>
+
+#include "data/synth_digits.h"
+#include "data/synth_objects.h"
+#include "io/checkpoint.h"
+#include "models/model_zoo.h"
+#include "nn/trainer.h"
+#include "util/logging.h"
+
+namespace con::core {
+
+namespace {
+
+data::TrainTestSplit make_split(const StudyConfig& c) {
+  if (c.network.rfind("lenet5", 0) == 0) {
+    data::SynthDigitsConfig dc;
+    dc.train_size = c.train_size;
+    dc.test_size = c.test_size;
+    dc.seed = c.seed;
+    return data::make_synth_digits(dc);
+  }
+  if (c.network.rfind("cifarnet", 0) == 0) {
+    data::SynthObjectsConfig oc;
+    oc.train_size = c.train_size;
+    oc.test_size = c.test_size;
+    oc.seed = c.seed;
+    return data::make_synth_objects(oc);
+  }
+  throw std::invalid_argument("Study: unknown network " + c.network);
+}
+
+}  // namespace
+
+Study::Study(StudyConfig config)
+    : config_(std::move(config)), split_(make_split(config_)) {
+  if (config_.attack_size > config_.test_size) {
+    throw std::invalid_argument("Study: attack_size exceeds test_size");
+  }
+  attack_set_ = split_.test.take(config_.attack_size);
+}
+
+std::string Study::cache_path() const {
+  return io::artifacts_dir() + "/" + config_.network + "_s" +
+         std::to_string(config_.seed) + "_n" +
+         std::to_string(config_.train_size) + "_e" +
+         std::to_string(config_.baseline_epochs) + ".ckpt";
+}
+
+nn::Sequential& Study::baseline() {
+  if (baseline_.has_value()) return *baseline_;
+  baseline_ = models::make_model(config_.network, config_.seed);
+  const std::string path = cache_path();
+  if (config_.use_cache && io::file_exists(path)) {
+    util::log_info("loading cached baseline %s", path.c_str());
+    io::load_model_into(*baseline_, path);
+    return *baseline_;
+  }
+  util::log_info("training baseline %s (%d epochs, %lld samples)",
+                 config_.network.c_str(), config_.baseline_epochs,
+                 static_cast<long long>(config_.train_size));
+  nn::TrainConfig tc;
+  tc.epochs = config_.baseline_epochs;
+  tc.batch_size = config_.batch_size;
+  tc.shuffle_seed = config_.seed ^ 0x5f5fULL;
+  nn::train_classifier(*baseline_, split_.train.images, split_.train.labels,
+                       tc);
+  if (config_.use_cache) {
+    io::save_model(*baseline_, path);
+    util::log_info("saved baseline to %s", path.c_str());
+  }
+  return *baseline_;
+}
+
+double Study::baseline_accuracy() {
+  return nn::evaluate_accuracy(baseline(), split_.test.images,
+                               split_.test.labels);
+}
+
+nn::Sequential Study::train_fresh_baseline(std::uint64_t init_seed) {
+  nn::Sequential model = models::make_model(config_.network, init_seed);
+  model.set_name(config_.network + "-init" + std::to_string(init_seed));
+  nn::TrainConfig tc;
+  tc.epochs = config_.baseline_epochs;
+  tc.batch_size = config_.batch_size;
+  tc.shuffle_seed = init_seed ^ 0x5f5fULL;
+  nn::train_classifier(model, split_.train.images, split_.train.labels, tc);
+  return model;
+}
+
+}  // namespace con::core

@@ -1,0 +1,62 @@
+// Study: the experiment workspace tying datasets, baseline training and
+// artifact caching together. Benches and examples construct a Study, which
+// loads the trained baseline from artifacts/ when available and trains it
+// (then saves) otherwise — training once per configuration keeps the whole
+// bench suite tractable on a CPU host.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "compress/finetune.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace con::core {
+
+struct StudyConfig {
+  // "lenet5", "cifarnet", "lenet5-small", "cifarnet-small".
+  std::string network = "lenet5-small";
+  tensor::Index train_size = 2000;
+  tensor::Index test_size = 500;
+  // Subset of the test set used for attack generation (attacks are the
+  // costly part: DeepFool does K backward passes per iteration per image).
+  tensor::Index attack_size = 200;
+  int baseline_epochs = 6;
+  int batch_size = 32;
+  compress::FineTuneConfig finetune{.epochs = 2, .batch_size = 32};
+  std::uint64_t seed = 42;
+  bool use_cache = true;
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config);
+
+  const StudyConfig& config() const { return config_; }
+  const data::Dataset& train_set() const { return split_.train; }
+  const data::Dataset& test_set() const { return split_.test; }
+  const data::Dataset& attack_set() const { return attack_set_; }
+
+  // The trained dense float32 baseline. Trains on first access (or loads
+  // the cached checkpoint) and memoizes.
+  nn::Sequential& baseline();
+
+  // Clean test accuracy of the baseline.
+  double baseline_accuracy();
+
+  // Train a fresh baseline with a different initialisation seed (not
+  // cached) — used by the §3.3 cross-initialisation experiment.
+  nn::Sequential train_fresh_baseline(std::uint64_t init_seed);
+
+ private:
+  std::string cache_path() const;
+
+  StudyConfig config_;
+  data::TrainTestSplit split_;
+  data::Dataset attack_set_;
+  std::optional<nn::Sequential> baseline_;
+};
+
+}  // namespace con::core

@@ -1,0 +1,87 @@
+#include "core/sweeps.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace con::core {
+
+std::vector<nn::Sequential> build_pruned_family(
+    const nn::Sequential& baseline, const data::Dataset& train,
+    const std::vector<double>& densities,
+    const compress::FineTuneConfig& finetune, bool one_shot) {
+  std::vector<nn::Sequential> family;
+  family.reserve(densities.size());
+  for (double d : densities) {
+    util::log_info("pruning %s to density %.3f", baseline.name().c_str(), d);
+    family.push_back(
+        compress::make_pruned_model(baseline, train, d, finetune, one_shot));
+  }
+  return family;
+}
+
+std::vector<nn::Sequential> build_quantized_family(
+    const nn::Sequential& baseline, const data::Dataset& train,
+    const std::vector<int>& bitwidths,
+    const compress::FineTuneConfig& finetune, bool quantize_activations) {
+  std::vector<nn::Sequential> family;
+  family.reserve(bitwidths.size());
+  for (int bits : bitwidths) {
+    util::log_info("quantising %s to %d bits", baseline.name().c_str(), bits);
+    family.push_back(compress::make_quantized_model(
+        baseline, train, bits, finetune, quantize_activations));
+  }
+  return family;
+}
+
+std::vector<ScenarioPoint> sweep_scenarios(
+    nn::Sequential& baseline, std::vector<nn::Sequential>& family,
+    attacks::AttackKind attack, const attacks::AttackParams& params,
+    const data::Dataset& eval_set) {
+  std::vector<ScenarioPoint> points;
+  points.reserve(family.size());
+  for (nn::Sequential& compressed : family) {
+    points.push_back(
+        evaluate_scenarios(baseline, compressed, attack, params, eval_set));
+  }
+  return points;
+}
+
+std::vector<double> paper_density_grid() {
+  // Fig. 2 spans dense down to extreme sparsity; log-ish spacing puts
+  // resolution where the interesting transitions are.
+  return {1.0, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1, 0.05, 0.03};
+}
+
+std::vector<int> paper_bitwidth_grid() {
+  // Fig. 5 x-axis: fixed-point bitwidths; behaviour is flat above 8 bits
+  // and changes sharply at 4 (1 integer bit).
+  return {4, 8, 12, 16, 24, 32};
+}
+
+double preferred_density(const std::vector<double>& densities,
+                         const std::vector<double>& base_accuracies,
+                         double dense_accuracy, double tolerance) {
+  if (densities.size() != base_accuracies.size() || densities.empty()) {
+    throw std::invalid_argument("preferred_density: bad inputs");
+  }
+  // Sort points by density descending, walk toward sparsity while accuracy
+  // holds; the last density before the drop is preferred.
+  std::vector<std::size_t> order(densities.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return densities[a] > densities[b];
+  });
+  double preferred = densities[order.front()];
+  for (std::size_t idx : order) {
+    if (base_accuracies[idx] + tolerance >= dense_accuracy) {
+      preferred = densities[idx];
+    } else {
+      break;
+    }
+  }
+  return preferred;
+}
+
+}  // namespace con::core

@@ -1,0 +1,49 @@
+// Compression sweeps: build a family of compressed models from one trained
+// baseline and evaluate the attack taxonomy at every compression level.
+// These produce the series plotted in Figures 2, 4 and 5 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "compress/finetune.h"
+#include "core/transfer.h"
+
+namespace con::core {
+
+// One pruned model per density in `densities` (Fig. 2 x-axis), each
+// fine-tuned with dynamic network surgery. `one_shot` switches to the
+// Han-style ablation.
+std::vector<nn::Sequential> build_pruned_family(
+    const nn::Sequential& baseline, const data::Dataset& train,
+    const std::vector<double>& densities,
+    const compress::FineTuneConfig& finetune, bool one_shot = false);
+
+// One quantised model per bitwidth in `bitwidths` (Fig. 5 x-axis), each
+// fine-tuned quantisation-aware. `quantize_activations=false` is the
+// weight-only ablation for the §4.2 activation-clipping claim.
+std::vector<nn::Sequential> build_quantized_family(
+    const nn::Sequential& baseline, const data::Dataset& train,
+    const std::vector<int>& bitwidths,
+    const compress::FineTuneConfig& finetune,
+    bool quantize_activations = true);
+
+// Scenario accuracies for every member of a compressed family under one
+// attack. Output order matches the family order.
+std::vector<ScenarioPoint> sweep_scenarios(
+    nn::Sequential& baseline, std::vector<nn::Sequential>& family,
+    attacks::AttackKind attack, const attacks::AttackParams& params,
+    const data::Dataset& eval_set);
+
+// The paper's default sweep grids.
+std::vector<double> paper_density_grid();
+std::vector<int> paper_bitwidth_grid();
+
+// "Preferred density" (§4.1): the smallest density whose clean accuracy is
+// still within `tolerance` of the dense model's accuracy — the point where
+// the network stops overfitting and the cyan line peaks. `densities` and
+// `base_accuracies` are parallel arrays; densities need not be sorted.
+double preferred_density(const std::vector<double>& densities,
+                         const std::vector<double>& base_accuracies,
+                         double dense_accuracy, double tolerance = 0.02);
+
+}  // namespace con::core

@@ -1,0 +1,43 @@
+// Transfer evaluation: generate adversarial samples on a source model and
+// measure classification accuracy on a target model — the measurement at
+// the heart of the study.
+#pragma once
+
+#include "attacks/attack.h"
+#include "core/scenario.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace con::core {
+
+// Accuracy of `target` on adversarial samples crafted against `source` from
+// `eval_set` (white-box on source). source == target gives the self-attack
+// (Scenario 1) number.
+double adversarial_accuracy(nn::Sequential& source, nn::Sequential& target,
+                            attacks::AttackKind attack,
+                            const attacks::AttackParams& params,
+                            const data::Dataset& eval_set);
+
+// All three scenario accuracies for one (baseline, compressed) pair plus
+// the compressed model's clean accuracy — one point of a Figure 2/5 panel.
+struct ScenarioPoint {
+  double base_accuracy = 0.0;   // compressed model, no attack (blue line)
+  double comp_to_comp = 0.0;    // scenario 1 (green line)
+  double full_to_comp = 0.0;    // scenario 2 (cyan line)
+  double comp_to_full = 0.0;    // scenario 3 (red line)
+};
+
+ScenarioPoint evaluate_scenarios(nn::Sequential& baseline,
+                                 nn::Sequential& compressed,
+                                 attacks::AttackKind attack,
+                                 const attacks::AttackParams& params,
+                                 const data::Dataset& eval_set);
+
+// Transfer rate as used for the §3.3 cross-initialisation check: of the
+// samples that fool `source`, the fraction that also fool `target`.
+double transfer_rate(nn::Sequential& source, nn::Sequential& target,
+                     attacks::AttackKind attack,
+                     const attacks::AttackParams& params,
+                     const data::Dataset& eval_set);
+
+}  // namespace con::core

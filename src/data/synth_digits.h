@@ -1,0 +1,44 @@
+// SynthDigits: procedural 28x28 grayscale digit dataset (MNIST stand-in).
+//
+// The offline reproduction host has no MNIST files, so we synthesize a
+// ten-class digit dataset: each sample renders a 5x7 bitmap-font glyph of
+// its class through a random affine transform (translation, anisotropic
+// scale, rotation, shear) with stroke-intensity jitter, background noise and
+// a light blur. The classes are visually distinct but have enough
+// intra-class variation that a CNN must genuinely learn — LeNet5 does not
+// reach 100% trivially — which is what the transferability study needs: a
+// trained network with a non-degenerate loss surface.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace con::data {
+
+struct SynthDigitsConfig {
+  Index train_size = 4000;
+  Index test_size = 1000;
+  std::uint64_t seed = 0xd161;
+  // Augmentation ranges (all sampled uniformly).
+  float max_shift = 2.5f;       // pixels
+  float max_rotation = 0.25f;   // radians
+  float min_scale = 0.85f;
+  float max_scale = 1.15f;
+  float max_shear = 0.15f;
+  float noise_stddev = 0.08f;
+};
+
+// Renders a single digit image [1, 28, 28] for class `digit` using the
+// given RNG. Exposed for tests and visualisation examples.
+Tensor render_digit(int digit, con::util::Rng& rng,
+                    const SynthDigitsConfig& config);
+
+// Builds balanced train/test splits. Deterministic in config.seed.
+TrainTestSplit make_synth_digits(const SynthDigitsConfig& config = {});
+
+inline constexpr int kDigitClasses = 10;
+inline constexpr Index kDigitImageSize = 28;
+
+}  // namespace con::data

@@ -1,0 +1,37 @@
+// SynthObjects: procedural 32x32 RGB object dataset (CIFAR-10 stand-in).
+//
+// Ten classes of parametric textured shapes — each class has a distinct
+// geometry/texture family, while colour, position, size, orientation and
+// noise vary per sample. The dataset forces a CifarNet-scale CNN to learn
+// shape and texture features (colour alone does not identify a class), so
+// the trained model has the non-trivial decision boundaries the
+// adversarial-transferability study probes.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace con::data {
+
+struct SynthObjectsConfig {
+  Index train_size = 4000;
+  Index test_size = 1000;
+  std::uint64_t seed = 0xc1fa;
+  float noise_stddev = 0.06f;
+};
+
+// Classes:
+//  0 disc        1 square       2 triangle      3 horizontal stripes
+//  4 vertical stripes  5 checkerboard  6 radial gradient  7 annulus (ring)
+//  8 plus/cross  9 diagonal stripes
+Tensor render_object(int cls, con::util::Rng& rng,
+                     const SynthObjectsConfig& config);
+
+TrainTestSplit make_synth_objects(const SynthObjectsConfig& config = {});
+
+inline constexpr int kObjectClasses = 10;
+inline constexpr Index kObjectImageSize = 32;
+
+}  // namespace con::data

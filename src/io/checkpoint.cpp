@@ -1,0 +1,215 @@
+#include "io/checkpoint.h"
+
+#include "compress/clustering.h"
+#include "compress/fixed_point.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace con::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'O', 'N', 'M'};
+constexpr std::uint32_t kVersion = 2;
+
+void write_bytes(std::ofstream& f, const void* data, std::size_t n) {
+  f.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+void read_bytes(std::ifstream& f, void* data, std::size_t n) {
+  f.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (!f) throw std::runtime_error("checkpoint: unexpected end of file");
+}
+
+template <typename T>
+void write_pod(std::ofstream& f, T v) {
+  write_bytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T v;
+  read_bytes(f, &v, sizeof(T));
+  return v;
+}
+
+void write_string(std::ofstream& f, const std::string& s) {
+  write_pod<std::uint64_t>(f, s.size());
+  write_bytes(f, s.data(), s.size());
+}
+
+std::string read_string(std::ifstream& f) {
+  const auto n = read_pod<std::uint64_t>(f);
+  if (n > (1u << 20)) throw std::runtime_error("checkpoint: string too long");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  read_bytes(f, s.data(), s.size());
+  return s;
+}
+
+void write_tensor_body(std::ofstream& f, const tensor::Tensor& t) {
+  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(t.rank()));
+  for (tensor::Index d : t.shape().dims()) write_pod<std::int64_t>(f, d);
+  write_bytes(f, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+tensor::Tensor read_tensor_body(std::ifstream& f) {
+  const auto rank = read_pod<std::uint32_t>(f);
+  if (rank > 8) throw std::runtime_error("checkpoint: implausible rank");
+  std::vector<tensor::Index> dims(rank);
+  for (auto& d : dims) {
+    d = read_pod<std::int64_t>(f);
+    if (d < 0 || d > (1 << 28)) {
+      throw std::runtime_error("checkpoint: implausible dimension");
+    }
+  }
+  tensor::Tensor t{tensor::Shape{std::move(dims)}};
+  read_bytes(f, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  return t;
+}
+
+}  // namespace
+
+void save_model(nn::Sequential& model, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_bytes(f, kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(f, kVersion);
+  write_string(f, model.name());
+  const auto params = model.parameters();
+  write_pod<std::uint64_t>(f, params.size());
+  for (nn::Parameter* p : params) {
+    write_string(f, p->name);
+    write_tensor_body(f, p->value);
+    write_pod<std::uint8_t>(f, p->has_mask() ? 1 : 0);
+    if (p->has_mask()) write_tensor_body(f, p->mask);
+    // transform record (version 2)
+    if (const auto* fp =
+            dynamic_cast<const compress::FixedPointWeightTransform*>(
+                p->transform.get())) {
+      write_pod<std::uint8_t>(f, 1);
+      write_pod<std::int32_t>(f, fp->format().total_bits);
+      write_pod<std::int32_t>(f, fp->format().integer_bits);
+    } else if (const auto* cl =
+                   dynamic_cast<const compress::ClusterWeightTransform*>(
+                       p->transform.get())) {
+      write_pod<std::uint8_t>(f, 2);
+      write_pod<std::int32_t>(f, cl->bits());
+      write_pod<std::uint64_t>(f, cl->centroids().size());
+      for (float c : cl->centroids()) write_pod<float>(f, c);
+    } else {
+      if (p->transform != nullptr) {
+        throw std::runtime_error(
+            "save_model: parameter " + p->name +
+            " carries an unserializable weight transform");
+      }
+      write_pod<std::uint8_t>(f, 0);
+    }
+  }
+  if (!f) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_model_into(nn::Sequential& model, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  char magic[4];
+  read_bytes(f, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error(path + " is not a model checkpoint");
+  }
+  const auto version = read_pod<std::uint32_t>(f);
+  if (version != 1 && version != kVersion) {
+    throw std::runtime_error("unsupported checkpoint version");
+  }
+  read_string(f);  // stored model name is informational
+  const auto count = read_pod<std::uint64_t>(f);
+  const auto params = model.parameters();
+  if (count != params.size()) {
+    throw std::runtime_error("checkpoint parameter count mismatch: file has " +
+                             std::to_string(count) + ", model has " +
+                             std::to_string(params.size()));
+  }
+  for (nn::Parameter* p : params) {
+    const std::string name = read_string(f);
+    if (name != p->name) {
+      throw std::runtime_error("checkpoint parameter order mismatch: " + name +
+                               " vs " + p->name);
+    }
+    tensor::Tensor value = read_tensor_body(f);
+    if (value.shape() != p->value.shape()) {
+      throw std::runtime_error("checkpoint shape mismatch for " + name);
+    }
+    p->value = std::move(value);
+    const auto has_mask = read_pod<std::uint8_t>(f);
+    if (has_mask) {
+      tensor::Tensor mask = read_tensor_body(f);
+      if (mask.shape() != p->value.shape()) {
+        throw std::runtime_error("checkpoint mask shape mismatch for " + name);
+      }
+      p->mask = std::move(mask);
+    } else {
+      p->mask = tensor::Tensor();
+    }
+    p->transform.reset();
+    if (version >= 2) {
+      const auto kind = read_pod<std::uint8_t>(f);
+      if (kind == 1) {
+        compress::FixedPointFormat fmt;
+        fmt.total_bits = read_pod<std::int32_t>(f);
+        fmt.integer_bits = read_pod<std::int32_t>(f);
+        if (fmt.total_bits < 2 || fmt.total_bits > 64 ||
+            fmt.integer_bits < 1 || fmt.integer_bits >= fmt.total_bits) {
+          throw std::runtime_error("checkpoint: bad fixed-point record");
+        }
+        p->transform =
+            std::make_shared<const compress::FixedPointWeightTransform>(fmt);
+      } else if (kind == 2) {
+        const auto bits = read_pod<std::int32_t>(f);
+        const auto k = read_pod<std::uint64_t>(f);
+        if (bits < 1 || bits > 16 || k == 0 || k > (1u << 17)) {
+          throw std::runtime_error("checkpoint: bad clustering record");
+        }
+        std::vector<float> centroids(static_cast<std::size_t>(k));
+        for (float& c : centroids) c = read_pod<float>(f);
+        p->transform =
+            std::make_shared<const compress::ClusterWeightTransform>(
+                std::move(centroids), bits);
+      } else if (kind != 0) {
+        throw std::runtime_error("checkpoint: unknown transform kind");
+      }
+    }
+  }
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+void save_tensor(const tensor::Tensor& t, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_tensor_body(f, t);
+  if (!f) throw std::runtime_error("tensor write failed for " + path);
+}
+
+tensor::Tensor load_tensor(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_tensor_body(f);
+}
+
+std::string artifacts_dir() {
+  const char* env = std::getenv("CON_ARTIFACTS_DIR");
+  std::string dir = env != nullptr ? env : "artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw std::runtime_error("cannot create artifacts dir " + dir);
+  return dir;
+}
+
+}  // namespace con::io

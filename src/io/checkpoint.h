@@ -1,0 +1,47 @@
+// Binary checkpoint format for model parameters and pruning masks.
+//
+// Training is the expensive step of the study on a CPU host, so sweeps
+// train each model once and benches re-load the artifacts. The format
+// stores named parameter tensors (values + optional masks); architecture is
+// reconstructed by the model builders, and loading validates that names and
+// shapes line up.
+//
+// Layout (little-endian), version 2:
+//   magic "CONM" | u32 version | u64 name_len | name bytes
+//   u64 param_count
+//   per parameter:
+//     u64 name_len | name | u32 rank | i64 dims[rank] | f32 data[numel]
+//     u8 has_mask | (f32 mask[numel] if has_mask)
+//     u8 transform_kind | transform payload
+//       kind 0: none
+//       kind 1: fixed-point  (i32 total_bits | i32 integer_bits)
+//       kind 2: clustering   (i32 bits | u64 k | f32 centroids[k])
+// Version-1 files (no transform records) still load; their parameters get
+// no transform.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace con::io {
+
+void save_model(nn::Sequential& model, const std::string& path);
+
+// Loads parameter values/masks into an already-built `model`. Throws if the
+// checkpoint's parameter names or shapes do not match the model.
+void load_model_into(nn::Sequential& model, const std::string& path);
+
+bool file_exists(const std::string& path);
+
+// Standalone tensor serialization (used for cached datasets/analysis).
+void save_tensor(const tensor::Tensor& t, const std::string& path);
+tensor::Tensor load_tensor(const std::string& path);
+
+// Directory where examples/benches cache trained models; created on first
+// use. Defaults to "artifacts" under the current working directory, or
+// $CON_ARTIFACTS_DIR when set.
+std::string artifacts_dir();
+
+}  // namespace con::io

@@ -1,0 +1,150 @@
+#include "models/model_zoo.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/reshape.h"
+#include "util/rng.h"
+
+namespace con::models {
+
+using nn::Conv2d;
+using nn::Conv2dSpec;
+using nn::Dropout;
+using nn::Flatten;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::Sequential;
+using util::Rng;
+
+Sequential make_lenet5(std::uint64_t seed, bool paper_width) {
+  Rng rng(seed, "lenet5-init");
+  Sequential m("lenet5");
+  if (paper_width) {
+    // Caffe-style LeNet: 431,080 parameters, matching the paper's "431K".
+    m.emplace<Conv2d>(Conv2dSpec{.in_channels = 1, .out_channels = 20,
+                                 .kernel = 5},
+                      rng, "conv1");
+    m.emplace<ReLU>("relu1");
+    m.emplace<MaxPool2d>(2, 2, "pool1");
+    m.emplace<Conv2d>(Conv2dSpec{.in_channels = 20, .out_channels = 50,
+                                 .kernel = 5},
+                      rng, "conv2");
+    m.emplace<ReLU>("relu2");
+    m.emplace<MaxPool2d>(2, 2, "pool2");
+    m.emplace<Flatten>("flatten");
+    m.emplace<Linear>(50 * 4 * 4, 500, rng, "fc1");
+    m.emplace<ReLU>("relu3");
+    m.emplace<Linear>(500, 10, rng, "fc2");
+  } else {
+    // The classic 61.7K-parameter LeNet5.
+    m.emplace<Conv2d>(Conv2dSpec{.in_channels = 1, .out_channels = 6,
+                                 .kernel = 5, .padding = 2},
+                      rng, "conv1");
+    m.emplace<ReLU>("relu1");
+    m.emplace<MaxPool2d>(2, 2, "pool1");
+    m.emplace<Conv2d>(Conv2dSpec{.in_channels = 6, .out_channels = 16,
+                                 .kernel = 5},
+                      rng, "conv2");
+    m.emplace<ReLU>("relu2");
+    m.emplace<MaxPool2d>(2, 2, "pool2");
+    m.emplace<Flatten>("flatten");
+    m.emplace<Linear>(16 * 5 * 5, 120, rng, "fc1");
+    m.emplace<ReLU>("relu3");
+    m.emplace<Linear>(120, 84, rng, "fc2");
+    m.emplace<ReLU>("relu4");
+    m.emplace<Linear>(84, 10, rng, "fc3");
+  }
+  return m;
+}
+
+Sequential make_cifarnet(std::uint64_t seed) {
+  Rng rng(seed, "cifarnet-init");
+  Sequential m("cifarnet");
+  // VGG-style stack, 1,297,678 parameters (paper quotes 1.3M).
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 3, .out_channels = 32,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv1a");
+  m.emplace<ReLU>("relu1a");
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 32, .out_channels = 32,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv1b");
+  m.emplace<ReLU>("relu1b");
+  m.emplace<MaxPool2d>(2, 2, "pool1");
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 32, .out_channels = 64,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv2a");
+  m.emplace<ReLU>("relu2a");
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 64, .out_channels = 64,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv2b");
+  m.emplace<ReLU>("relu2b");
+  m.emplace<MaxPool2d>(2, 2, "pool2");
+  m.emplace<Flatten>("flatten");
+  m.emplace<Linear>(64 * 8 * 8, 300, rng, "fc1");
+  m.emplace<ReLU>("relu3");
+  m.emplace<Dropout>(0.3, seed ^ 0xd20ULL, "dropout");
+  m.emplace<Linear>(300, 10, rng, "fc2");
+  return m;
+}
+
+Sequential make_lenet5_small(std::uint64_t seed) {
+  Rng rng(seed, "lenet5-small-init");
+  Sequential m("lenet5-small");
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 1, .out_channels = 4,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv1");
+  m.emplace<ReLU>("relu1");
+  m.emplace<MaxPool2d>(2, 2, "pool1");
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 4, .out_channels = 8,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv2");
+  m.emplace<ReLU>("relu2");
+  m.emplace<MaxPool2d>(2, 2, "pool2");
+  m.emplace<Flatten>("flatten");
+  m.emplace<Linear>(8 * 7 * 7, 32, rng, "fc1");
+  m.emplace<ReLU>("relu3");
+  m.emplace<Linear>(32, 10, rng, "fc2");
+  return m;
+}
+
+Sequential make_cifarnet_small(std::uint64_t seed) {
+  Rng rng(seed, "cifarnet-small-init");
+  Sequential m("cifarnet-small");
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 3, .out_channels = 8,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv1");
+  m.emplace<ReLU>("relu1");
+  m.emplace<MaxPool2d>(2, 2, "pool1");
+  m.emplace<Conv2d>(Conv2dSpec{.in_channels = 8, .out_channels = 16,
+                               .kernel = 3, .padding = 1},
+                    rng, "conv2");
+  m.emplace<ReLU>("relu2");
+  m.emplace<MaxPool2d>(2, 2, "pool2");
+  m.emplace<Flatten>("flatten");
+  m.emplace<Linear>(16 * 8 * 8, 64, rng, "fc1");
+  m.emplace<ReLU>("relu3");
+  m.emplace<Linear>(64, 10, rng, "fc2");
+  return m;
+}
+
+Sequential make_model(const std::string& name, std::uint64_t seed) {
+  if (name == "lenet5") return make_lenet5(seed);
+  if (name == "lenet5-classic") return make_lenet5(seed, /*paper_width=*/false);
+  if (name == "cifarnet") return make_cifarnet(seed);
+  if (name == "lenet5-small") return make_lenet5_small(seed);
+  if (name == "cifarnet-small") return make_cifarnet_small(seed);
+  throw std::invalid_argument("unknown model name: " + name);
+}
+
+InputSpec input_spec(const std::string& name) {
+  if (name.rfind("lenet5", 0) == 0) return InputSpec{1, 28, 28};
+  if (name.rfind("cifarnet", 0) == 0) return InputSpec{3, 32, 32};
+  throw std::invalid_argument("unknown model name: " + name);
+}
+
+}  // namespace con::models

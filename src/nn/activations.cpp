@@ -1,0 +1,50 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace con::nn {
+
+using tensor::Index;
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (float& v : y.flat()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (grad_out.shape() != cached_input_.shape()) {
+    throw std::invalid_argument(name_ + ": grad shape mismatch");
+  }
+  Tensor gx = grad_out;
+  const float* in = cached_input_.data();
+  float* g = gx.data();
+  const Index n = gx.numel();
+  for (Index i = 0; i < n; ++i) {
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return gx;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
+  Tensor y = x;
+  for (float& v : y.flat()) v = std::tanh(v);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  if (grad_out.shape() != cached_output_.shape()) {
+    throw std::invalid_argument(name_ + ": grad shape mismatch");
+  }
+  Tensor gx = grad_out;
+  const float* y = cached_output_.data();
+  float* g = gx.data();
+  const Index n = gx.numel();
+  for (Index i = 0; i < n; ++i) g[i] *= 1.0f - y[i] * y[i];
+  return gx;
+}
+
+}  // namespace con::nn

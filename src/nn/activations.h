@@ -1,0 +1,43 @@
+// Pointwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace con::nn {
+
+class ReLU : public Layer {
+ public:
+  explicit ReLU(std::string layer_name = "relu") : name_(std::move(layer_name)) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(name_);
+  }
+
+ private:
+  std::string name_;
+  Tensor cached_input_;
+};
+
+// tanh activation — LeNet5's classic nonlinearity is kept available even
+// though the study's models use ReLU, so alternative architectures can be
+// expressed.
+class Tanh : public Layer {
+ public:
+  explicit Tanh(std::string layer_name = "tanh") : name_(std::move(layer_name)) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Tanh>(name_);
+  }
+
+ private:
+  std::string name_;
+  Tensor cached_output_;
+};
+
+}  // namespace con::nn

@@ -1,0 +1,51 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace con::nn {
+
+using tensor::Index;
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float lr = config_.learning_rate;
+  const float b1 = config_.beta1, b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    const Index n = p.value.numel();
+    if (p.grad.numel() != n) {
+      throw std::logic_error("Adam: grad size mismatch for " + p.name);
+    }
+    const bool gated = !p.grad_gate.empty();
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    const float* gate = gated ? p.grad_gate.data() : nullptr;
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (Index j = 0; j < n; ++j) {
+      float gj = g[j];
+      if (gate) gj *= gate[j];
+      if (config_.weight_decay != 0.0f) gj += config_.weight_decay * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * gj;
+      v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      w[j] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+    }
+  }
+}
+
+}  // namespace con::nn

@@ -1,0 +1,38 @@
+// Adam optimizer (Kingma & Ba), provided alongside SGD: compressed-model
+// fine-tuning in the wild frequently uses Adam, and having a second
+// optimizer exercises the Parameter/grad_gate seam from another direction.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace con::nn {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config);
+
+  // Respects grad_gate (saturating STE) exactly like Sgd::step.
+  void step();
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  AdamConfig config_;
+  long t_ = 0;
+};
+
+}  // namespace con::nn

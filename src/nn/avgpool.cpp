@@ -1,0 +1,84 @@
+#include "nn/avgpool.h"
+
+#include <stdexcept>
+
+namespace con::nn {
+
+using tensor::Index;
+
+AvgPool2d::AvgPool2d(Index window, Index stride, std::string layer_name)
+    : window_(window), stride_(stride), name_(std::move(layer_name)) {
+  if (window <= 0 || stride <= 0) {
+    throw std::invalid_argument(name_ + ": invalid pooling spec");
+  }
+}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4) {
+    throw std::invalid_argument(name_ + ": expected NCHW input");
+  }
+  const Index n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const Index oh = (h - window_) / stride_ + 1;
+  const Index ow = (w - window_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument(name_ + ": input too small for window");
+  }
+  cached_in_shape_ = x.shape();
+  Tensor y({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  const float* in = x.data();
+  float* out = y.data();
+  Index o = 0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index ch = 0; ch < c; ++ch) {
+      const float* plane = in + (i * c + ch) * h * w;
+      for (Index py = 0; py < oh; ++py) {
+        for (Index px = 0; px < ow; ++px, ++o) {
+          double acc = 0.0;
+          for (Index dy = 0; dy < window_; ++dy) {
+            const Index yy = py * stride_ + dy;
+            for (Index dx = 0; dx < window_; ++dx) {
+              acc += plane[yy * w + px * stride_ + dx];
+            }
+          }
+          out[o] = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  const Index n = cached_in_shape_.dim(0), c = cached_in_shape_.dim(1),
+              h = cached_in_shape_.dim(2), w = cached_in_shape_.dim(3);
+  const Index oh = (h - window_) / stride_ + 1;
+  const Index ow = (w - window_) / stride_ + 1;
+  if (grad_out.numel() != n * c * oh * ow) {
+    throw std::invalid_argument(name_ + ": grad size mismatch");
+  }
+  Tensor gx(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  const float* go = grad_out.data();
+  float* g = gx.data();
+  Index o = 0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index ch = 0; ch < c; ++ch) {
+      float* plane = g + (i * c + ch) * h * w;
+      for (Index py = 0; py < oh; ++py) {
+        for (Index px = 0; px < ow; ++px, ++o) {
+          const float share = go[o] * inv;
+          for (Index dy = 0; dy < window_; ++dy) {
+            const Index yy = py * stride_ + dy;
+            for (Index dx = 0; dx < window_; ++dx) {
+              plane[yy * w + px * stride_ + dx] += share;
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace con::nn

@@ -1,0 +1,28 @@
+// Average pooling over NCHW batches (LeNet5's original subsampling layer
+// used averaging; provided alongside MaxPool2d for architecture fidelity).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace con::nn {
+
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(tensor::Index window, tensor::Index stride,
+            std::string layer_name = "avgpool");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<AvgPool2d>(window_, stride_, name_);
+  }
+
+ private:
+  tensor::Index window_;
+  tensor::Index stride_;
+  std::string name_;
+  tensor::Shape cached_in_shape_;
+};
+
+}  // namespace con::nn

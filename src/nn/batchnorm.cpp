@@ -1,0 +1,138 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace con::nn {
+
+using tensor::Index;
+
+BatchNorm2d::BatchNorm2d(Index channels, float momentum, float epsilon,
+                         std::string layer_name)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      name_(std::move(layer_name)),
+      gamma_(name_ + ".gamma", Tensor({channels}, 1.0f)),
+      beta_(name_ + ".beta", Tensor({channels})),
+      running_mean_({channels}),
+      running_var_(Tensor({channels}, 1.0f)) {
+  if (channels <= 0) throw std::invalid_argument(name_ + ": bad channels");
+  // Scale/shift are tiny and structural — never prune or quantise them.
+  gamma_.compressible = false;
+  beta_.compressible = false;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument(name_ + ": expected [N, C, H, W] input");
+  }
+  const Index n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const Index plane = h * w;
+  const Index per_channel = n * plane;
+  cached_shape_ = x.shape();
+  cached_train_ = train;
+
+  Tensor mean({channels_});
+  Tensor var({channels_});
+  if (train) {
+    for (Index c = 0; c < channels_; ++c) {
+      double acc = 0.0;
+      for (Index i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (Index j = 0; j < plane; ++j) acc += p[j];
+      }
+      mean[c] = static_cast<float>(acc / per_channel);
+      double vacc = 0.0;
+      for (Index i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (Index j = 0; j < plane; ++j) {
+          const double d = p[j] - mean[c];
+          vacc += d * d;
+        }
+      }
+      var[c] = static_cast<float>(vacc / per_channel);
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  cached_inv_std_ = Tensor({channels_});
+  for (Index c = 0; c < channels_; ++c) {
+    cached_inv_std_[c] = 1.0f / std::sqrt(var[c] + epsilon_);
+  }
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  for (Index i = 0; i < n; ++i) {
+    for (Index c = 0; c < channels_; ++c) {
+      const float* p = x.data() + (i * channels_ + c) * plane;
+      float* xh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      float* yo = y.data() + (i * channels_ + c) * plane;
+      const float m = mean[c], is = cached_inv_std_[c];
+      const float g = gamma_.value[c], b = beta_.value[c];
+      for (Index j = 0; j < plane; ++j) {
+        xh[j] = (p[j] - m) * is;
+        yo[j] = g * xh[j] + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (grad_out.shape() != cached_shape_) {
+    throw std::invalid_argument(name_ + ": grad shape mismatch");
+  }
+  const Index n = cached_shape_.dim(0), h = cached_shape_.dim(2),
+              w = cached_shape_.dim(3);
+  const Index plane = h * w;
+  const auto m = static_cast<double>(n * plane);
+
+  Tensor gx(cached_shape_);
+  for (Index c = 0; c < channels_; ++c) {
+    // accumulate dgamma, dbeta and the two correction sums
+    double dgamma = 0.0, dbeta = 0.0, sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const float* dy = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      for (Index j = 0; j < plane; ++j) {
+        dgamma += static_cast<double>(dy[j]) * xh[j];
+        dbeta += dy[j];
+      }
+    }
+    sum_dy = dbeta;
+    sum_dy_xhat = dgamma;
+    gamma_.grad[c] += static_cast<float>(dgamma);
+    beta_.grad[c] += static_cast<float>(dbeta);
+
+    const float g = gamma_.value[c];
+    const float is = cached_inv_std_[c];
+    for (Index i = 0; i < n; ++i) {
+      const float* dy = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      float* gxp = gx.data() + (i * channels_ + c) * plane;
+      for (Index j = 0; j < plane; ++j) {
+        if (cached_train_) {
+          gxp[j] = static_cast<float>(
+              g * is *
+              (dy[j] - sum_dy / m - xh[j] * sum_dy_xhat / m));
+        } else {
+          // eval mode: running stats are constants
+          gxp[j] = g * is * dy[j];
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+std::unique_ptr<Layer> BatchNorm2d::clone() const {
+  return std::unique_ptr<Layer>(new BatchNorm2d(*this));
+}
+
+}  // namespace con::nn

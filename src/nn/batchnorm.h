@@ -1,0 +1,45 @@
+// Batch normalization over NCHW feature maps.
+//
+// Not used by the paper's two networks, but a required piece of a usable
+// CNN framework (and of most CifarNet-class models in the wild); provided
+// so alternative architectures can be expressed and compressed.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace con::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(tensor::Index channels, float momentum = 0.1f,
+              float epsilon = 1e-5f, std::string layer_name = "bn");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  BatchNorm2d(const BatchNorm2d&) = default;
+
+  tensor::Index channels_;
+  float momentum_;
+  float epsilon_;
+  std::string name_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // forward caches for backward
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // per channel
+  tensor::Shape cached_shape_;
+  bool cached_train_ = false;
+};
+
+}  // namespace con::nn

@@ -1,0 +1,112 @@
+#include "nn/conv2d.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/random.h"
+
+namespace con::nn {
+
+using tensor::Index;
+using tensor::Tensor;
+
+Conv2d::Conv2d(const Conv2dSpec& spec, con::util::Rng& rng,
+               std::string layer_name)
+    : spec_(spec),
+      name_(std::move(layer_name)),
+      weight_(name_ + ".weight",
+              Tensor({spec.out_channels,
+                      spec.in_channels * spec.kernel * spec.kernel})),
+      bias_(name_ + ".bias", Tensor({spec.out_channels})) {
+  if (spec.in_channels <= 0 || spec.out_channels <= 0 || spec.kernel <= 0) {
+    throw std::invalid_argument(name_ + ": invalid conv spec");
+  }
+  tensor::fill_kaiming_normal(weight_.value, rng,
+                              spec.in_channels * spec.kernel * spec.kernel);
+  bias_.compressible = false;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4 || x.dim(1) != spec_.in_channels) {
+    throw std::invalid_argument(name_ + ": expected input [N, " +
+                                std::to_string(spec_.in_channels) +
+                                ", H, W], got " + x.shape().to_string());
+  }
+  const Index n = x.dim(0);
+  geom_ = tensor::Conv2dGeometry{
+      .in_channels = spec_.in_channels,
+      .in_h = x.dim(2),
+      .in_w = x.dim(3),
+      .kernel_h = spec_.kernel,
+      .kernel_w = spec_.kernel,
+      .stride = spec_.stride,
+      .padding = spec_.padding,
+  };
+  const Index oh = geom_.out_h(), ow = geom_.out_w();
+  cached_effective_ = weight_.effective();
+  cached_columns_.assign(static_cast<std::size_t>(n), Tensor());
+  cached_batch_ = n;
+
+  Tensor y({n, spec_.out_channels, oh, ow});
+  const Index plane = oh * ow;
+  const float* bd = bias_.value.data();
+  for (Index i = 0; i < n; ++i) {
+    Tensor image = tensor::slice_batch(x, i);
+    cached_columns_[static_cast<std::size_t>(i)] = tensor::im2col(image, geom_);
+    // out[outC, oh*ow] = W[outC, C*k*k] * cols[C*k*k, oh*ow]
+    Tensor out = tensor::matmul(cached_effective_,
+                                cached_columns_[static_cast<std::size_t>(i)]);
+    float* od = out.data();
+    for (Index c = 0; c < spec_.out_channels; ++c) {
+      const float b = bd[c];
+      for (Index p = 0; p < plane; ++p) od[c * plane + p] += b;
+    }
+    std::memcpy(y.data() + i * spec_.out_channels * plane, out.data(),
+                static_cast<std::size_t>(spec_.out_channels * plane) *
+                    sizeof(float));
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Index n = cached_batch_;
+  const Index oh = geom_.out_h(), ow = geom_.out_w();
+  const Index plane = oh * ow;
+  if (grad_out.rank() != 4 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != spec_.out_channels || grad_out.dim(2) != oh ||
+      grad_out.dim(3) != ow) {
+    throw std::invalid_argument(name_ + ": bad grad_out shape " +
+                                grad_out.shape().to_string());
+  }
+  Tensor grad_in({n, spec_.in_channels, geom_.in_h, geom_.in_w});
+  float* bg = bias_.grad.data();
+  for (Index i = 0; i < n; ++i) {
+    // View this sample's output gradient as a [outC, oh*ow] matrix.
+    Tensor go({spec_.out_channels, plane});
+    std::memcpy(go.data(), grad_out.data() + i * spec_.out_channels * plane,
+                static_cast<std::size_t>(spec_.out_channels * plane) *
+                    sizeof(float));
+    const Tensor& cols = cached_columns_[static_cast<std::size_t>(i)];
+    // dW += go[outC, P] * cols[CKK, P]^T
+    Tensor dw = tensor::matmul_nt(go, cols);
+    tensor::add_inplace(weight_.grad, dw);
+    // db += row sums of go
+    const float* god = go.data();
+    for (Index c = 0; c < spec_.out_channels; ++c) {
+      double acc = 0.0;
+      for (Index p = 0; p < plane; ++p) acc += god[c * plane + p];
+      bg[c] += static_cast<float>(acc);
+    }
+    // dcols[CKK, P] = W^T * go
+    Tensor dcols = tensor::matmul_tn(cached_effective_, go);
+    Tensor dimage = tensor::col2im(dcols, geom_);
+    tensor::set_batch(grad_in, i, dimage);
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  return std::unique_ptr<Layer>(new Conv2d(*this));
+}
+
+}  // namespace con::nn

@@ -1,0 +1,48 @@
+// 2-D convolution over NCHW batches, implemented via im2col + matmul.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace con::nn {
+
+struct Conv2dSpec {
+  tensor::Index in_channels = 0;
+  tensor::Index out_channels = 0;
+  tensor::Index kernel = 0;  // square kernels only, as in LeNet5/CifarNet
+  tensor::Index stride = 1;
+  tensor::Index padding = 0;
+};
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(const Conv2dSpec& spec, con::util::Rng& rng,
+         std::string layer_name = "conv");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override;
+
+  const Conv2dSpec& spec() const { return spec_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Conv2d(const Conv2d&) = default;
+
+  Conv2dSpec spec_;
+  std::string name_;
+  // weight stored as [out_channels, in_channels * k * k] for the matmul.
+  Parameter weight_;
+  Parameter bias_;
+
+  tensor::Conv2dGeometry geom_;          // set per forward from input shape
+  std::vector<Tensor> cached_columns_;   // per-sample im2col matrices
+  Tensor cached_effective_;
+  tensor::Index cached_batch_ = 0;
+};
+
+}  // namespace con::nn

@@ -1,0 +1,40 @@
+// Layer abstraction for feed-forward networks.
+//
+// Layers cache whatever forward state their backward pass needs; backward
+// returns the gradient with respect to the layer input (this is what lets
+// attacks compute ∇ₓJ by chaining backward all the way to the image) and
+// accumulates parameter gradients into Parameter::grad.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace con::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // `train` enables train-only behaviour (dropout); forward always caches
+  // enough state for a subsequent backward, because attacks differentiate
+  // through models in eval mode.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // grad_out: gradient of the loss w.r.t. this layer's output. Returns the
+  // gradient w.r.t. this layer's input; accumulates into parameter grads.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  // Deep copy, including parameter values, masks and transforms. Used to
+  // derive compressed model variants from a trained baseline.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace con::nn

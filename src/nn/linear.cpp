@@ -1,0 +1,66 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace con::nn {
+
+using tensor::Index;
+
+Linear::Linear(Index in_features, Index out_features, con::util::Rng& rng,
+               std::string layer_name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      name_(std::move(layer_name)),
+      weight_(name_ + ".weight", Tensor({out_features, in_features})),
+      bias_(name_ + ".bias", Tensor({out_features})) {
+  tensor::fill_kaiming_normal(weight_.value, rng, in_features);
+  bias_.compressible = false;
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    throw std::invalid_argument(name_ + ": expected input [N, " +
+                                std::to_string(in_features_) + "], got " +
+                                x.shape().to_string());
+  }
+  cached_input_ = x;
+  cached_effective_ = weight_.effective();
+  // y[N, out] = x[N, in] * W[out, in]^T
+  Tensor y = tensor::matmul_nt(x, cached_effective_);
+  const Index n = y.dim(0);
+  float* yd = y.data();
+  const float* bd = bias_.value.data();
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < out_features_; ++j) yd[i * out_features_ + j] += bd[j];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (grad_out.rank() != 2 || grad_out.dim(1) != out_features_ ||
+      grad_out.dim(0) != cached_input_.dim(0)) {
+    throw std::invalid_argument(name_ + ": bad grad_out shape " +
+                                grad_out.shape().to_string());
+  }
+  // dW[out, in] = grad_out[N, out]^T * x[N, in]
+  Tensor dw = tensor::matmul_tn(grad_out, cached_input_);
+  tensor::add_inplace(weight_.grad, dw);
+  // db[out] = column sums of grad_out
+  const Index n = grad_out.dim(0);
+  const float* gd = grad_out.data();
+  float* bd = bias_.grad.data();
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < out_features_; ++j) bd[j] += gd[i * out_features_ + j];
+  }
+  // dx[N, in] = grad_out[N, out] * W[out, in]
+  return tensor::matmul(grad_out, cached_effective_);
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  return std::unique_ptr<Layer>(new Linear(*this));
+}
+
+}  // namespace con::nn

@@ -1,0 +1,37 @@
+// Fully-connected layer: y = x W^T + b, x: [N, in], W: [out, in], b: [out].
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace con::nn {
+
+class Linear : public Layer {
+ public:
+  Linear(tensor::Index in_features, tensor::Index out_features,
+         con::util::Rng& rng, std::string layer_name = "linear");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override;
+
+  tensor::Index in_features() const { return in_features_; }
+  tensor::Index out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Linear(const Linear&) = default;
+
+  tensor::Index in_features_;
+  tensor::Index out_features_;
+  std::string name_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;      // [N, in]
+  Tensor cached_effective_;  // effective weights used in the last forward
+};
+
+}  // namespace con::nn

@@ -1,0 +1,65 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace con::nn {
+
+using tensor::Index;
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax: expected [N, K] logits");
+  }
+  const Index n = logits.dim(0), k = logits.dim(1);
+  Tensor probs(logits.shape());
+  const float* in = logits.data();
+  float* out = probs.data();
+  for (Index i = 0; i < n; ++i) {
+    const float* row = in + i * k;
+    float* prow = out + i * k;
+    float m = row[0];
+    for (Index j = 1; j < k; ++j) m = std::max(m, row[j]);
+    double denom = 0.0;
+    for (Index j = 0; j < k; ++j) {
+      prow[j] = std::exp(row[j] - m);
+      denom += prow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (Index j = 0; j < k; ++j) prow[j] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: expected [N, K]");
+  }
+  const Index n = logits.dim(0), k = logits.dim(1);
+  if (static_cast<Index>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  LossResult result;
+  result.probabilities = softmax(logits);
+  result.grad_logits = result.probabilities;
+  float* g = result.grad_logits.data();
+  const float* p = result.probabilities.data();
+  double loss_acc = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (Index i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= k) {
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    }
+    // clamp to avoid log(0) on confidently-wrong predictions
+    loss_acc -= std::log(std::max(p[i * k + y], 1e-12f));
+    g[i * k + y] -= 1.0f;
+  }
+  for (Index i = 0; i < n * k; ++i) g[i] *= inv_n;
+  result.loss = static_cast<float>(loss_acc / static_cast<double>(n));
+  return result;
+}
+
+}  // namespace con::nn

@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss over logits.
+//
+// Attacks differentiate J(θ, X, y) with respect to X, so the loss exposes
+// both the scalar loss and the gradient w.r.t. the logits; chaining that
+// through Sequential::backward yields ∇ₓJ.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace con::nn {
+
+using tensor::Tensor;
+
+struct LossResult {
+  float loss = 0.0f;            // mean over the batch
+  Tensor grad_logits;           // [N, K], d(mean loss)/d logits
+  Tensor probabilities;         // [N, K], softmax outputs
+};
+
+// logits: [N, K]; labels: N class indices in [0, K).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+// Numerically-stable row softmax of a [N, K] tensor.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace con::nn

@@ -1,0 +1,56 @@
+// SGD with momentum plus the paper's step learning-rate schedule.
+//
+// The study fine-tunes compressed models with "three scheduled learning rate
+// decays starting from 0.01; for each decay, the learning rate decreases by
+// a factor of 10" — StepLrSchedule reproduces exactly that shape.
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace con::nn {
+
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdConfig config);
+
+  // One update step. Respects each parameter's grad_gate (saturating STE
+  // for quantised weights). Does NOT mask gradients: dynamic network
+  // surgery requires pruned weights to keep receiving updates.
+  void step();
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+// Piecewise-constant schedule: lr = base * decay^k after the k-th milestone.
+class StepLrSchedule {
+ public:
+  StepLrSchedule(float base_lr, std::vector<int> milestone_epochs,
+                 float decay = 0.1f);
+
+  float lr_at_epoch(int epoch) const;
+
+  // The paper's schedule: three decays of 10x spread uniformly across
+  // `total_epochs`, starting from base_lr.
+  static StepLrSchedule paper_schedule(float base_lr, int total_epochs);
+
+ private:
+  float base_lr_;
+  std::vector<int> milestones_;
+  float decay_;
+};
+
+}  // namespace con::nn

@@ -1,0 +1,34 @@
+#include "nn/parameter.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace con::nn {
+
+Tensor Parameter::effective() {
+  Tensor eff = value;
+  if (has_mask()) {
+    if (mask.shape() != value.shape()) {
+      throw std::logic_error("parameter " + name + ": mask shape " +
+                             mask.shape().to_string() + " != value shape " +
+                             value.shape().to_string());
+    }
+    tensor::mul_inplace(eff, mask);
+  }
+  if (transform) {
+    Tensor out(eff.shape());
+    grad_gate = Tensor(eff.shape());
+    transform->apply(eff, out, grad_gate);
+    return out;
+  }
+  grad_gate = Tensor();
+  return eff;
+}
+
+double Parameter::pruned_fraction() const {
+  if (!has_mask()) return 0.0;
+  return tensor::zero_fraction(mask);
+}
+
+}  // namespace con::nn

@@ -1,0 +1,69 @@
+// Trainable parameter with optional pruning mask and weight transform.
+//
+// This is the seam where the compression library plugs into the NN
+// framework:
+//  - `mask` implements fine-grained pruning (dynamic network surgery): the
+//    forward pass uses value ⊙ mask, while the optimizer keeps updating the
+//    dense `value`, so pruned weights continue to learn and may re-join when
+//    the mask is recomputed (Guo et al. 2016).
+//  - `transform` implements fake-quantisation of weights: the forward pass
+//    uses transform(value ⊙ mask) and `grad_gate` records where the
+//    saturating straight-through estimator lets gradient flow back.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace con::nn {
+
+using tensor::Tensor;
+
+// Interface for weight-space transforms applied on top of masking.
+class WeightTransform {
+ public:
+  virtual ~WeightTransform() = default;
+
+  // Maps raw (already masked) weights to effective weights. `gate` must be
+  // filled with 1 where gradient should flow back to the raw weight and 0
+  // where it is blocked (e.g. values saturated by fixed-point clipping).
+  virtual void apply(const Tensor& raw, Tensor& effective,
+                     Tensor& gate) const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  // Pruning mask; empty tensor means "dense". Same shape as value when set.
+  Tensor mask;
+  // Gradient gate produced by the transform during the last effective()
+  // call; empty when no transform is attached.
+  Tensor grad_gate;
+  std::shared_ptr<const WeightTransform> transform;
+  // Dense parameters that should never be pruned/quantised (biases) set
+  // this to false; compression passes respect it.
+  bool compressible = true;
+
+  explicit Parameter(std::string param_name, Tensor initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.shape()) {}
+
+  // The weights actually used by the forward pass: transform(value ⊙ mask).
+  // Refreshes grad_gate as a side effect when a transform is attached.
+  Tensor effective();
+
+  // True if a mask is attached (even an all-ones one).
+  bool has_mask() const { return !mask.empty(); }
+
+  // Fraction of mask entries equal to zero; 0 for dense parameters.
+  double pruned_fraction() const;
+
+  void zero_grad() { grad.zero(); }
+};
+
+}  // namespace con::nn

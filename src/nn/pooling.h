@@ -1,0 +1,31 @@
+// Max pooling over NCHW batches.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace con::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(tensor::Index window, tensor::Index stride,
+            std::string layer_name = "maxpool");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(window_, stride_, name_);
+  }
+
+ private:
+  tensor::Index window_;
+  tensor::Index stride_;
+  std::string name_;
+  tensor::Shape cached_in_shape_;
+  // Flat input index of the max element for every output element.
+  std::vector<tensor::Index> argmax_;
+};
+
+}  // namespace con::nn

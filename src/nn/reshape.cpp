@@ -1,0 +1,56 @@
+#include "nn/reshape.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace con::nn {
+
+using tensor::Index;
+using tensor::Shape;
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() < 2) {
+    throw std::invalid_argument(name_ + ": expected rank >= 2");
+  }
+  cached_in_shape_ = x.shape();
+  return x.reshaped(Shape{{x.dim(0), x.numel() / x.dim(0)}});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+Dropout::Dropout(double drop_probability, std::uint64_t seed,
+                 std::string layer_name)
+    : p_(drop_probability), name_(std::move(layer_name)), rng_(seed) {
+  if (p_ < 0.0 || p_ >= 1.0) {
+    throw std::invalid_argument(name_ + ": drop probability must be in [0,1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0) {
+    cached_mask_ = Tensor();
+    return x;
+  }
+  cached_mask_ = Tensor(x.shape());
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (float& m : cached_mask_.flat()) {
+    m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+  }
+  return tensor::mul(x, cached_mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (cached_mask_.empty()) return grad_out;
+  return tensor::mul(grad_out, cached_mask_);
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>(p_, 0, name_);
+  copy->rng_ = rng_;
+  return copy;
+}
+
+}  // namespace con::nn

@@ -1,0 +1,47 @@
+// Shape-manipulation layers: Flatten and Dropout (regularization).
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace con::nn {
+
+// [N, ...] -> [N, prod(...)]. Remembers the input shape for backward.
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string layer_name = "flatten")
+      : name_(std::move(layer_name)) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(name_);
+  }
+
+ private:
+  std::string name_;
+  tensor::Shape cached_in_shape_;
+};
+
+// Inverted dropout: active only when train=true. The RNG is owned by the
+// layer so cloned models have independent dropout streams but deterministic
+// behaviour under a fixed seed.
+class Dropout : public Layer {
+ public:
+  Dropout(double drop_probability, std::uint64_t seed,
+          std::string layer_name = "dropout");
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return name_; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  double p_;
+  std::string name_;
+  con::util::Rng rng_;
+  Tensor cached_mask_;  // empty when last forward was eval-mode
+};
+
+}  // namespace con::nn

@@ -1,0 +1,83 @@
+#include "nn/sequential.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace con::nn {
+
+void Sequential::insert(std::size_t index, std::unique_ptr<Layer> layer) {
+  if (index > layers_.size()) {
+    throw std::out_of_range("Sequential::insert: index out of range");
+  }
+  layers_.insert(layers_.begin() + static_cast<std::ptrdiff_t>(index),
+                 std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+tensor::Index Sequential::num_parameters() {
+  tensor::Index n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+double Sequential::density() {
+  tensor::Index total = 0;
+  tensor::Index nonzero = 0;
+  for (Parameter* p : parameters()) {
+    if (!p->compressible) continue;
+    total += p->value.numel();
+    if (p->has_mask()) {
+      for (float m : p->mask.flat()) {
+        if (m != 0.0f) ++nonzero;
+      }
+    } else {
+      nonzero += p->value.numel();
+    }
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(nonzero) / static_cast<double>(total);
+}
+
+Sequential Sequential::clone() const {
+  Sequential copy(name_);
+  for (const auto& layer : layers_) copy.add(layer->clone());
+  return copy;
+}
+
+std::string Sequential::summary() {
+  std::string s = name_ + " (" + std::to_string(num_parameters()) +
+                  " parameters, density " +
+                  std::to_string(density()) + ")\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    s += "  [" + std::to_string(i) + "] " + layers_[i]->name() + "\n";
+  }
+  return s;
+}
+
+}  // namespace con::nn

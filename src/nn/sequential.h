@@ -1,0 +1,68 @@
+// Sequential model: an ordered stack of layers with chained forward/backward.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace con::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string model_name) : name_(std::move(model_name)) {}
+
+  // Movable, not copyable (use clone() for deep copies).
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  // Insert a layer at position `index` (used by the quantisation pass to
+  // interleave activation-quantisation layers).
+  void insert(std::size_t index, std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x, bool train = false);
+  // Gradient of the loss w.r.t. the model input; parameter grads accumulate.
+  Tensor backward(const Tensor& grad_logits);
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+
+  // Total number of weight/bias scalars (the paper quotes 431K for LeNet5,
+  // 1.3M for CifarNet).
+  tensor::Index num_parameters();
+  // Overall density: non-zero fraction of effective (masked) compressible
+  // weights. 1.0 for a dense model.
+  double density();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  Sequential clone() const;
+
+  // Human-readable architecture summary.
+  std::string summary();
+
+ private:
+  std::string name_ = "model";
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace con::nn

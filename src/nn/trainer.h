@@ -1,0 +1,60 @@
+// Mini-batch SGD training loop with the paper's LR schedule and a post-step
+// hook used by the compression library (mask updates for dynamic network
+// surgery happen between optimizer steps).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace con::nn {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  float base_lr = 0.01f;  // paper: schedules start from 0.01
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  std::uint64_t shuffle_seed = 0x7ea1ULL;
+  bool use_paper_lr_schedule = true;
+  int log_every_steps = 0;  // 0 = silent
+};
+
+struct TrainStats {
+  std::vector<float> epoch_losses;   // mean loss per epoch
+  int steps = 0;
+};
+
+struct StepContext {
+  int epoch = 0;
+  int step_in_epoch = 0;
+  int global_step = 0;
+  float loss = 0.0f;
+};
+
+using PostStepHook = std::function<void(const StepContext&)>;
+using PostEpochHook = std::function<void(int epoch)>;
+
+// Trains `model` on (images [N,...], labels) for config.epochs.
+TrainStats train_classifier(Sequential& model, const Tensor& images,
+                            const std::vector<int>& labels,
+                            const TrainConfig& config,
+                            const PostStepHook& post_step = {},
+                            const PostEpochHook& post_epoch = {});
+
+// Top-1 accuracy of `model` on (images, labels), evaluated in eval mode.
+double evaluate_accuracy(Sequential& model, const Tensor& images,
+                         const std::vector<int>& labels, int batch_size = 64);
+
+// Per-sample predicted classes.
+std::vector<int> predict(Sequential& model, const Tensor& images,
+                         int batch_size = 64);
+
+// Mean cross-entropy loss on a dataset, eval mode.
+double evaluate_loss(Sequential& model, const Tensor& images,
+                     const std::vector<int>& labels, int batch_size = 64);
+
+}  // namespace con::nn

@@ -1,0 +1,128 @@
+#include "sparse/csr.h"
+
+#include <stdexcept>
+
+namespace con::sparse {
+
+CsrMatrix csr_from_dense(const Tensor& dense) {
+  if (dense.rank() != 2) {
+    throw std::invalid_argument("csr_from_dense: expected rank-2 tensor");
+  }
+  CsrMatrix csr;
+  csr.rows = dense.dim(0);
+  csr.cols = dense.dim(1);
+  csr.row_ptr.reserve(static_cast<std::size_t>(csr.rows) + 1);
+  csr.row_ptr.push_back(0);
+  const float* d = dense.data();
+  for (Index r = 0; r < csr.rows; ++r) {
+    for (Index c = 0; c < csr.cols; ++c) {
+      const float v = d[r * csr.cols + c];
+      if (v != 0.0f) {
+        csr.values.push_back(v);
+        csr.col_indices.push_back(static_cast<std::int32_t>(c));
+      }
+    }
+    csr.row_ptr.push_back(static_cast<std::int64_t>(csr.values.size()));
+  }
+  return csr;
+}
+
+Tensor csr_to_dense(const CsrMatrix& csr) {
+  Tensor dense({csr.rows, csr.cols});
+  float* d = dense.data();
+  for (Index r = 0; r < csr.rows; ++r) {
+    for (std::int64_t i = csr.row_ptr[static_cast<std::size_t>(r)];
+         i < csr.row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      d[r * csr.cols + csr.col_indices[static_cast<std::size_t>(i)]] =
+          csr.values[static_cast<std::size_t>(i)];
+    }
+  }
+  return dense;
+}
+
+Tensor csr_matvec(const CsrMatrix& a, const Tensor& x) {
+  if (x.rank() != 1 || x.dim(0) != a.cols) {
+    throw std::invalid_argument("csr_matvec: vector length mismatch");
+  }
+  Tensor y({a.rows});
+  const float* xv = x.data();
+  float* yv = y.data();
+  for (Index r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (std::int64_t i = a.row_ptr[static_cast<std::size_t>(r)];
+         i < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      acc += static_cast<double>(a.values[static_cast<std::size_t>(i)]) *
+             xv[a.col_indices[static_cast<std::size_t>(i)]];
+    }
+    yv[r] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+Tensor csr_matmul(const CsrMatrix& a, const Tensor& b) {
+  if (b.rank() != 2 || b.dim(0) != a.cols) {
+    throw std::invalid_argument("csr_matmul: inner dims mismatch");
+  }
+  const Index n = b.dim(1);
+  Tensor c({a.rows, n});
+  const float* bv = b.data();
+  float* cv = c.data();
+  for (Index r = 0; r < a.rows; ++r) {
+    float* crow = cv + r * n;
+    for (std::int64_t i = a.row_ptr[static_cast<std::size_t>(r)];
+         i < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      const float v = a.values[static_cast<std::size_t>(i)];
+      const float* brow =
+          bv + static_cast<Index>(
+                   a.col_indices[static_cast<std::size_t>(i)]) * n;
+      for (Index j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+RelativeIndexEncoding encode_relative_indices(const CsrMatrix& csr,
+                                              int index_bits) {
+  if (index_bits < 1 || index_bits > 31) {
+    throw std::invalid_argument("encode_relative_indices: bad index_bits");
+  }
+  const std::int32_t max_gap = (1 << index_bits) - 1;
+  RelativeIndexEncoding enc;
+  enc.index_bits = index_bits;
+  for (Index r = 0; r < csr.rows; ++r) {
+    std::int32_t prev = -1;
+    for (std::int64_t i = csr.row_ptr[static_cast<std::size_t>(r)];
+         i < csr.row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      std::int32_t gap = csr.col_indices[static_cast<std::size_t>(i)] - prev;
+      // gaps wider than the index field need zero-padding entries
+      while (gap > max_gap) {
+        ++enc.padding_entries;
+        ++enc.stored_entries;
+        gap -= max_gap;
+      }
+      ++enc.stored_entries;
+      prev = csr.col_indices[static_cast<std::size_t>(i)];
+    }
+  }
+  return enc;
+}
+
+StorageFootprint storage_footprint(const CsrMatrix& csr, int weight_bits,
+                                   int index_bits) {
+  StorageFootprint fp;
+  fp.dense_bytes =
+      static_cast<std::size_t>(csr.rows) * static_cast<std::size_t>(csr.cols) *
+      sizeof(float);
+  fp.csr_bytes = csr.values.size() * sizeof(float) +
+                 csr.col_indices.size() * sizeof(std::int32_t) +
+                 csr.row_ptr.size() * sizeof(std::int64_t);
+  const RelativeIndexEncoding enc = encode_relative_indices(csr, index_bits);
+  const std::size_t bits_per_entry =
+      static_cast<std::size_t>(weight_bits + index_bits);
+  fp.eie_bytes = (static_cast<std::size_t>(enc.stored_entries) *
+                      bits_per_entry + 7) / 8 +
+                 csr.row_ptr.size() * sizeof(std::int32_t);
+  return fp;
+}
+
+}  // namespace con::sparse

@@ -1,0 +1,73 @@
+// Compressed sparse row storage for pruned weight matrices.
+//
+// The paper motivates pruning with accelerators that compute directly on
+// compressed formats (EIE, SCNN): fewer parameters mean fewer off-chip
+// transfers. This module provides the storage substrate those accelerators
+// assume — CSR encoding of a pruned weight matrix, EIE-style relative
+// column indices with a configurable index bitwidth, and the byte
+// accounting that turns a density number into a memory-footprint claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace con::sparse {
+
+using tensor::Index;
+using tensor::Tensor;
+
+struct CsrMatrix {
+  Index rows = 0;
+  Index cols = 0;
+  std::vector<float> values;        // nnz
+  std::vector<std::int32_t> col_indices;  // nnz
+  std::vector<std::int64_t> row_ptr;      // rows + 1
+
+  Index nnz() const { return static_cast<Index>(values.size()); }
+  double density() const {
+    return rows * cols == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     static_cast<double>(rows * cols);
+  }
+};
+
+// Build CSR from a dense rank-2 tensor; entries equal to 0.0f are skipped.
+CsrMatrix csr_from_dense(const Tensor& dense);
+
+// Reconstruct the dense matrix (for verification).
+Tensor csr_to_dense(const CsrMatrix& csr);
+
+// y[rows] = A x[cols] — the accelerator's core kernel.
+Tensor csr_matvec(const CsrMatrix& a, const Tensor& x);
+
+// C[rows, n] = A * B[cols, n].
+Tensor csr_matmul(const CsrMatrix& a, const Tensor& b);
+
+// EIE-style relative index encoding: column gaps stored in `index_bits`
+// bits, with zero-padding entries inserted whenever a gap exceeds the
+// representable maximum. Returns the number of stored entries (nnz +
+// padding) — the quantity the accelerator actually streams.
+struct RelativeIndexEncoding {
+  int index_bits = 4;
+  Index stored_entries = 0;  // nnz + inserted padding zeros
+  Index padding_entries = 0;
+};
+
+RelativeIndexEncoding encode_relative_indices(const CsrMatrix& csr,
+                                              int index_bits = 4);
+
+// Memory accounting (bytes) for shipping a weight matrix.
+struct StorageFootprint {
+  std::size_t dense_bytes = 0;          // rows*cols * 4
+  std::size_t csr_bytes = 0;            // values + int32 cols + row_ptr
+  std::size_t eie_bytes = 0;            // weight_bits per entry + rel. index
+};
+
+// weight_bits: bits per stored weight after quantisation (32 = float).
+StorageFootprint storage_footprint(const CsrMatrix& csr, int weight_bits = 32,
+                                   int index_bits = 4);
+
+}  // namespace con::sparse

@@ -1,0 +1,175 @@
+#include "sparse/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace con::sparse {
+
+namespace {
+
+struct Node {
+  std::size_t count;
+  int index;  // tie-break for determinism
+  std::int32_t symbol = 0;
+  bool leaf = false;
+  Node* left = nullptr;
+  Node* right = nullptr;
+};
+
+void collect_lengths(const Node* n, int depth,
+                     std::map<std::int32_t, int>& lengths) {
+  if (n->leaf) {
+    lengths[n->symbol] = std::max(1, depth);
+    return;
+  }
+  collect_lengths(n->left, depth + 1, lengths);
+  collect_lengths(n->right, depth + 1, lengths);
+}
+
+}  // namespace
+
+HuffmanCode build_huffman(const std::vector<std::int32_t>& symbols) {
+  if (symbols.empty()) {
+    throw std::invalid_argument("build_huffman: empty symbol stream");
+  }
+  std::map<std::int32_t, std::size_t> counts;
+  for (std::int32_t s : symbols) counts[s]++;
+
+  // Pool of nodes (stable storage for tree pointers).
+  std::vector<Node> pool;
+  pool.reserve(counts.size() * 2);
+  auto cmp = [](const Node* a, const Node* b) {
+    if (a->count != b->count) return a->count > b->count;
+    return a->index > b->index;
+  };
+  std::priority_queue<Node*, std::vector<Node*>, decltype(cmp)> heap(cmp);
+  int index = 0;
+  for (const auto& [symbol, count] : counts) {
+    pool.push_back(Node{.count = count, .index = index++, .symbol = symbol,
+                        .leaf = true});
+  }
+  // pool must not reallocate after we start taking addresses
+  pool.reserve(pool.size() * 2);
+  for (Node& n : pool) heap.push(&n);
+
+  while (heap.size() > 1) {
+    Node* a = heap.top();
+    heap.pop();
+    Node* b = heap.top();
+    heap.pop();
+    pool.push_back(Node{.count = a->count + b->count, .index = index++,
+                        .leaf = false, .left = a, .right = b});
+    heap.push(&pool.back());
+  }
+
+  HuffmanCode code;
+  collect_lengths(heap.top(), 0, code.lengths);
+
+  // Canonicalise: sort symbols by (length, symbol), assign increasing
+  // codewords.
+  std::vector<std::pair<int, std::int32_t>> order;
+  order.reserve(code.lengths.size());
+  for (const auto& [symbol, len] : code.lengths) {
+    order.emplace_back(len, symbol);
+  }
+  std::sort(order.begin(), order.end());
+  std::uint64_t next = 0;
+  int prev_len = order.front().first;
+  for (const auto& [len, symbol] : order) {
+    next <<= (len - prev_len);
+    code.codewords[symbol] = next;
+    ++next;
+    prev_len = len;
+  }
+  return code;
+}
+
+std::size_t encoded_bits(const HuffmanCode& code,
+                         const std::vector<std::int32_t>& symbols) {
+  std::size_t bits = 0;
+  for (std::int32_t s : symbols) {
+    auto it = code.lengths.find(s);
+    if (it == code.lengths.end()) {
+      throw std::invalid_argument("encoded_bits: symbol not in code");
+    }
+    bits += static_cast<std::size_t>(it->second);
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> huffman_encode(
+    const HuffmanCode& code, const std::vector<std::int32_t>& symbols) {
+  std::vector<std::uint8_t> out;
+  std::size_t bitpos = 0;
+  for (std::int32_t s : symbols) {
+    auto lit = code.lengths.find(s);
+    auto cit = code.codewords.find(s);
+    if (lit == code.lengths.end() || cit == code.codewords.end()) {
+      throw std::invalid_argument("huffman_encode: symbol not in code");
+    }
+    const int len = lit->second;
+    const std::uint64_t word = cit->second;
+    for (int b = len - 1; b >= 0; --b) {
+      if (bitpos % 8 == 0) out.push_back(0);
+      if ((word >> b) & 1u) {
+        out.back() |= static_cast<std::uint8_t>(1u << (7 - bitpos % 8));
+      }
+      ++bitpos;
+    }
+  }
+  return out;
+}
+
+std::vector<std::int32_t> huffman_decode(const HuffmanCode& code,
+                                         const std::vector<std::uint8_t>& bits,
+                                         std::size_t symbol_count) {
+  // Build a (length, codeword) -> symbol lookup.
+  std::map<std::pair<int, std::uint64_t>, std::int32_t> table;
+  for (const auto& [symbol, len] : code.lengths) {
+    table[{len, code.codewords.at(symbol)}] = symbol;
+  }
+  std::vector<std::int32_t> out;
+  out.reserve(symbol_count);
+  std::uint64_t word = 0;
+  int len = 0;
+  std::size_t bitpos = 0;
+  const std::size_t total_bits = bits.size() * 8;
+  while (out.size() < symbol_count) {
+    if (bitpos >= total_bits) {
+      throw std::invalid_argument("huffman_decode: stream exhausted");
+    }
+    const int bit =
+        (bits[bitpos / 8] >> (7 - bitpos % 8)) & 1;
+    ++bitpos;
+    word = (word << 1) | static_cast<std::uint64_t>(bit);
+    ++len;
+    if (len > 64) throw std::invalid_argument("huffman_decode: bad stream");
+    auto it = table.find({len, word});
+    if (it != table.end()) {
+      out.push_back(it->second);
+      word = 0;
+      len = 0;
+    }
+  }
+  return out;
+}
+
+double symbol_entropy(const std::vector<std::int32_t>& symbols) {
+  if (symbols.empty()) {
+    throw std::invalid_argument("symbol_entropy: empty stream");
+  }
+  std::map<std::int32_t, std::size_t> counts;
+  for (std::int32_t s : symbols) counts[s]++;
+  const double n = static_cast<double>(symbols.size());
+  double h = 0.0;
+  for (const auto& [symbol, count] : counts) {
+    (void)symbol;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace con::sparse

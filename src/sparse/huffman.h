@@ -1,0 +1,42 @@
+// Canonical Huffman coding over quantised weight codes.
+//
+// Deep compression (Han et al. 2016b, §2.2 of the paper) ships models as
+// pruned + codebook-quantised + Huffman-coded streams. This module supplies
+// the last stage: build an optimal prefix code over a symbol stream (e.g.
+// cluster indices or fixed-point codes), measure the exact encoded size,
+// and round-trip encode/decode for verification.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace con::sparse {
+
+struct HuffmanCode {
+  // code lengths per symbol (canonical form); empty for absent symbols
+  std::map<std::int32_t, int> lengths;
+  // canonical codewords, derived from lengths
+  std::map<std::int32_t, std::uint64_t> codewords;
+};
+
+// Build an optimal prefix code for `symbols` (must be non-empty). A single
+// distinct symbol gets a 1-bit code.
+HuffmanCode build_huffman(const std::vector<std::int32_t>& symbols);
+
+// Exact encoded size in bits under `code`; throws if a symbol has no code.
+std::size_t encoded_bits(const HuffmanCode& code,
+                         const std::vector<std::int32_t>& symbols);
+
+// Bit-packed encode / decode (MSB-first within each codeword).
+std::vector<std::uint8_t> huffman_encode(
+    const HuffmanCode& code, const std::vector<std::int32_t>& symbols);
+std::vector<std::int32_t> huffman_decode(const HuffmanCode& code,
+                                         const std::vector<std::uint8_t>& bits,
+                                         std::size_t symbol_count);
+
+// Shannon entropy of the symbol distribution in bits/symbol — the lower
+// bound Huffman approaches.
+double symbol_entropy(const std::vector<std::int32_t>& symbols);
+
+}  // namespace con::sparse

@@ -1,0 +1,64 @@
+#include "sparse/sparse_model.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace con::sparse {
+
+Index SparseModelSnapshot::total_nnz() const {
+  Index n = 0;
+  for (const Entry& e : entries) n += e.matrix.nnz();
+  return n;
+}
+
+double SparseModelSnapshot::overall_density() const {
+  Index total = 0;
+  for (const Entry& e : entries) total += e.matrix.rows * e.matrix.cols;
+  return total == 0 ? 0.0
+                    : static_cast<double>(total_nnz()) /
+                          static_cast<double>(total);
+}
+
+SparseModelSnapshot snapshot_model(nn::Sequential& model) {
+  SparseModelSnapshot snap;
+  for (nn::Parameter* p : model.parameters()) {
+    if (!p->compressible || p->value.rank() != 2) continue;
+    snap.entries.push_back(
+        {p->name, csr_from_dense(p->effective())});
+  }
+  return snap;
+}
+
+ModelFootprint model_footprint(const SparseModelSnapshot& snapshot,
+                               int weight_bits, int index_bits) {
+  ModelFootprint fp;
+  for (const SparseModelSnapshot::Entry& e : snapshot.entries) {
+    const StorageFootprint f =
+        storage_footprint(e.matrix, weight_bits, index_bits);
+    fp.dense_bytes += f.dense_bytes;
+    fp.csr_bytes += f.csr_bytes;
+    fp.eie_bytes += f.eie_bytes;
+  }
+  return fp;
+}
+
+float max_kernel_divergence(const SparseModelSnapshot& snapshot,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  float worst = 0.0f;
+  for (const SparseModelSnapshot::Entry& e : snapshot.entries) {
+    tensor::Tensor dense = csr_to_dense(e.matrix);
+    tensor::Tensor x({e.matrix.cols, 4});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+    tensor::Tensor want = tensor::matmul(dense, x);
+    tensor::Tensor got = csr_matmul(e.matrix, x);
+    for (Index i = 0; i < want.numel(); ++i) {
+      worst = std::max(worst, std::fabs(want[i] - got[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace con::sparse

@@ -1,0 +1,403 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace con::tensor {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+}
+
+void check_rank2(const Tensor& a, const char* op) {
+  if (a.rank() != 2) {
+    throw std::invalid_argument(std::string(op) + ": expected rank-2, got " +
+                                a.shape().to_string());
+  }
+}
+
+}  // namespace
+
+// ---- elementwise ----------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  sub_inplace(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  mul_inplace(out, b);
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_inplace(out, s);
+  return out;
+}
+
+Tensor add_scaled(const Tensor& a, const Tensor& b, float s) {
+  Tensor out = a;
+  add_scaled_inplace(out, b, s);
+  return out;
+}
+
+void add_inplace(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "add");
+  float* d = dst.data();
+  const float* s = src.data();
+  const Index n = dst.numel();
+  for (Index i = 0; i < n; ++i) d[i] += s[i];
+}
+
+void sub_inplace(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "sub");
+  float* d = dst.data();
+  const float* s = src.data();
+  const Index n = dst.numel();
+  for (Index i = 0; i < n; ++i) d[i] -= s[i];
+}
+
+void mul_inplace(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "mul");
+  float* d = dst.data();
+  const float* s = src.data();
+  const Index n = dst.numel();
+  for (Index i = 0; i < n; ++i) d[i] *= s[i];
+}
+
+void scale_inplace(Tensor& dst, float s) {
+  float* d = dst.data();
+  const Index n = dst.numel();
+  for (Index i = 0; i < n; ++i) d[i] *= s;
+}
+
+void add_scaled_inplace(Tensor& dst, const Tensor& src, float s) {
+  check_same_shape(dst, src, "add_scaled");
+  float* d = dst.data();
+  const float* sp = src.data();
+  const Index n = dst.numel();
+  for (Index i = 0; i < n; ++i) d[i] += s * sp[i];
+}
+
+Tensor sign(const Tensor& a) {
+  Tensor out(a.shape());
+  const float* s = a.data();
+  float* d = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) {
+    d[i] = (s[i] > 0.0f) ? 1.0f : (s[i] < 0.0f ? -1.0f : 0.0f);
+  }
+  return out;
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  Tensor out = a;
+  clamp_inplace(out, lo, hi);
+  return out;
+}
+
+void clamp_inplace(Tensor& a, float lo, float hi) {
+  if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
+  float* d = a.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
+}
+
+// ---- reductions -----------------------------------------------------------
+
+float sum(const Tensor& a) {
+  // Kahan summation: models here have up to ~1.3M weights and analysis code
+  // sums over them; naive accumulation loses precision in float.
+  double acc = 0.0;
+  for (float v : a.flat()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float min_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("min of empty tensor");
+  return *std::min_element(a.flat().begin(), a.flat().end());
+}
+
+float max_value(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("max of empty tensor");
+  return *std::max_element(a.flat().begin(), a.flat().end());
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.flat()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float linf_norm(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.flat()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double zero_fraction(const Tensor& a) {
+  if (a.numel() == 0) return 0.0;
+  Index zeros = 0;
+  for (float v : a.flat()) {
+    if (v == 0.0f) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(a.numel());
+}
+
+Index argmax(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("argmax of empty tensor");
+  const float* d = a.data();
+  Index best = 0;
+  for (Index i = 1; i < a.numel(); ++i) {
+    if (d[i] > d[best]) best = i;
+  }
+  return best;
+}
+
+Index argmax_row(const Tensor& a, Index row) {
+  check_rank2(a, "argmax_row");
+  const Index cols = a.dim(1);
+  if (row < 0 || row >= a.dim(0)) {
+    throw std::out_of_range("argmax_row: row out of range");
+  }
+  const float* d = a.data() + row * cols;
+  Index best = 0;
+  for (Index i = 1; i < cols; ++i) {
+    if (d[i] > d[best]) best = i;
+  }
+  return best;
+}
+
+// ---- linear algebra -------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dims mismatch " +
+                                a.shape().to_string() + " x " +
+                                b.shape().to_string());
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: unit-stride access on B and C rows, which is the
+  // difference between usable and unusable on this scalar build.
+  for (Index i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (Index kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;  // pruned weights make A genuinely sparse
+      const float* brow = pb + kk * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const Index k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_tn: inner dims mismatch");
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (Index kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (Index i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_nt: inner dims mismatch");
+  }
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (Index kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const Index m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  const float* s = a.data();
+  float* d = out.data();
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) d[j * m + i] = s[i * n + j];
+  }
+  return out;
+}
+
+// ---- convolution support ---------------------------------------------------
+
+Tensor im2col(const Tensor& image, const Conv2dGeometry& g) {
+  if (image.rank() != 3 || image.dim(0) != g.in_channels ||
+      image.dim(1) != g.in_h || image.dim(2) != g.in_w) {
+    throw std::invalid_argument("im2col: image shape " +
+                                image.shape().to_string() +
+                                " does not match geometry");
+  }
+  const Index oh = g.out_h(), ow = g.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("im2col: non-positive output size");
+  }
+  Tensor cols({g.in_channels * g.kernel_h * g.kernel_w, oh * ow});
+  const float* src = image.data();
+  float* dst = cols.data();
+  const Index ow_total = oh * ow;
+  for (Index c = 0; c < g.in_channels; ++c) {
+    for (Index kh = 0; kh < g.kernel_h; ++kh) {
+      for (Index kw = 0; kw < g.kernel_w; ++kw) {
+        const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        float* drow = dst + row * ow_total;
+        for (Index y = 0; y < oh; ++y) {
+          const Index in_y = y * g.stride + kh - g.padding;
+          if (in_y < 0 || in_y >= g.in_h) {
+            for (Index x = 0; x < ow; ++x) drow[y * ow + x] = 0.0f;
+            continue;
+          }
+          const float* srow = src + (c * g.in_h + in_y) * g.in_w;
+          for (Index x = 0; x < ow; ++x) {
+            const Index in_x = x * g.stride + kw - g.padding;
+            drow[y * ow + x] =
+                (in_x >= 0 && in_x < g.in_w) ? srow[in_x] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, const Conv2dGeometry& g) {
+  const Index oh = g.out_h(), ow = g.out_w();
+  if (columns.rank() != 2 ||
+      columns.dim(0) != g.in_channels * g.kernel_h * g.kernel_w ||
+      columns.dim(1) != oh * ow) {
+    throw std::invalid_argument("col2im: column shape " +
+                                columns.shape().to_string() +
+                                " does not match geometry");
+  }
+  Tensor image({g.in_channels, g.in_h, g.in_w});
+  const float* src = columns.data();
+  float* dst = image.data();
+  const Index ow_total = oh * ow;
+  for (Index c = 0; c < g.in_channels; ++c) {
+    for (Index kh = 0; kh < g.kernel_h; ++kh) {
+      for (Index kw = 0; kw < g.kernel_w; ++kw) {
+        const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        const float* srow = src + row * ow_total;
+        for (Index y = 0; y < oh; ++y) {
+          const Index in_y = y * g.stride + kh - g.padding;
+          if (in_y < 0 || in_y >= g.in_h) continue;
+          float* drow = dst + (c * g.in_h + in_y) * g.in_w;
+          for (Index x = 0; x < ow; ++x) {
+            const Index in_x = x * g.stride + kw - g.padding;
+            if (in_x >= 0 && in_x < g.in_w) drow[in_x] += srow[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+// ---- batched slicing -------------------------------------------------------
+
+Tensor slice_batch(const Tensor& batch, Index n) {
+  if (batch.rank() < 1) throw std::invalid_argument("slice_batch: rank 0");
+  const Index count = batch.dim(0);
+  if (n < 0 || n >= count) {
+    throw std::out_of_range("slice_batch: index out of range");
+  }
+  std::vector<Index> dims(batch.shape().dims().begin() + 1,
+                          batch.shape().dims().end());
+  Shape sample_shape{std::move(dims)};
+  const Index stride = sample_shape.numel();
+  Tensor out(sample_shape);
+  std::memcpy(out.data(), batch.data() + n * stride,
+              static_cast<std::size_t>(stride) * sizeof(float));
+  return out;
+}
+
+void set_batch(Tensor& batch, Index n, const Tensor& sample) {
+  if (batch.rank() < 1) throw std::invalid_argument("set_batch: rank 0");
+  const Index count = batch.dim(0);
+  if (n < 0 || n >= count) {
+    throw std::out_of_range("set_batch: index out of range");
+  }
+  const Index stride = batch.numel() / count;
+  if (sample.numel() != stride) {
+    throw std::invalid_argument("set_batch: sample size mismatch");
+  }
+  std::memcpy(batch.data() + n * stride, sample.data(),
+              static_cast<std::size_t>(stride) * sizeof(float));
+}
+
+Tensor stack(const std::vector<Tensor>& samples) {
+  if (samples.empty()) throw std::invalid_argument("stack: empty input");
+  std::vector<Index> dims;
+  dims.push_back(static_cast<Index>(samples.size()));
+  for (Index d : samples.front().shape().dims()) dims.push_back(d);
+  Tensor out{Shape{std::move(dims)}};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].shape() != samples.front().shape()) {
+      throw std::invalid_argument("stack: inconsistent sample shapes");
+    }
+    set_batch(out, static_cast<Index>(i), samples[i]);
+  }
+  return out;
+}
+
+}  // namespace con::tensor

@@ -1,0 +1,84 @@
+// Tensor operators used by the NN framework, attacks and analysis code.
+//
+// All operators are free functions over `Tensor` values; in-place variants
+// take the destination first. Shapes are validated and mismatches throw,
+// so layer-plumbing bugs surface at the call site.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace con::tensor {
+
+// ---- elementwise ----------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  // Hadamard product
+Tensor scale(const Tensor& a, float s);
+Tensor add_scaled(const Tensor& a, const Tensor& b, float s);  // a + s*b
+
+void add_inplace(Tensor& dst, const Tensor& src);
+void sub_inplace(Tensor& dst, const Tensor& src);
+void mul_inplace(Tensor& dst, const Tensor& src);
+void scale_inplace(Tensor& dst, float s);
+void add_scaled_inplace(Tensor& dst, const Tensor& src, float s);
+
+// Elementwise sign(): -1, 0 or +1.
+Tensor sign(const Tensor& a);
+// Elementwise clamp to [lo, hi].
+Tensor clamp(const Tensor& a, float lo, float hi);
+void clamp_inplace(Tensor& a, float lo, float hi);
+
+// ---- reductions -----------------------------------------------------------
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float min_value(const Tensor& a);
+float max_value(const Tensor& a);
+float l2_norm(const Tensor& a);
+float linf_norm(const Tensor& a);
+// Fraction of exactly-zero elements (used for sparsity accounting).
+double zero_fraction(const Tensor& a);
+
+// Index of the maximum element of a rank-1 tensor or of row `row` of a
+// rank-2 tensor.
+Index argmax(const Tensor& a);
+Index argmax_row(const Tensor& a, Index row);
+
+// ---- linear algebra -------------------------------------------------------
+// C[M,N] = A[M,K] * B[K,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C[M,N] = A[K,M]^T * B[K,N].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+// C[M,N] = A[M,K] * B[N,K]^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+// Rank-2 transpose.
+Tensor transpose(const Tensor& a);
+
+// ---- convolution support ---------------------------------------------------
+// im2col for NCHW tensors: input [N,C,H,W] -> columns
+// [N, C*kh*kw, out_h*out_w], standard stride/padding semantics.
+struct Conv2dGeometry {
+  Index in_channels = 0;
+  Index in_h = 0;
+  Index in_w = 0;
+  Index kernel_h = 0;
+  Index kernel_w = 0;
+  Index stride = 1;
+  Index padding = 0;
+  Index out_h() const { return (in_h + 2 * padding - kernel_h) / stride + 1; }
+  Index out_w() const { return (in_w + 2 * padding - kernel_w) / stride + 1; }
+};
+
+// Extract patches of a single image [C,H,W] into [C*kh*kw, out_h*out_w].
+Tensor im2col(const Tensor& image, const Conv2dGeometry& g);
+// Scatter-add the column gradient back into an image gradient [C,H,W].
+Tensor col2im(const Tensor& columns, const Conv2dGeometry& g);
+
+// ---- batched slicing -------------------------------------------------------
+// Extract sample `n` of a batch tensor [N, ...] as a tensor of shape [...].
+Tensor slice_batch(const Tensor& batch, Index n);
+// Write `sample` into position `n` of `batch`.
+void set_batch(Tensor& batch, Index n, const Tensor& sample);
+// Stack K same-shape tensors into [K, ...].
+Tensor stack(const std::vector<Tensor>& samples);
+
+}  // namespace con::tensor

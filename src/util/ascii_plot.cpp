@@ -1,0 +1,112 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace con::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', 'a', 'b', 'c', 'd'};
+
+}  // namespace
+
+std::string render_plot(const std::vector<double>& xs,
+                        const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument("render_plot: need at least 2 x positions");
+  }
+  for (const Series& s : series) {
+    if (s.ys.size() != xs.size()) {
+      throw std::invalid_argument("render_plot: series '" + s.label +
+                                  "' length mismatch");
+    }
+  }
+  if (series.empty()) {
+    throw std::invalid_argument("render_plot: no series");
+  }
+  double lo = options.y_min, hi = options.y_max;
+  if (options.auto_y) {
+    lo = series[0].ys[0];
+    hi = lo;
+    for (const Series& s : series) {
+      for (double y : s.ys) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+    }
+    if (hi == lo) hi = lo + 1.0;
+  }
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  // grid[row][col]; row 0 is the top
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  auto col_of = [&](std::size_t i) {
+    return static_cast<int>(
+        std::lround(static_cast<double>(i) /
+                    static_cast<double>(xs.size() - 1) * (w - 1)));
+  };
+  auto row_of = [&](double y) {
+    double t = (y - lo) / (hi - lo);
+    t = std::min(1.0, std::max(0.0, t));
+    return (h - 1) - static_cast<int>(std::lround(t * (h - 1)));
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const Series& s = series[si];
+    // draw markers and a crude line between consecutive points
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+      const int c0 = col_of(i), c1 = col_of(i + 1);
+      const int r0 = row_of(s.ys[i]), r1 = row_of(s.ys[i + 1]);
+      const int steps = std::max(1, c1 - c0);
+      for (int step = 0; step <= steps; ++step) {
+        const int c = c0 + step;
+        const double t = static_cast<double>(step) / steps;
+        const int r = static_cast<int>(std::lround(r0 + t * (r1 - r0)));
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = glyph;
+      }
+    }
+  }
+
+  std::string out;
+  char buf[32];
+  for (int r = 0; r < h; ++r) {
+    const double y = hi - (hi - lo) * static_cast<double>(r) / (h - 1);
+    std::snprintf(buf, sizeof(buf), "%7.2f |", y);
+    out += buf;
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += "        +";
+  out.append(static_cast<std::size_t>(w), '-');
+  out += '\n';
+  // x labels: first, middle, last
+  std::snprintf(buf, sizeof(buf), "%-9.3g", xs.front());
+  std::string xlab(9, ' ');
+  xlab += buf;
+  while (static_cast<int>(xlab.size()) < 9 + w / 2 - 4) xlab += ' ';
+  std::snprintf(buf, sizeof(buf), "%.3g", xs[xs.size() / 2]);
+  xlab += buf;
+  while (static_cast<int>(xlab.size()) < 9 + w - 6) xlab += ' ';
+  std::snprintf(buf, sizeof(buf), "%.3g", xs.back());
+  xlab += buf;
+  out += xlab + "\n";
+  // legend
+  out += "        ";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += ' ';
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += '=' ;
+    out += series[si].label;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace con::util

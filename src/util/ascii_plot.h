@@ -1,0 +1,33 @@
+// ASCII line plots for terminal output.
+//
+// The figure-reproduction benches print numeric tables; this renders the
+// same series as a rough terminal plot so the *shape* of a figure (the
+// reproduction target) is visible at a glance without leaving the shell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace con::util {
+
+struct Series {
+  std::string label;
+  std::vector<double> ys;  // one value per shared x position
+};
+
+struct PlotOptions {
+  int width = 60;    // plot area columns (x positions are spread over these)
+  int height = 16;   // plot area rows
+  double y_min = 0.0;
+  double y_max = 1.0;
+  bool auto_y = false;  // derive y range from the data instead
+};
+
+// Renders series sharing the x positions `xs` (printed as axis labels).
+// Each series is drawn with its own glyph (1st: '*', 2nd: 'o', 3rd: '+',
+// 4th: 'x', then letters); a legend line maps glyphs to labels.
+std::string render_plot(const std::vector<double>& xs,
+                        const std::vector<Series>& series,
+                        const PlotOptions& options = {});
+
+}  // namespace con::util

@@ -1,0 +1,29 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace con::util {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+void log(LogLevel level, std::string_view msg) {
+  if (level < log_level()) return;
+  static std::mutex mu;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kOff: return;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s] %.*s\n", tag, static_cast<int>(msg.size()),
+               msg.data());
+}
+
+}  // namespace con::util

@@ -1,0 +1,57 @@
+// Minimal leveled logging with compile-time-free runtime configuration.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace con::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel& log_level();
+
+void log(LogLevel level, std::string_view msg);
+
+// printf-style convenience wrappers.
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  log(level, buf);
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  logf(LogLevel::kDebug, fmt, args...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  logf(LogLevel::kInfo, fmt, args...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) {
+  logf(LogLevel::kWarn, fmt, args...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args... args) {
+  logf(LogLevel::kError, fmt, args...);
+}
+
+// Wall-clock stopwatch for coarse phase timing in examples and benches.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace con::util

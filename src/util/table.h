@@ -1,0 +1,38 @@
+// Tabular result emitters: aligned console tables and CSV files, used by the
+// figure-reproduction benches to print paper-style series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace con::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience for mixed numeric rows.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Render with aligned columns, e.g.
+  //   density  base_acc  s1_comp_comp  ...
+  //   1.000    0.9812    0.0531        ...
+  std::string to_string() const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 4);
+
+}  // namespace con::util

@@ -1,0 +1,55 @@
+// Small fixed-size thread pool with a parallel_for helper.
+//
+// The study runs on whatever cores are available; on a single-core host the
+// pool degrades to inline execution with no thread overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace con::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; fire-and-forget (use parallel_for for joined work).
+  void submit(std::function<void()> task);
+
+  // Block until all submitted tasks have completed.
+  void wait_idle();
+
+  // Process-wide pool sized to the hardware. Created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Split [begin, end) into chunks and run `fn(i)` for every i, using the
+// global pool. Runs inline when the range is small or the pool has one
+// thread — the common case on the single-core reproduction host.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+}  // namespace con::util

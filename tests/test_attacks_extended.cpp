@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/extended.h"
+#include "data/synth_digits.h"
+#include "models/model_zoo.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+
+namespace con::attacks {
+namespace {
+
+using tensor::Index;
+using tensor::Tensor;
+
+// Shared trained model (training once keeps the suite fast).
+class ExtendedAttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthDigitsConfig dc;
+    dc.train_size = 1500;
+    dc.test_size = 150;
+    split_ = new data::TrainTestSplit(data::make_synth_digits(dc));
+    model_ = new nn::Sequential(models::make_lenet5_small(88));
+    nn::TrainConfig tc;
+    tc.epochs = 6;
+    nn::train_classifier(*model_, split_->train.images, split_->train.labels,
+                         tc);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete split_;
+    model_ = nullptr;
+    split_ = nullptr;
+  }
+  static nn::Sequential* model_;
+  static data::TrainTestSplit* split_;
+};
+
+nn::Sequential* ExtendedAttackTest::model_ = nullptr;
+data::TrainTestSplit* ExtendedAttackTest::split_ = nullptr;
+
+TEST_F(ExtendedAttackTest, PgdStaysInEpsilonBall) {
+  data::Dataset sub = split_->test.take(10);
+  PgdParams p{.epsilon = 0.05f, .step_size = 0.01f, .iterations = 8};
+  Tensor adv = pgd(*model_, sub.images, sub.labels, p);
+  for (Index i = 0; i < adv.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - sub.images[i]), p.epsilon + 1e-5f);
+    EXPECT_GE(adv[i], 0.0f);
+    EXPECT_LE(adv[i], 1.0f);
+  }
+}
+
+TEST_F(ExtendedAttackTest, PgdReducesAccuracy) {
+  data::Dataset sub = split_->test.take(60);
+  const double clean = nn::evaluate_accuracy(*model_, sub.images, sub.labels);
+  PgdParams p{.epsilon = 0.1f, .step_size = 0.02f, .iterations = 10};
+  Tensor adv = pgd(*model_, sub.images, sub.labels, p);
+  EXPECT_LT(nn::evaluate_accuracy(*model_, adv, sub.labels), clean - 0.3);
+}
+
+TEST_F(ExtendedAttackTest, PgdRandomStartVariesWithSeed) {
+  data::Dataset sub = split_->test.take(2);
+  PgdParams a{.epsilon = 0.05f, .step_size = 0.01f, .iterations = 2,
+              .random_start = true, .seed = 1};
+  PgdParams b = a;
+  b.seed = 2;
+  Tensor adv_a = pgd(*model_, sub.images, sub.labels, a);
+  Tensor adv_b = pgd(*model_, sub.images, sub.labels, b);
+  float diff = 0.0f;
+  for (Index i = 0; i < adv_a.numel(); ++i) {
+    diff = std::max(diff, std::fabs(adv_a[i] - adv_b[i]));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST_F(ExtendedAttackTest, MiFgsmStaysInBudgetAndHurts) {
+  data::Dataset sub = split_->test.take(60);
+  MiFgsmParams p{.epsilon = 0.1f, .iterations = 8, .decay = 1.0f};
+  Tensor adv = mi_fgsm(*model_, sub.images, sub.labels, p);
+  for (Index i = 0; i < adv.numel(); ++i) {
+    EXPECT_LE(std::fabs(adv[i] - sub.images[i]), p.epsilon + 1e-5f);
+  }
+  const double clean = nn::evaluate_accuracy(*model_, sub.images, sub.labels);
+  EXPECT_LT(nn::evaluate_accuracy(*model_, adv, sub.labels), clean - 0.3);
+}
+
+TEST_F(ExtendedAttackTest, TargetedIfgsmHitsTarget) {
+  data::Dataset sub = split_->test.take(30);
+  // aim every sample at class (true + 1) mod 10
+  std::vector<int> targets;
+  for (int y : sub.labels) targets.push_back((y + 1) % 10);
+  AttackParams p{.epsilon = 0.03f, .iterations = 16};
+  Tensor adv = targeted_ifgsm(*model_, sub.images, targets, p);
+  const std::vector<int> pred = nn::predict(*model_, adv);
+  int hits = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (pred[i] == targets[i]) ++hits;
+  }
+  // targeted attacks are harder than untargeted; a third is a solid hit
+  // rate at this epsilon on a clean model
+  EXPECT_GT(hits, static_cast<int>(targets.size()) / 3);
+}
+
+TEST_F(ExtendedAttackTest, JsmaChangesFewPixels) {
+  data::Dataset sub = split_->test.take(10);
+  JsmaParams p{.theta = 1.0f, .max_pixels = 30};
+  Tensor adv = jsma(*model_, sub.images, sub.labels, p);
+  const Index per_sample = adv.numel() / adv.dim(0);
+  for (Index s = 0; s < adv.dim(0); ++s) {
+    Index changed = 0;
+    for (Index i = s * per_sample; i < (s + 1) * per_sample; ++i) {
+      if (adv[i] != sub.images[i]) ++changed;
+    }
+    EXPECT_LE(changed, 30) << "sample " << s;
+  }
+}
+
+TEST_F(ExtendedAttackTest, JsmaFoolsSomeSamples) {
+  data::Dataset sub = split_->test.take(20);
+  JsmaParams p{.theta = 1.0f, .max_pixels = 60};
+  Tensor adv = jsma(*model_, sub.images, sub.labels, p);
+  const std::vector<int> clean_pred = nn::predict(*model_, sub.images);
+  const std::vector<int> adv_pred = nn::predict(*model_, adv);
+  int flipped = 0;
+  for (std::size_t i = 0; i < sub.labels.size(); ++i) {
+    if (clean_pred[i] == sub.labels[i] && adv_pred[i] != sub.labels[i]) {
+      ++flipped;
+    }
+  }
+  EXPECT_GT(flipped, 3);
+}
+
+TEST_F(ExtendedAttackTest, ValidationErrors) {
+  data::Dataset sub = split_->test.take(2);
+  EXPECT_THROW(pgd(*model_, sub.images, {0},
+                   PgdParams{}),
+               std::invalid_argument);
+  EXPECT_THROW(pgd(*model_, sub.images, sub.labels,
+                   PgdParams{.epsilon = -1.0f}),
+               std::invalid_argument);
+  EXPECT_THROW(mi_fgsm(*model_, sub.images, sub.labels,
+                       MiFgsmParams{.epsilon = 0.0f}),
+               std::invalid_argument);
+  EXPECT_THROW(jsma(*model_, sub.images, sub.labels,
+                    JsmaParams{.max_pixels = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace con::attacks

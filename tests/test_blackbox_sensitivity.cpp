@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "attacks/attack.h"
+#include "attacks/blackbox.h"
+#include "compress/clustering.h"
+#include "compress/quant_activation.h"
+#include "core/sensitivity.h"
+#include "data/synth_digits.h"
+#include "io/checkpoint.h"
+#include "models/model_zoo.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+
+namespace con {
+namespace {
+
+using con::testing::random_batch;
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Shared trained victim for the black-box tests.
+class BlackboxTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthDigitsConfig dc;
+    dc.train_size = 1200;
+    dc.test_size = 150;
+    split_ = new data::TrainTestSplit(data::make_synth_digits(dc));
+    victim_ = new nn::Sequential(models::make_lenet5_small(99));
+    nn::TrainConfig tc;
+    tc.epochs = 5;
+    nn::train_classifier(*victim_, split_->train.images, split_->train.labels,
+                         tc);
+  }
+  static void TearDownTestSuite() {
+    delete victim_;
+    delete split_;
+    victim_ = nullptr;
+    split_ = nullptr;
+  }
+  static nn::Sequential* victim_;
+  static data::TrainTestSplit* split_;
+};
+
+nn::Sequential* BlackboxTest::victim_ = nullptr;
+data::TrainTestSplit* BlackboxTest::split_ = nullptr;
+
+TEST_F(BlackboxTest, OracleCountsQueries) {
+  attacks::ModelOracle oracle(*victim_);
+  EXPECT_EQ(oracle.queries_used(), 0u);
+  oracle.query(split_->test.take(7).images);
+  EXPECT_EQ(oracle.queries_used(), 7u);
+  oracle.query(split_->test.take(3).images);
+  EXPECT_EQ(oracle.queries_used(), 10u);
+}
+
+TEST_F(BlackboxTest, SubstituteLearnsToAgreeWithOracle) {
+  attacks::ModelOracle oracle(*victim_);
+  attacks::SubstituteConfig sc;
+  sc.make_substitute = [] { return models::make_lenet5_small(4242); };
+  sc.augmentation_rounds = 2;
+  sc.epochs_per_round = 8;  // 30 seeds is a tiny budget; train harder
+  attacks::SubstituteResult result =
+      attacks::train_substitute(oracle, split_->test.take(30).images, sc);
+  // dataset doubles per augmentation round: 30 -> 60 -> 120
+  EXPECT_EQ(result.final_train_size, 120);
+  EXPECT_GT(result.agreement, 0.6);
+  EXPECT_EQ(result.oracle_queries, oracle.queries_used());
+  EXPECT_GE(result.oracle_queries, 30u + 30u + 60u);
+}
+
+TEST_F(BlackboxTest, SubstituteAttackTransfersToVictim) {
+  attacks::ModelOracle oracle(*victim_);
+  attacks::SubstituteConfig sc;
+  sc.make_substitute = [] { return models::make_lenet5_small(777); };
+  sc.augmentation_rounds = 3;
+  attacks::SubstituteResult result =
+      attacks::train_substitute(oracle, split_->test.take(40).images, sc);
+
+  data::Dataset probes = split_->test.take(60);
+  Tensor adv = attacks::run_attack(
+      attacks::AttackKind::kIfgsm, result.substitute, probes.images,
+      probes.labels, attacks::AttackParams{.epsilon = 0.02f, .iterations = 12});
+  const double clean =
+      nn::evaluate_accuracy(*victim_, probes.images, probes.labels);
+  const double attacked =
+      nn::evaluate_accuracy(*victim_, adv, probes.labels);
+  EXPECT_LT(attacked, clean - 0.05);
+}
+
+TEST_F(BlackboxTest, SubstituteValidatesInput) {
+  attacks::ModelOracle oracle(*victim_);
+  attacks::SubstituteConfig sc;  // no builder
+  EXPECT_THROW(
+      attacks::train_substitute(oracle, split_->test.take(4).images, sc),
+      std::invalid_argument);
+  sc.make_substitute = [] { return models::make_lenet5_small(1); };
+  EXPECT_THROW(attacks::train_substitute(oracle, Tensor({1, 1, 28, 28}), sc),
+               std::invalid_argument);
+}
+
+TEST_F(BlackboxTest, NesAttackReducesConfidenceWithoutGradients) {
+  data::Dataset probes = split_->test.take(8);
+  auto prob_oracle = [&](const Tensor& x) {
+    return nn::softmax(victim_->forward(x, false));
+  };
+  attacks::NesParams np;
+  np.iterations = 4;
+  np.samples = 25;
+  Tensor adv = attacks::nes_attack(prob_oracle, probes.images, probes.labels,
+                                   np);
+  // valid pixels, and mean true-class probability strictly drops
+  EXPECT_GE(tensor::min_value(adv), 0.0f);
+  EXPECT_LE(tensor::max_value(adv), 1.0f);
+  Tensor p_clean = prob_oracle(probes.images);
+  Tensor p_adv = prob_oracle(adv);
+  double before = 0.0, after = 0.0;
+  for (Index i = 0; i < probes.size(); ++i) {
+    before += p_clean.at({i, probes.labels[static_cast<std::size_t>(i)]});
+    after += p_adv.at({i, probes.labels[static_cast<std::size_t>(i)]});
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST_F(BlackboxTest, NesValidatesParams) {
+  auto oracle = [&](const Tensor& x) {
+    return nn::softmax(victim_->forward(x, false));
+  };
+  data::Dataset probes = split_->test.take(2);
+  attacks::NesParams bad;
+  bad.samples = 0;
+  EXPECT_THROW(
+      attacks::nes_attack(oracle, probes.images, probes.labels, bad),
+      std::invalid_argument);
+}
+
+// ---- sensitivity scans -------------------------------------------------------
+
+TEST_F(BlackboxTest, PruneSensitivityScanIsSideEffectFree) {
+  std::vector<float> before;
+  for (nn::Parameter* p : victim_->parameters()) {
+    before.insert(before.end(), p->value.flat().begin(),
+                  p->value.flat().end());
+    EXPECT_FALSE(p->has_mask());
+  }
+  double dense_acc = 0.0;
+  auto points = core::prune_sensitivity_scan(*victim_, split_->test.take(60),
+                                             {0.5, 0.1}, &dense_acc);
+  // model untouched afterwards
+  std::size_t i = 0;
+  for (nn::Parameter* p : victim_->parameters()) {
+    EXPECT_FALSE(p->has_mask());
+    for (float v : p->value.flat()) ASSERT_EQ(v, before[i++]);
+  }
+  // 4 compressible params x 2 densities
+  EXPECT_EQ(points.size(), 8u);
+  EXPECT_GT(dense_acc, 0.8);
+  for (const auto& pt : points) {
+    EXPECT_LE(pt.accuracy, 1.0);
+    EXPECT_GE(pt.accuracy, 0.0);
+  }
+}
+
+TEST_F(BlackboxTest, SensitivityDropsWithAggressiveness) {
+  auto points = core::prune_sensitivity_scan(*victim_, split_->test.take(60),
+                                             {0.5, 0.02});
+  // for each parameter: accuracy at density 0.02 <= accuracy at 0.5 + noise
+  for (std::size_t i = 0; i < points.size(); i += 2) {
+    EXPECT_LE(points[i + 1].accuracy, points[i].accuracy + 0.05)
+        << points[i].parameter;
+  }
+}
+
+TEST_F(BlackboxTest, QuantSensitivityScanRestoresTransforms) {
+  auto points = core::quant_sensitivity_scan(*victim_, split_->test.take(40),
+                                             {8, 2});
+  for (nn::Parameter* p : victim_->parameters()) {
+    EXPECT_EQ(p->transform, nullptr);
+  }
+  EXPECT_EQ(points.size(), 8u);
+  // 2-bit single-layer quantisation hurts at least one layer more than 8-bit
+  double worst8 = 1.0, worst2 = 1.0;
+  for (std::size_t i = 0; i < points.size(); i += 2) {
+    worst8 = std::min(worst8, points[i].accuracy);
+    worst2 = std::min(worst2, points[i + 1].accuracy);
+  }
+  EXPECT_LE(worst2, worst8 + 1e-9);
+}
+
+// ---- checkpoint v2 transform records ------------------------------------------
+
+TEST(CheckpointV2, FixedPointTransformSurvivesRoundTrip) {
+  nn::Sequential a = compress::quantize_model(
+      models::make_lenet5_small(11),
+      compress::QuantizeOptions{
+          .format = compress::FixedPointFormat::paper_format(8),
+          .quantize_weights = true,
+          .quantize_activations = false});
+  const std::string path = "/tmp/con_ckptv2_fp.bin";
+  io::save_model(a, path);
+  nn::Sequential b = models::make_lenet5_small(12);
+  io::load_model_into(b, path);
+  // the loaded model carries the transform and produces identical outputs
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 13);
+  Tensor ya = a.forward(x, false);
+  Tensor yb = b.forward(x, false);
+  for (Index i = 0; i < ya.numel(); ++i) ASSERT_EQ(ya[i], yb[i]);
+  for (nn::Parameter* p : b.parameters()) {
+    if (p->compressible) EXPECT_NE(p->transform, nullptr);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointV2, ClusterTransformSurvivesRoundTrip) {
+  nn::Sequential a =
+      compress::cluster_model(models::make_lenet5_small(14), 3);
+  const std::string path = "/tmp/con_ckptv2_cl.bin";
+  io::save_model(a, path);
+  nn::Sequential b = models::make_lenet5_small(15);
+  io::load_model_into(b, path);
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 16);
+  Tensor ya = a.forward(x, false);
+  Tensor yb = b.forward(x, false);
+  for (Index i = 0; i < ya.numel(); ++i) ASSERT_EQ(ya[i], yb[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointV2, PlainModelHasNoTransformAfterLoad) {
+  nn::Sequential a = models::make_lenet5_small(17);
+  const std::string path = "/tmp/con_ckptv2_plain.bin";
+  io::save_model(a, path);
+  nn::Sequential b = compress::quantize_model(
+      models::make_lenet5_small(18),
+      compress::QuantizeOptions{
+          .format = compress::FixedPointFormat::paper_format(4),
+          .quantize_weights = true,
+          .quantize_activations = false});
+  // loading a plain checkpoint must CLEAR the stale transform
+  io::load_model_into(b, path);
+  for (nn::Parameter* p : b.parameters()) EXPECT_EQ(p->transform, nullptr);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace con

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "compress/clustering.h"
+#include "compress/integer_exec.h"
+#include "compress/pruner.h"
+#include "data/synth_digits.h"
+#include "models/model_zoo.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "test_helpers.h"
+
+namespace con::compress {
+namespace {
+
+using con::testing::random_batch;
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---- integer execution -----------------------------------------------------
+
+class IntegerExecTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegerExecTest, MatchesFakeQuantExactly) {
+  const int bits = GetParam();
+  const FixedPointFormat fmt = FixedPointFormat::paper_format(bits);
+  util::Rng rng(11);
+  Tensor w({6, 10});
+  tensor::fill_normal(w, rng, 0.0f, 0.3f);
+  Tensor wq = fixed_point_quantize(w, fmt);
+  Tensor b({6});
+  tensor::fill_normal(b, rng, 0.0f, 0.1f);
+  Tensor x = random_batch(Shape{4, 10}, 12);
+
+  IntegerLinear layer = lower_linear(wq, b, fmt, fmt);
+  EXPECT_EQ(integer_vs_fake_divergence(layer, wq, b, x), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBitwidths, IntegerExecTest,
+                         ::testing::Values(4, 8, 16));
+
+TEST(IntegerExec, RejectsOffGridWeights) {
+  const FixedPointFormat fmt = FixedPointFormat::paper_format(8);
+  Tensor w({1, 2}, std::vector<float>{0.1f, 0.2f});  // not on the 2^-6 grid
+  Tensor b({1});
+  EXPECT_THROW(lower_linear(w, b, fmt, fmt), std::invalid_argument);
+}
+
+TEST(IntegerExec, SaturatesLikeTheFloatPath) {
+  const FixedPointFormat fmt = FixedPointFormat::paper_format(4);
+  // all-max weights so the accumulator overflows the 4-bit output range
+  Tensor w({1, 8}, 0.875f);
+  Tensor b({1});
+  IntegerLinear layer = lower_linear(w, b, fmt, fmt);
+  Tensor x({1, 8}, 0.875f);
+  Tensor y = integer_linear_forward(layer, x);
+  Tensor yf = fake_quant_linear_forward(w, b, fmt, fmt, x);
+  EXPECT_FLOAT_EQ(y[0], yf[0]);
+  // both saturate at the top code of the 4-bit grid
+  EXPECT_FLOAT_EQ(y[0], 0.875f);
+}
+
+TEST(IntegerExec, CodesStayInRange) {
+  const FixedPointFormat fmt = FixedPointFormat::paper_format(8);
+  util::Rng rng(13);
+  Tensor w({4, 6});
+  tensor::fill_normal(w, rng, 0.0f, 0.5f);
+  Tensor wq = fixed_point_quantize(w, fmt);
+  IntegerLinear layer = lower_linear(wq, Tensor({4}), fmt, fmt);
+  const std::int32_t hi = (1 << (fmt.total_bits - 1)) - 1;
+  for (std::int32_t c : layer.weight_codes) {
+    EXPECT_LE(std::abs(c), hi + 1);
+  }
+}
+
+// ---- weight clustering -----------------------------------------------------
+
+TEST(Kmeans1d, RecoverablesDistinctClusters) {
+  std::vector<float> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(1.0f + 0.01f * static_cast<float>(i % 5));
+    data.push_back(5.0f + 0.01f * static_cast<float>(i % 5));
+  }
+  std::vector<float> c = kmeans_1d(data, 2, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 1.02f, 0.05f);
+  EXPECT_NEAR(c[1], 5.02f, 0.05f);
+}
+
+TEST(Kmeans1d, DegenerateDataCollapses) {
+  std::vector<float> data(20, 3.0f);
+  std::vector<float> c = kmeans_1d(data, 4, 2);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+}
+
+TEST(Kmeans1d, RejectsBadInput) {
+  EXPECT_THROW(kmeans_1d({}, 2, 1), std::invalid_argument);
+  EXPECT_THROW(kmeans_1d({1.0f}, 0, 1), std::invalid_argument);
+}
+
+TEST(SnapToCentroids, PicksNearest) {
+  Tensor t({4}, std::vector<float>{-1.0f, 0.4f, 0.6f, 2.0f});
+  Tensor s = snap_to_centroids(t, {0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(s[0], 0.0f);
+  EXPECT_FLOAT_EQ(s[1], 0.0f);
+  EXPECT_FLOAT_EQ(s[2], 1.0f);
+  EXPECT_FLOAT_EQ(s[3], 1.0f);
+}
+
+TEST(ClusterModel, LimitsDistinctWeightValues) {
+  nn::Sequential base = models::make_lenet5_small(21);
+  const int bits = 3;
+  nn::Sequential clustered = cluster_model(base, bits);
+  for (nn::Parameter* p : clustered.parameters()) {
+    if (!p->compressible) continue;
+    Tensor eff = p->effective();
+    std::set<float> distinct(eff.flat().begin(), eff.flat().end());
+    // 2^bits centroids plus the zero entry
+    EXPECT_LE(distinct.size(), (1u << bits) + 1) << p->name;
+    EXPECT_GE(distinct.size(), 2u) << p->name;
+  }
+}
+
+TEST(ClusterModel, PreservesMaskedZeros) {
+  nn::Sequential base = models::make_lenet5_small(22);
+  DnsPruner pruner(base, DnsConfig{.target_density = 0.3});
+  nn::Sequential clustered = cluster_model(base, 4);
+  // every masked position stays exactly zero in the effective weights
+  auto params = clustered.parameters();
+  for (nn::Parameter* p : params) {
+    if (!p->compressible || !p->has_mask()) continue;
+    Tensor eff = p->effective();
+    for (Index i = 0; i < eff.numel(); ++i) {
+      if (p->mask[i] == 0.0f) ASSERT_EQ(eff[i], 0.0f);
+    }
+  }
+  EXPECT_NEAR(clustered.density(), 0.3, 0.03);
+}
+
+TEST(ClusterModel, AccuracyDegradesGracefully) {
+  // 5-bit clustering of a trained digit model should lose only a little
+  // accuracy (deep compression's headline result); 1-bit clustering hurts.
+  data::SynthDigitsConfig dc;
+  dc.train_size = 1500;
+  dc.test_size = 200;
+  data::TrainTestSplit split = data::make_synth_digits(dc);
+  nn::Sequential base = models::make_lenet5_small(24);
+  nn::TrainConfig tc;
+  tc.epochs = 6;
+  nn::train_classifier(base, split.train.images, split.train.labels, tc);
+  const double base_acc =
+      nn::evaluate_accuracy(base, split.test.images, split.test.labels);
+  ASSERT_GT(base_acc, 0.7);
+  nn::Sequential c5 = cluster_model(base, 5);
+  const double c5_acc =
+      nn::evaluate_accuracy(c5, split.test.images, split.test.labels);
+  EXPECT_GT(c5_acc, base_acc - 0.1);
+  nn::Sequential c1 = cluster_model(base, 1);
+  const double c1_acc =
+      nn::evaluate_accuracy(c1, split.test.images, split.test.labels);
+  EXPECT_LT(c1_acc, base_acc - 0.05);
+}
+
+TEST(ClusterModel, BitsValidated) {
+  nn::Sequential base = models::make_lenet5_small(25);
+  EXPECT_THROW(cluster_model(base, 0), std::invalid_argument);
+  EXPECT_THROW(cluster_model(base, 17), std::invalid_argument);
+}
+
+TEST(ClusterTransform, DescribeMentionsCodebook) {
+  ClusterWeightTransform t({-0.5f, 0.0f, 0.5f}, 2);
+  EXPECT_NE(t.describe().find("shared values"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace con::compress

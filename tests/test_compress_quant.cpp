@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/fixed_point.h"
+#include "compress/quant_activation.h"
+#include "models/model_zoo.h"
+#include "nn/linear.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+
+namespace con::compress {
+namespace {
+
+using con::testing::random_batch;
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(FixedPointFormat, StepAndBounds) {
+  FixedPointFormat q{.total_bits = 4, .integer_bits = 1};
+  EXPECT_EQ(q.fraction_bits(), 3);
+  EXPECT_FLOAT_EQ(q.step(), 0.125f);
+  EXPECT_FLOAT_EQ(q.lo(), -1.0f);
+  EXPECT_FLOAT_EQ(q.hi(), 0.875f);
+}
+
+TEST(FixedPointFormat, PaperAllocation) {
+  // "1-bit integer when bitwidth is 4, 2-bit integer when bitwidth is 8,
+  // 4-bit integers for the rest"
+  EXPECT_EQ(FixedPointFormat::paper_format(4).integer_bits, 1);
+  EXPECT_EQ(FixedPointFormat::paper_format(8).integer_bits, 2);
+  EXPECT_EQ(FixedPointFormat::paper_format(16).integer_bits, 4);
+  EXPECT_EQ(FixedPointFormat::paper_format(32).integer_bits, 4);
+  EXPECT_THROW(FixedPointFormat::paper_format(1), std::invalid_argument);
+}
+
+TEST(FixedPointQuantize, RoundsToGrid) {
+  FixedPointFormat q{.total_bits = 8, .integer_bits = 2};
+  // step = 2^-6 = 0.015625
+  EXPECT_FLOAT_EQ(fixed_point_quantize(0.02f, q), 0.015625f);
+  EXPECT_FLOAT_EQ(fixed_point_quantize(0.0f, q), 0.0f);
+  // -0.008 / step = -0.512 -> nearest grid point is -1 step
+  EXPECT_FLOAT_EQ(fixed_point_quantize(-0.008f, q), -0.015625f);
+  // -0.007 / step = -0.448 -> rounds to zero
+  EXPECT_FLOAT_EQ(fixed_point_quantize(-0.007f, q), 0.0f);
+}
+
+TEST(FixedPointQuantize, SaturatesAtBounds) {
+  FixedPointFormat q{.total_bits = 4, .integer_bits = 1};
+  EXPECT_FLOAT_EQ(fixed_point_quantize(5.0f, q), 0.875f);
+  EXPECT_FLOAT_EQ(fixed_point_quantize(-5.0f, q), -1.0f);
+}
+
+TEST(FixedPointQuantize, IdempotentOnGrid) {
+  FixedPointFormat q{.total_bits = 8, .integer_bits = 2};
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const float v = rng.uniform_f(-3.0f, 3.0f);
+    const float once = fixed_point_quantize(v, q);
+    EXPECT_FLOAT_EQ(fixed_point_quantize(once, q), once);
+  }
+}
+
+// Property sweep: quantisation error is bounded by step/2 inside the
+// representable range, for every paper bitwidth.
+class QuantErrorBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantErrorBound, ErrorWithinHalfStep) {
+  const FixedPointFormat q = FixedPointFormat::paper_format(GetParam());
+  util::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const float v = rng.uniform_f(q.lo(), q.hi());
+    const float e = std::fabs(fixed_point_quantize(v, q) - v);
+    EXPECT_LE(e, q.step() * 0.5f + 1e-7f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBitwidths, QuantErrorBound,
+                         ::testing::Values(4, 8, 12, 16, 24, 32));
+
+TEST(WeightTransform, GateBlocksSaturatedValues) {
+  FixedPointWeightTransform t(FixedPointFormat{.total_bits = 4,
+                                               .integer_bits = 1});
+  Tensor raw({4}, std::vector<float>{0.5f, 2.0f, -3.0f, -0.25f});
+  Tensor eff({4}), gate({4});
+  t.apply(raw, eff, gate);
+  EXPECT_FLOAT_EQ(eff[0], 0.5f);
+  EXPECT_FLOAT_EQ(eff[1], 0.875f);   // clipped high
+  EXPECT_FLOAT_EQ(eff[2], -1.0f);    // clipped low
+  EXPECT_FLOAT_EQ(eff[3], -0.25f);
+  EXPECT_FLOAT_EQ(gate[0], 1.0f);
+  EXPECT_FLOAT_EQ(gate[1], 0.0f);
+  EXPECT_FLOAT_EQ(gate[2], 0.0f);
+  EXPECT_FLOAT_EQ(gate[3], 1.0f);
+}
+
+TEST(QuantActivationLayer, ForwardQuantisesBackwardGates) {
+  QuantActivation layer(FixedPointFormat{.total_bits = 4, .integer_bits = 1});
+  Tensor x({3}, std::vector<float>{0.3f, 1.7f, -0.06f});
+  Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.25f);
+  EXPECT_FLOAT_EQ(y[1], 0.875f);  // saturated
+  EXPECT_FLOAT_EQ(y[2], 0.0f);    // -0.06/0.125 = -0.48 rounds to zero
+  Tensor g({3}, std::vector<float>{1.0f, 1.0f, 1.0f});
+  Tensor gx = layer.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+  EXPECT_FLOAT_EQ(gx[1], 0.0f);  // gradient blocked at the clip
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+}
+
+TEST(QuantizeModel, InsertsActivationLayersAndTransforms) {
+  nn::Sequential base = models::make_lenet5_small(7);
+  const std::size_t n_before = base.num_layers();
+  nn::Sequential q = quantize_model(
+      base, QuantizeOptions{.format = FixedPointFormat::paper_format(8)});
+  EXPECT_GT(q.num_layers(), n_before);
+  // every compressible parameter carries the transform
+  for (nn::Parameter* p : q.parameters()) {
+    if (p->compressible) {
+      EXPECT_NE(p->transform, nullptr) << p->name;
+    } else {
+      EXPECT_EQ(p->transform, nullptr) << p->name;
+    }
+  }
+  // the original model is untouched
+  for (nn::Parameter* p : base.parameters()) EXPECT_EQ(p->transform, nullptr);
+}
+
+TEST(QuantizeModel, WeightOnlyModeAddsNoLayers) {
+  nn::Sequential base = models::make_lenet5_small(7);
+  const std::size_t n_before = base.num_layers();
+  nn::Sequential q = quantize_model(
+      base, QuantizeOptions{.format = FixedPointFormat::paper_format(8),
+                            .quantize_weights = true,
+                            .quantize_activations = false});
+  EXPECT_EQ(q.num_layers(), n_before);
+}
+
+TEST(QuantizeModel, OutputsLieOnQuantisedPath) {
+  // With activation quantisation at 4 bits, all intermediate activations
+  // must be within the format's representable range.
+  nn::Sequential base = models::make_lenet5_small(7);
+  const FixedPointFormat fmt = FixedPointFormat::paper_format(4);
+  nn::Sequential q =
+      quantize_model(base, QuantizeOptions{.format = fmt});
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 51);
+  Tensor h = x;
+  for (std::size_t i = 0; i < q.num_layers(); ++i) {
+    h = q.layer(i).forward(h, false);
+    if (dynamic_cast<QuantActivation*>(&q.layer(i)) != nullptr) {
+      EXPECT_GE(tensor::min_value(h), fmt.lo());
+      EXPECT_LE(tensor::max_value(h), fmt.hi());
+    }
+  }
+}
+
+TEST(QuantizeModel, HighBitwidthPreservesPredictions) {
+  // 32-bit fixed point (4.28) is a near-noop for trained-scale weights:
+  // predictions must match the float model on random inputs.
+  nn::Sequential base = models::make_lenet5_small(7);
+  nn::Sequential q = quantize_model(
+      base, QuantizeOptions{.format = FixedPointFormat::paper_format(32)});
+  Tensor x = random_batch(Shape{8, 1, 28, 28}, 52);
+  std::vector<int> pf = nn::predict(base, x);
+  std::vector<int> pq = nn::predict(q, x);
+  EXPECT_EQ(pf, pq);
+}
+
+TEST(StripQuantization, RemovesEverything) {
+  nn::Sequential base = models::make_lenet5_small(7);
+  nn::Sequential q = quantize_model(
+      base, QuantizeOptions{.format = FixedPointFormat::paper_format(4)});
+  nn::Sequential back = strip_quantization(q);
+  EXPECT_EQ(back.num_layers(), base.num_layers());
+  for (nn::Parameter* p : back.parameters()) EXPECT_EQ(p->transform, nullptr);
+}
+
+TEST(QuantAwareTraining, StepImprovesQuantisedLoss) {
+  // One SGD step through the STE must reduce the training loss of the
+  // quantised model (sanity that gradients are usable).
+  util::Rng rng(61);
+  nn::Sequential base("tiny");
+  base.emplace<nn::Linear>(8, 10, rng, "fc");
+  nn::Sequential q = quantize_model(
+      base, QuantizeOptions{.format = FixedPointFormat::paper_format(8)});
+  Tensor x = random_batch(Shape{16, 8}, 62);
+  std::vector<int> labels;
+  for (int i = 0; i < 16; ++i) labels.push_back(i % 10);
+  const double before = nn::evaluate_loss(q, x, labels);
+  nn::TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 16;
+  tc.base_lr = 0.1f;
+  tc.use_paper_lr_schedule = false;
+  nn::train_classifier(q, x, labels, tc);
+  const double after = nn::evaluate_loss(q, x, labels);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace con::compress

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/pruner.h"
+#include "compress/quant_activation.h"
+#include "core/defense.h"
+#include "core/feature_space.h"
+#include "data/synth_digits.h"
+#include "models/model_zoo.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "test_helpers.h"
+
+namespace con::core {
+namespace {
+
+using con::testing::random_batch;
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---- CKA / feature-space analysis ------------------------------------------
+
+TEST(LinearCka, IdenticalMatricesScoreOne) {
+  Tensor x = random_batch(Shape{12, 5}, 1);
+  EXPECT_NEAR(linear_cka(x, x), 1.0, 1e-6);
+}
+
+TEST(LinearCka, InvariantToOrthogonalRotationAndScale) {
+  Tensor x = random_batch(Shape{16, 2}, 2);
+  // rotate by 45 degrees and scale by 3 — CKA must stay 1
+  Tensor y({16, 2});
+  const float c = std::cos(0.7853982f), s = std::sin(0.7853982f);
+  for (Index i = 0; i < 16; ++i) {
+    y.at({i, 0}) = 3.0f * (c * x.at({i, 0}) - s * x.at({i, 1}));
+    y.at({i, 1}) = 3.0f * (s * x.at({i, 0}) + c * x.at({i, 1}));
+  }
+  EXPECT_NEAR(linear_cka(x, y), 1.0, 1e-5);
+}
+
+TEST(LinearCka, IndependentNoiseScoresLow) {
+  Tensor x = random_batch(Shape{40, 8}, 3);
+  Tensor y = random_batch(Shape{40, 8}, 999);
+  EXPECT_LT(linear_cka(x, y), 0.5);
+}
+
+TEST(LinearCka, HandlesDifferentWidths) {
+  Tensor x = random_batch(Shape{10, 4}, 4);
+  Tensor y = random_batch(Shape{10, 9}, 5);
+  const double v = linear_cka(x, y);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(LinearCka, RejectsBadShapes) {
+  EXPECT_THROW(linear_cka(Tensor({3, 2}), Tensor({4, 2})),
+               std::invalid_argument);
+  EXPECT_THROW(linear_cka(Tensor({1, 2}), Tensor({1, 2})),
+               std::invalid_argument);
+}
+
+TEST(FeatureSpace, PrunedModelKeepsHighSimilarity) {
+  // The paper's §4.1 hypothesis, quantified: a mildly pruned model keeps a
+  // similar feature space; an extremely pruned one diverges more.
+  data::SynthDigitsConfig dc;
+  dc.train_size = 800;
+  dc.test_size = 50;
+  data::TrainTestSplit split = data::make_synth_digits(dc);
+  nn::Sequential base = models::make_lenet5_small(31);
+  nn::TrainConfig tc;
+  tc.epochs = 4;
+  nn::train_classifier(base, split.train.images, split.train.labels, tc);
+
+  nn::Sequential mild = base.clone();
+  compress::DnsPruner p_mild(mild, compress::DnsConfig{.target_density = 0.6});
+  nn::Sequential extreme = base.clone();
+  compress::DnsPruner p_ext(extreme,
+                            compress::DnsConfig{.target_density = 0.02});
+
+  Tensor probe = split.test.take(16).images;
+  const double sim_mild = mean_feature_similarity(base, mild, probe);
+  const double sim_extreme = mean_feature_similarity(base, extreme, probe);
+  EXPECT_GT(sim_mild, 0.9);
+  EXPECT_GT(sim_mild, sim_extreme);
+}
+
+TEST(FeatureSpace, MatchesLayersByNameAcrossQuantisation) {
+  nn::Sequential base = models::make_lenet5_small(32);
+  nn::Sequential quant = compress::quantize_model(
+      base, compress::QuantizeOptions{
+                .format = compress::FixedPointFormat::paper_format(16)});
+  Tensor probe = random_batch(Shape{8, 1, 28, 28}, 33);
+  // quantisation inserts layers, but named layers still match
+  const auto sims = feature_space_similarity(base, quant, probe);
+  EXPECT_GE(sims.size(), 6u);
+  for (const LayerSimilarity& s : sims) {
+    EXPECT_GT(s.cka, 0.98) << s.layer_name;  // 16-bit is a near-noop
+  }
+}
+
+TEST(FeatureSpace, ThrowsWhenNothingMatches) {
+  nn::Sequential a = models::make_lenet5_small(34);
+  nn::Sequential b = models::make_cifarnet_small(34);
+  Tensor probe = random_batch(Shape{4, 1, 28, 28}, 35);
+  EXPECT_THROW(mean_feature_similarity(a, b, probe), std::exception);
+}
+
+// ---- adversarial training ---------------------------------------------------
+
+TEST(AdversarialTraining, ImprovesRobustness) {
+  data::SynthDigitsConfig dc;
+  dc.train_size = 1000;
+  dc.test_size = 200;
+  data::TrainTestSplit split = data::make_synth_digits(dc);
+
+  // Protocol: pre-train clean, then adversarially fine-tune against
+  // single-step FGSM — the classic Goodfellow setting, where the defence is
+  // demonstrably effective (no small model shrugs off a 12-step iterative
+  // attack). The adversarial phase needs a real budget: with too few epochs
+  // the model never adapts to the shifted input distribution.
+  nn::Sequential clean_model = models::make_lenet5_small(41);
+  nn::TrainConfig tc;
+  tc.epochs = 6;
+  nn::train_classifier(clean_model, split.train.images, split.train.labels,
+                       tc);
+  nn::Sequential robust_model = clean_model.clone();
+
+  AdvTrainConfig ac;
+  ac.train = tc;
+  ac.train.epochs = 8;
+  ac.attack = attacks::AttackKind::kFgsm;
+  ac.attack_params = attacks::AttackParams{.epsilon = 0.05f, .iterations = 1};
+  ac.adversarial_fraction = 0.5;
+  adversarial_train(robust_model, split.train, ac);
+
+  data::Dataset probe = split.test.take(80);
+  const attacks::AttackParams eval_params{.epsilon = 0.05f, .iterations = 1};
+  RobustnessReport clean_rep = measure_robustness(
+      clean_model, probe, attacks::AttackKind::kFgsm, eval_params);
+  RobustnessReport robust_rep = measure_robustness(
+      robust_model, probe, attacks::AttackKind::kFgsm, eval_params);
+
+  // adversarial training must cut the fooling rate substantially
+  EXPECT_LT(robust_rep.fooling_rate, clean_rep.fooling_rate - 0.1);
+  // without giving up too much clean accuracy
+  EXPECT_GT(robust_rep.clean_accuracy, clean_rep.clean_accuracy - 0.15);
+}
+
+TEST(AdversarialTraining, ValidatesConfig) {
+  nn::Sequential m = models::make_lenet5_small(42);
+  data::Dataset empty;
+  AdvTrainConfig ac;
+  EXPECT_THROW(adversarial_train(m, empty, ac), std::invalid_argument);
+  data::Dataset tiny{random_batch(Shape{4, 1, 28, 28}, 43), {0, 1, 2, 3}};
+  ac.adversarial_fraction = 1.5;
+  EXPECT_THROW(adversarial_train(m, tiny, ac), std::invalid_argument);
+}
+
+TEST(MeasureRobustness, ReportsConsistentNumbers) {
+  data::SynthDigitsConfig dc;
+  dc.train_size = 600;
+  dc.test_size = 100;
+  data::TrainTestSplit split = data::make_synth_digits(dc);
+  nn::Sequential m = models::make_lenet5_small(44);
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  nn::train_classifier(m, split.train.images, split.train.labels, tc);
+
+  RobustnessReport rep = measure_robustness(
+      m, split.test.take(50), attacks::AttackKind::kIfgsm,
+      attacks::AttackParams{.epsilon = 0.03f, .iterations = 6});
+  EXPECT_GE(rep.clean_accuracy, 0.0);
+  EXPECT_LE(rep.clean_accuracy, 1.0);
+  EXPECT_LE(rep.adversarial_accuracy, rep.clean_accuracy + 1e-9);
+  EXPECT_GE(rep.fooling_rate, 0.0);
+  EXPECT_LE(rep.fooling_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace con::core

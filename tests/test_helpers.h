@@ -1,0 +1,88 @@
+// Shared helpers for the test suite: numerical gradient checking and small
+// model/dataset builders.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace con::testing {
+
+using tensor::Index;
+using tensor::Tensor;
+
+// Central-difference numerical gradient of `f` w.r.t. `x`.
+inline Tensor numerical_gradient(const std::function<double(const Tensor&)>& f,
+                                 const Tensor& x, double h = 1e-3) {
+  Tensor grad(x.shape());
+  Tensor probe = x;
+  for (Index i = 0; i < x.numel(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + static_cast<float>(h);
+    const double fp = f(probe);
+    probe[i] = orig - static_cast<float>(h);
+    const double fm = f(probe);
+    probe[i] = orig;
+    grad[i] = static_cast<float>((fp - fm) / (2.0 * h));
+  }
+  return grad;
+}
+
+// Max relative error between two gradients, with an absolute floor so
+// near-zero entries do not blow up the ratio.
+inline double max_gradient_error(const Tensor& analytic,
+                                 const Tensor& numeric) {
+  double worst = 0.0;
+  for (Index i = 0; i < analytic.numel(); ++i) {
+    const double a = analytic[i];
+    const double n = numeric[i];
+    const double denom = std::max({std::fabs(a), std::fabs(n), 1e-2});
+    worst = std::max(worst, std::fabs(a - n) / denom);
+  }
+  return worst;
+}
+
+// Quantile of coordinate-wise relative gradient errors. On *trained*
+// piecewise-linear nets (ReLU + maxpool), finite differences cross kinks at
+// a handful of coordinates where the numerical gradient is meaningless, so
+// trained-model checks assert on a high quantile instead of the max.
+inline double gradient_error_quantile(const Tensor& analytic,
+                                      const Tensor& numeric, double q) {
+  std::vector<double> errs;
+  errs.reserve(static_cast<std::size_t>(analytic.numel()));
+  for (Index i = 0; i < analytic.numel(); ++i) {
+    const double a = analytic[i];
+    const double n = numeric[i];
+    const double denom = std::max({std::fabs(a), std::fabs(n), 1e-2});
+    errs.push_back(std::fabs(a - n) / denom);
+  }
+  std::sort(errs.begin(), errs.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(errs.size() - 1));
+  return errs[idx];
+}
+
+// Loss of `model` on (x, labels) as a plain function of x — the scalar that
+// attacks differentiate.
+inline double model_loss(nn::Sequential& model, const Tensor& x,
+                         const std::vector<int>& labels) {
+  Tensor logits = model.forward(x, /*train=*/false);
+  return nn::softmax_cross_entropy(logits, labels).loss;
+}
+
+// A deterministic random batch in [0, 1].
+inline Tensor random_batch(tensor::Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t{std::move(shape)};
+  for (float& v : t.flat()) v = rng.uniform_f(0.05f, 0.95f);
+  return t;
+}
+
+}  // namespace con::testing

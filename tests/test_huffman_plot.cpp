@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/huffman.h"
+#include "util/ascii_plot.h"
+#include "util/rng.h"
+
+namespace con {
+namespace {
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  std::vector<std::int32_t> syms(10, 7);
+  sparse::HuffmanCode code = sparse::build_huffman(syms);
+  ASSERT_EQ(code.lengths.size(), 1u);
+  EXPECT_EQ(code.lengths.at(7), 1);
+  EXPECT_EQ(sparse::encoded_bits(code, syms), 10u);
+}
+
+TEST(Huffman, SkewedDistributionGetsShortCodesForFrequentSymbols) {
+  std::vector<std::int32_t> syms;
+  for (int i = 0; i < 90; ++i) syms.push_back(0);
+  for (int i = 0; i < 6; ++i) syms.push_back(1);
+  for (int i = 0; i < 4; ++i) syms.push_back(2);
+  sparse::HuffmanCode code = sparse::build_huffman(syms);
+  EXPECT_LT(code.lengths.at(0), code.lengths.at(2));
+  EXPECT_EQ(code.lengths.at(0), 1);
+}
+
+TEST(Huffman, PrefixFreeProperty) {
+  util::Rng rng(3);
+  std::vector<std::int32_t> syms;
+  for (int i = 0; i < 500; ++i) {
+    syms.push_back(static_cast<std::int32_t>(rng.below(12)));
+  }
+  sparse::HuffmanCode code = sparse::build_huffman(syms);
+  // no codeword is a prefix of another
+  for (const auto& [sa, la] : code.lengths) {
+    for (const auto& [sb, lb] : code.lengths) {
+      if (sa == sb || la > lb) continue;
+      const std::uint64_t ca = code.codewords.at(sa);
+      const std::uint64_t cb = code.codewords.at(sb);
+      EXPECT_NE(ca, cb >> (lb - la))
+          << "codeword of " << sa << " prefixes " << sb;
+    }
+  }
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  util::Rng rng(4);
+  std::vector<std::int32_t> syms;
+  for (int i = 0; i < 300; ++i) {
+    // skewed distribution: mostly zeros like quantised weight codes
+    syms.push_back(rng.uniform() < 0.7 ? 0
+                                       : static_cast<std::int32_t>(
+                                             rng.below(16)) - 8);
+  }
+  sparse::HuffmanCode code = sparse::build_huffman(syms);
+  auto bits = sparse::huffman_encode(code, syms);
+  auto back = sparse::huffman_decode(code, bits, syms.size());
+  EXPECT_EQ(back, syms);
+  // packed size matches the predicted bit count
+  EXPECT_EQ(bits.size(), (sparse::encoded_bits(code, syms) + 7) / 8);
+}
+
+TEST(Huffman, BeatsFixedWidthOnSkewedData) {
+  // 16 symbols, highly skewed: Huffman must beat the 4-bit fixed encoding
+  // and sit within ~1.05x of the entropy bound per Huffman's guarantee.
+  util::Rng rng(5);
+  std::vector<std::int32_t> syms;
+  for (int i = 0; i < 5000; ++i) {
+    syms.push_back(rng.uniform() < 0.8 ? 0
+                                       : static_cast<std::int32_t>(
+                                             rng.below(15)) + 1);
+  }
+  sparse::HuffmanCode code = sparse::build_huffman(syms);
+  const double bits_per_symbol =
+      static_cast<double>(sparse::encoded_bits(code, syms)) /
+      static_cast<double>(syms.size());
+  const double entropy = sparse::symbol_entropy(syms);
+  EXPECT_LT(bits_per_symbol, 4.0);
+  EXPECT_GE(bits_per_symbol, entropy - 1e-9);
+  EXPECT_LT(bits_per_symbol, entropy + 1.0);  // Huffman is within 1 bit
+}
+
+TEST(Huffman, ErrorsOnUnknownSymbolsAndEmptyInput) {
+  EXPECT_THROW(sparse::build_huffman({}), std::invalid_argument);
+  sparse::HuffmanCode code = sparse::build_huffman({1, 2, 2});
+  EXPECT_THROW(sparse::encoded_bits(code, {3}), std::invalid_argument);
+  EXPECT_THROW(sparse::huffman_encode(code, {3}), std::invalid_argument);
+}
+
+TEST(Huffman, EntropyOfUniformIsLogK) {
+  std::vector<std::int32_t> syms;
+  for (int i = 0; i < 8000; ++i) syms.push_back(i % 8);
+  EXPECT_NEAR(sparse::symbol_entropy(syms), 3.0, 1e-9);
+}
+
+TEST(AsciiPlot, RendersAllSeriesAndLegend) {
+  std::vector<double> xs = {1.0, 0.5, 0.1};
+  std::vector<util::Series> series = {
+      {"alpha", {0.9, 0.8, 0.3}},
+      {"beta", {0.1, 0.2, 0.7}},
+  };
+  const std::string plot = util::render_plot(xs, series);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("alpha"), std::string::npos);
+  EXPECT_NE(plot.find("beta"), std::string::npos);
+}
+
+TEST(AsciiPlot, AutoYRangeCoversData) {
+  std::vector<double> xs = {0.0, 1.0};
+  std::vector<util::Series> series = {{"s", {-5.0, 10.0}}};
+  util::PlotOptions opt;
+  opt.auto_y = true;
+  const std::string plot = util::render_plot(xs, series, opt);
+  EXPECT_NE(plot.find("10.00"), std::string::npos);
+  EXPECT_NE(plot.find("-5.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, ValidatesInput) {
+  EXPECT_THROW(util::render_plot({1.0}, {{"s", {1.0}}}),
+               std::invalid_argument);
+  EXPECT_THROW(util::render_plot({1.0, 2.0}, {}), std::invalid_argument);
+  EXPECT_THROW(util::render_plot({1.0, 2.0}, {{"s", {1.0}}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace con

@@ -1,0 +1,181 @@
+// End-to-end integration tests: miniature versions of the paper's full
+// workflow, exercising every subsystem together — data synthesis, training,
+// compression (both families), attacks, the three-scenario taxonomy, sparse
+// deployment encodings and checkpointing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "compress/clustering.h"
+#include "compress/finetune.h"
+#include "core/study.h"
+#include "core/sweeps.h"
+#include "core/transfer.h"
+#include "io/checkpoint.h"
+#include "models/model_zoo.h"
+#include "nn/trainer.h"
+#include "sparse/huffman.h"
+#include "sparse/sparse_model.h"
+#include "tensor/ops.h"
+
+namespace con {
+namespace {
+
+// One shared mini-study for the whole file (training dominates runtime).
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    setenv("CON_ARTIFACTS_DIR", "/tmp/con_integration_artifacts", 1);
+    core::StudyConfig cfg;
+    cfg.network = "lenet5-small";
+    cfg.train_size = 1500;
+    cfg.test_size = 200;
+    cfg.attack_size = 60;
+    cfg.baseline_epochs = 6;
+    cfg.finetune.epochs = 2;
+    study_ = new core::Study(cfg);
+    study_->baseline();
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+    std::filesystem::remove_all("/tmp/con_integration_artifacts");
+    unsetenv("CON_ARTIFACTS_DIR");
+  }
+  static core::Study* study_;
+};
+
+core::Study* IntegrationTest::study_ = nullptr;
+
+TEST_F(IntegrationTest, FullPruningPipelineReproducesHeadlineFinding) {
+  // The paper's headline: adversarial samples transfer between compressed
+  // and uncompressed models at moderate sparsity.
+  nn::Sequential pruned = compress::make_pruned_model(
+      study_->baseline(), study_->train_set(), 0.4,
+      study_->config().finetune);
+  core::ScenarioPoint p = core::evaluate_scenarios(
+      study_->baseline(), pruned, attacks::AttackKind::kIfgsm,
+      attacks::paper_params(attacks::AttackKind::kIfgsm, "lenet5"),
+      study_->attack_set());
+  // the compressed model still works...
+  EXPECT_GT(p.base_accuracy, 0.6);
+  // ...and attacks cross the compression boundary in both directions
+  EXPECT_LT(p.full_to_comp, p.base_accuracy - 0.3);
+  EXPECT_LT(p.comp_to_full, study_->baseline_accuracy() - 0.3);
+}
+
+TEST_F(IntegrationTest, QuantisedPipelineShowsClippingDefence) {
+  nn::Sequential q4 = compress::make_quantized_model(
+      study_->baseline(), study_->train_set(), 4, study_->config().finetune);
+  nn::Sequential q16 = compress::make_quantized_model(
+      study_->baseline(), study_->train_set(), 16, study_->config().finetune);
+  const auto params =
+      attacks::paper_params(attacks::AttackKind::kIfgsm, "lenet5");
+  core::ScenarioPoint p4 = core::evaluate_scenarios(
+      study_->baseline(), q4, attacks::AttackKind::kIfgsm, params,
+      study_->attack_set());
+  core::ScenarioPoint p16 = core::evaluate_scenarios(
+      study_->baseline(), q16, attacks::AttackKind::kIfgsm, params,
+      study_->attack_set());
+  // §4.2: lower integer precision weakens comp->full transfer (higher
+  // adversarial accuracy on the baseline)
+  EXPECT_GE(p4.comp_to_full + 0.02, p16.comp_to_full);
+}
+
+TEST_F(IntegrationTest, CompressedCheckpointRoundTripsThroughAttack) {
+  // Vendor ships a pruned checkpoint; attacker reloads and attacks it. The
+  // reloaded model must behave identically to the original.
+  nn::Sequential pruned = compress::make_pruned_model(
+      study_->baseline(), study_->train_set(), 0.3,
+      study_->config().finetune);
+  const std::string path = io::artifacts_dir() + "/integ_roundtrip.ckpt";
+  io::save_model(pruned, path);
+  nn::Sequential reloaded = models::make_lenet5_small(0);
+  io::load_model_into(reloaded, path);
+
+  const data::Dataset& probes = study_->attack_set();
+  const auto params = attacks::AttackParams{.epsilon = 0.02f, .iterations = 6};
+  tensor::Tensor adv_a = attacks::run_attack(
+      attacks::AttackKind::kIfgsm, pruned, probes.images, probes.labels,
+      params);
+  tensor::Tensor adv_b = attacks::run_attack(
+      attacks::AttackKind::kIfgsm, reloaded, probes.images, probes.labels,
+      params);
+  for (tensor::Index i = 0; i < adv_a.numel(); ++i) {
+    ASSERT_EQ(adv_a[i], adv_b[i]);
+  }
+}
+
+TEST_F(IntegrationTest, DeploymentEncodingsAreLossless) {
+  // prune -> cluster -> CSR + Huffman: the full deep-compression shipping
+  // pipeline must preserve the model's predictions.
+  nn::Sequential pruned = compress::make_pruned_model(
+      study_->baseline(), study_->train_set(), 0.3,
+      study_->config().finetune);
+  nn::Sequential clustered = compress::cluster_model(pruned, 5);
+
+  // CSR encodes the effective weights losslessly
+  sparse::SparseModelSnapshot snap = sparse::snapshot_model(clustered);
+  EXPECT_LT(sparse::max_kernel_divergence(snap), 1e-4f);
+
+  // Huffman over cluster codes round-trips each matrix's value stream
+  for (const auto& entry : snap.entries) {
+    std::vector<std::int32_t> codes;
+    codes.reserve(entry.matrix.values.size());
+    // represent each distinct float value by an index (codebook id)
+    std::map<float, std::int32_t> codebook;
+    for (float v : entry.matrix.values) {
+      auto [it, inserted] =
+          codebook.emplace(v, static_cast<std::int32_t>(codebook.size()));
+      codes.push_back(it->second);
+    }
+    if (codes.empty()) continue;
+    sparse::HuffmanCode code = sparse::build_huffman(codes);
+    auto bits = sparse::huffman_encode(code, codes);
+    auto back = sparse::huffman_decode(code, bits, codes.size());
+    ASSERT_EQ(back, codes) << entry.name;
+    // 5-bit codebook => Huffman beats raw float storage by > 4x
+    EXPECT_LT(bits.size() * 8, entry.matrix.values.size() * 32 / 4);
+  }
+
+  // predictions survive: clustered model still classifies
+  const double acc = nn::evaluate_accuracy(
+      clustered, study_->test_set().images, study_->test_set().labels);
+  EXPECT_GT(acc, 0.5);
+}
+
+TEST_F(IntegrationTest, SweepGridMatchesFamilyOrder) {
+  const std::vector<double> densities = {1.0, 0.3};
+  auto family = core::build_pruned_family(
+      study_->baseline(), study_->train_set(), densities,
+      compress::FineTuneConfig{.epochs = 0});
+  ASSERT_EQ(family.size(), 2u);
+  EXPECT_NEAR(family[0].density(), 1.0, 1e-9);
+  EXPECT_NEAR(family[1].density(), 0.3, 0.05);
+  // names encode the density for artifact bookkeeping
+  EXPECT_NE(family[1].name().find("0.300"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, AttackSubsetIsDeterministicAcrossRuns) {
+  // Reproducibility: rebuilding the study yields identical attack sets and
+  // identical adversarial samples.
+  core::Study again(study_->config());
+  const data::Dataset& a = study_->attack_set();
+  const data::Dataset& b = again.attack_set();
+  ASSERT_EQ(a.size(), b.size());
+  for (tensor::Index i = 0; i < a.images.numel(); ++i) {
+    ASSERT_EQ(a.images[i], b.images[i]);
+  }
+  tensor::Tensor adv_a = attacks::run_attack(
+      attacks::AttackKind::kFgsm, study_->baseline(), a.images, a.labels,
+      attacks::AttackParams{.epsilon = 0.02f, .iterations = 1});
+  tensor::Tensor adv_b = attacks::run_attack(
+      attacks::AttackKind::kFgsm, again.baseline(), b.images, b.labels,
+      attacks::AttackParams{.epsilon = 0.02f, .iterations = 1});
+  for (tensor::Index i = 0; i < adv_a.numel(); ++i) {
+    ASSERT_EQ(adv_a[i], adv_b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace con

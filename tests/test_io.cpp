@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "compress/pruner.h"
+#include "io/checkpoint.h"
+#include "models/model_zoo.h"
+#include "tensor/random.h"
+#include "test_helpers.h"
+
+namespace con::io {
+namespace {
+
+using con::testing::random_batch;
+using tensor::Shape;
+using tensor::Tensor;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/con_io_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".bin";
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+TEST_F(IoTest, ModelRoundTripPreservesWeights) {
+  nn::Sequential a = models::make_lenet5_small(1);
+  save_model(a, path_);
+  nn::Sequential b = models::make_lenet5_small(2);  // different init
+  load_model_into(b, path_);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (tensor::Index j = 0; j < pa[i]->value.numel(); ++j) {
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+}
+
+TEST_F(IoTest, MasksSurviveRoundTrip) {
+  nn::Sequential a = models::make_lenet5_small(3);
+  compress::DnsPruner pruner(a, compress::DnsConfig{.target_density = 0.4});
+  save_model(a, path_);
+  nn::Sequential b = models::make_lenet5_small(4);
+  load_model_into(b, path_);
+  EXPECT_NEAR(b.density(), a.density(), 1e-9);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->has_mask(), pb[i]->has_mask());
+    if (pa[i]->has_mask()) {
+      for (tensor::Index j = 0; j < pa[i]->mask.numel(); ++j) {
+        ASSERT_EQ(pa[i]->mask[j], pb[i]->mask[j]);
+      }
+    }
+  }
+}
+
+TEST_F(IoTest, LoadingIntoWrongArchitectureThrows) {
+  nn::Sequential a = models::make_lenet5_small(5);
+  save_model(a, path_);
+  nn::Sequential wrong = models::make_cifarnet_small(5);
+  EXPECT_THROW(load_model_into(wrong, path_), std::runtime_error);
+}
+
+TEST_F(IoTest, CorruptMagicRejected) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "NOTACKPT_________";
+  }
+  nn::Sequential m = models::make_lenet5_small(6);
+  EXPECT_THROW(load_model_into(m, path_), std::runtime_error);
+}
+
+TEST_F(IoTest, TruncatedFileRejected) {
+  nn::Sequential a = models::make_lenet5_small(7);
+  save_model(a, path_);
+  std::filesystem::resize_file(path_, 40);
+  nn::Sequential b = models::make_lenet5_small(8);
+  EXPECT_THROW(load_model_into(b, path_), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  nn::Sequential m = models::make_lenet5_small(9);
+  EXPECT_THROW(load_model_into(m, "/tmp/does_not_exist_con.bin"),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, TensorRoundTrip) {
+  Tensor t = random_batch(Shape{3, 4, 5}, 10);
+  save_tensor(t, path_);
+  Tensor back = load_tensor(path_);
+  ASSERT_EQ(back.shape(), t.shape());
+  for (tensor::Index i = 0; i < t.numel(); ++i) ASSERT_EQ(back[i], t[i]);
+}
+
+TEST_F(IoTest, FileExists) {
+  EXPECT_FALSE(file_exists(path_));
+  nn::Sequential a = models::make_lenet5_small(11);
+  save_model(a, path_);
+  EXPECT_TRUE(file_exists(path_));
+}
+
+TEST(ArtifactsDir, CreatedAndWritable) {
+  setenv("CON_ARTIFACTS_DIR", "/tmp/con_artifacts_test", 1);
+  const std::string dir = artifacts_dir();
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  unsetenv("CON_ARTIFACTS_DIR");
+  std::filesystem::remove_all("/tmp/con_artifacts_test");
+}
+
+}  // namespace
+}  // namespace con::io

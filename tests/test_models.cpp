@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "nn/trainer.h"
+#include "test_helpers.h"
+
+namespace con::models {
+namespace {
+
+using con::testing::random_batch;
+using tensor::Shape;
+
+TEST(ModelZoo, LeNet5ParameterCountMatchesPaper) {
+  nn::Sequential m = make_lenet5(1);
+  // the paper quotes "431K parameters"
+  EXPECT_EQ(m.num_parameters(), 431080);
+}
+
+TEST(ModelZoo, CifarNetParameterCountMatchesPaper) {
+  nn::Sequential m = make_cifarnet(1);
+  // the paper quotes "1.3M parameters"
+  EXPECT_NEAR(static_cast<double>(m.num_parameters()), 1.3e6, 0.05e6);
+}
+
+TEST(ModelZoo, LeNet5ForwardShape) {
+  nn::Sequential m = make_lenet5(2);
+  auto y = m.forward(random_batch(Shape{3, 1, 28, 28}, 1), false);
+  EXPECT_EQ(y.shape(), Shape({3, 10}));
+}
+
+TEST(ModelZoo, LeNet5ClassicForwardShape) {
+  nn::Sequential m = make_model("lenet5-classic", 2);
+  auto y = m.forward(random_batch(Shape{2, 1, 28, 28}, 1), false);
+  EXPECT_EQ(y.shape(), Shape({2, 10}));
+  EXPECT_EQ(m.num_parameters(), 61706);  // the classic LeNet5 size
+}
+
+TEST(ModelZoo, CifarNetForwardShape) {
+  nn::Sequential m = make_cifarnet(3);
+  auto y = m.forward(random_batch(Shape{2, 3, 32, 32}, 2), false);
+  EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST(ModelZoo, SmallVariantShapes) {
+  nn::Sequential l = make_lenet5_small(4);
+  EXPECT_EQ(l.forward(random_batch(Shape{2, 1, 28, 28}, 3), false).shape(),
+            Shape({2, 10}));
+  nn::Sequential c = make_cifarnet_small(4);
+  EXPECT_EQ(c.forward(random_batch(Shape{2, 3, 32, 32}, 4), false).shape(),
+            Shape({2, 10}));
+}
+
+TEST(ModelZoo, MakeModelDispatch) {
+  EXPECT_EQ(make_model("lenet5", 1).name(), "lenet5");
+  EXPECT_EQ(make_model("cifarnet-small", 1).name(), "cifarnet-small");
+  EXPECT_THROW(make_model("resnet50", 1), std::invalid_argument);
+}
+
+TEST(ModelZoo, InputSpecs) {
+  EXPECT_EQ(input_spec("lenet5").channels, 1);
+  EXPECT_EQ(input_spec("lenet5-small").height, 28);
+  EXPECT_EQ(input_spec("cifarnet").channels, 3);
+  EXPECT_EQ(input_spec("cifarnet").width, 32);
+  EXPECT_THROW(input_spec("vgg"), std::invalid_argument);
+}
+
+TEST(ModelZoo, SeedsChangeInitialisation) {
+  nn::Sequential a = make_lenet5_small(1);
+  nn::Sequential b = make_lenet5_small(2);
+  EXPECT_NE(a.parameters()[0]->value[0], b.parameters()[0]->value[0]);
+  nn::Sequential a2 = make_lenet5_small(1);
+  EXPECT_EQ(a.parameters()[0]->value[0], a2.parameters()[0]->value[0]);
+}
+
+TEST(ModelZoo, ParameterNamesAreUnique) {
+  nn::Sequential m = make_cifarnet(5);
+  std::set<std::string> names;
+  for (nn::Parameter* p : m.parameters()) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate " << p->name;
+  }
+}
+
+}  // namespace
+}  // namespace con::models

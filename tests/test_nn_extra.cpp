@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/avgpool.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+#include "nn/reshape.h"
+#include "nn/trainer.h"
+#include "test_helpers.h"
+
+namespace con::nn {
+namespace {
+
+using con::testing::max_gradient_error;
+using con::testing::model_loss;
+using con::testing::numerical_gradient;
+using con::testing::random_batch;
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(AvgPoolTest, ForwardAverages) {
+  AvgPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+  Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPoolTest, BackwardDistributesEvenly) {
+  AvgPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
+  pool.forward(x, false);
+  Tensor g({1, 1, 1, 1}, std::vector<float>{4.0f});
+  Tensor gx = pool.backward(g);
+  for (Index i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 1.0f);
+}
+
+TEST(AvgPoolTest, GradientMatchesNumerical) {
+  util::Rng rng(91);
+  Sequential m("m");
+  m.emplace<AvgPool2d>(2, 2);
+  m.emplace<Flatten>();
+  m.emplace<Linear>(2 * 3 * 3, 4, rng, "fc");
+  Tensor x = random_batch(Shape{2, 2, 6, 6}, 92);
+  std::vector<int> labels = {0, 3};
+
+  m.zero_grad();
+  Tensor logits = m.forward(x, false);
+  LossResult loss = softmax_cross_entropy(logits, labels);
+  Tensor analytic = m.backward(loss.grad_logits);
+  auto f = [&](const Tensor& probe) { return model_loss(m, probe, labels); };
+  Tensor numeric = numerical_gradient(f, x);
+  EXPECT_LT(max_gradient_error(analytic, numeric), 2e-2);
+}
+
+TEST(BatchNormTest, NormalizesPerChannelInTraining) {
+  BatchNorm2d bn(2);
+  Tensor x = random_batch(Shape{4, 2, 3, 3}, 93);
+  Tensor y = bn.forward(x, /*train=*/true);
+  // each channel of the output has ~zero mean, ~unit variance
+  const Index plane = 9;
+  for (Index c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (Index i = 0; i < 4; ++i) {
+      const float* p = y.data() + (i * 2 + c) * plane;
+      for (Index j = 0; j < plane; ++j) mean += p[j];
+    }
+    mean /= 36.0;
+    for (Index i = 0; i < 4; ++i) {
+      const float* p = y.data() + (i * 2 + c) * plane;
+      for (Index j = 0; j < plane; ++j) var += (p[j] - mean) * (p[j] - mean);
+    }
+    var /= 36.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsConvergeAndDriveEval) {
+  BatchNorm2d bn(1);
+  util::Rng rng(94);
+  // feed batches with mean 2, std 0.5
+  for (int step = 0; step < 200; ++step) {
+    Tensor x({8, 1, 2, 2});
+    for (float& v : x.flat()) v = rng.normal_f(2.0f, 0.5f);
+    bn.forward(x, /*train=*/true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 2.0f, 0.1f);
+  EXPECT_NEAR(bn.running_var()[0], 0.25f, 0.05f);
+  // eval mode uses running stats: a batch at the running mean maps to ~0
+  Tensor probe({1, 1, 2, 2}, 2.0f);
+  Tensor out = bn.forward(probe, /*train=*/false);
+  EXPECT_NEAR(out[0], 0.0f, 0.2f);
+}
+
+TEST(BatchNormTest, EvalGradientMatchesNumerical) {
+  // Attacks differentiate models in eval mode; check that path.
+  util::Rng rng(95);
+  Sequential m("m");
+  m.emplace<BatchNorm2d>(2);
+  m.emplace<Flatten>();
+  m.emplace<Linear>(2 * 2 * 2, 3, rng, "fc");
+  // warm the running stats
+  for (int i = 0; i < 20; ++i) {
+    m.layer(0).forward(random_batch(Shape{4, 2, 2, 2}, 96 + i), true);
+  }
+  Tensor x = random_batch(Shape{2, 2, 2, 2}, 97);
+  std::vector<int> labels = {0, 2};
+  m.zero_grad();
+  Tensor logits = m.forward(x, false);
+  LossResult loss = softmax_cross_entropy(logits, labels);
+  Tensor analytic = m.backward(loss.grad_logits);
+  auto f = [&](const Tensor& probe) { return model_loss(m, probe, labels); };
+  Tensor numeric = numerical_gradient(f, x);
+  EXPECT_LT(max_gradient_error(analytic, numeric), 2e-2);
+}
+
+TEST(BatchNormTest, TrainGradientMatchesNumerical) {
+  util::Rng rng(98);
+  Sequential m("m");
+  m.emplace<BatchNorm2d>(1);
+  m.emplace<Flatten>();
+  m.emplace<Linear>(4, 3, rng, "fc");
+  Tensor x = random_batch(Shape{3, 1, 2, 2}, 99);
+  std::vector<int> labels = {0, 1, 2};
+
+  auto f = [&](const Tensor& probe) {
+    // batch-norm stats depend on the whole batch; train=true path
+    Tensor logits = m.forward(probe, true);
+    return static_cast<double>(softmax_cross_entropy(logits, labels).loss);
+  };
+  m.zero_grad();
+  Tensor logits = m.forward(x, true);
+  LossResult loss = softmax_cross_entropy(logits, labels);
+  Tensor analytic = m.backward(loss.grad_logits);
+  Tensor numeric = numerical_gradient(f, x);
+  EXPECT_LT(max_gradient_error(analytic, numeric), 3e-2);
+}
+
+TEST(BatchNormTest, ParamsNotCompressible) {
+  BatchNorm2d bn(4);
+  for (Parameter* p : bn.parameters()) EXPECT_FALSE(p->compressible);
+}
+
+TEST(AdamTest, ConvergesOnLinearProblem) {
+  // 10 well-separated clusters in 8-d: linearly separable, so Adam must
+  // drive the loss down hard.
+  util::Rng rng(101);
+  Sequential m("m");
+  m.emplace<Linear>(8, 10, rng, "fc");
+  Tensor x({40, 8});
+  std::vector<int> labels;
+  for (Index i = 0; i < 40; ++i) {
+    const int cls = static_cast<int>(i % 10);
+    labels.push_back(cls);
+    for (Index j = 0; j < 8; ++j) {
+      const float centre = (j == cls % 8) ? 2.0f * (cls < 8 ? 1.0f : -1.0f)
+                                          : 0.0f;
+      x.at({i, j}) = centre + rng.normal_f(0.0f, 0.1f);
+    }
+  }
+  Adam adam(m.parameters(), AdamConfig{.learning_rate = 0.01f});
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    m.zero_grad();
+    Tensor logits = m.forward(x, true);
+    LossResult loss = softmax_cross_entropy(logits, labels);
+    m.backward(loss.grad_logits);
+    adam.step();
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.3);
+}
+
+TEST(AdamTest, RespectsGradGate) {
+  util::Rng rng(103);
+  Sequential m("m");
+  auto& fc = m.emplace<Linear>(4, 2, rng, "fc");
+  Parameter& w = fc.weight();
+  const float before = w.value[0];
+  // gate out index 0, let everything else flow
+  w.grad.fill(1.0f);
+  w.grad_gate = Tensor(w.value.shape(), 1.0f);
+  w.grad_gate[0] = 0.0f;
+  Adam adam({&w}, AdamConfig{.learning_rate = 0.1f});
+  adam.step();
+  EXPECT_EQ(w.value[0], before);
+  EXPECT_NE(w.value[1], before);
+}
+
+TEST(SgdTest, MomentumAcceleratesConstantGradient) {
+  util::Rng rng(104);
+  Sequential m("m");
+  auto& fc = m.emplace<Linear>(2, 2, rng, "fc");
+  Parameter& w = fc.weight();
+  w.value.fill(0.0f);
+  Sgd sgd({&w}, SgdConfig{.learning_rate = 1.0f, .momentum = 0.5f});
+  w.grad.fill(1.0f);
+  sgd.step();
+  const float after_one = w.value[0];  // -1
+  w.grad.fill(1.0f);
+  sgd.step();
+  const float delta_two = w.value[0] - after_one;  // -(1 + 0.5)
+  EXPECT_FLOAT_EQ(after_one, -1.0f);
+  EXPECT_FLOAT_EQ(delta_two, -1.5f);
+}
+
+TEST(LrSchedule, PaperScheduleHasThreeDecades) {
+  StepLrSchedule s = StepLrSchedule::paper_schedule(0.01f, 100);
+  EXPECT_FLOAT_EQ(s.lr_at_epoch(0), 0.01f);
+  EXPECT_FLOAT_EQ(s.lr_at_epoch(30), 0.001f);
+  EXPECT_FLOAT_EQ(s.lr_at_epoch(60), 0.0001f);
+  EXPECT_FLOAT_EQ(s.lr_at_epoch(99), 0.00001f);
+}
+
+TEST(LrSchedule, TinyRunsStillDecay) {
+  StepLrSchedule s = StepLrSchedule::paper_schedule(0.01f, 2);
+  EXPECT_FLOAT_EQ(s.lr_at_epoch(0), 0.01f);
+  EXPECT_LT(s.lr_at_epoch(1), 0.01f);
+}
+
+TEST(LrSchedule, MilestonesMustIncrease) {
+  EXPECT_THROW(StepLrSchedule(0.01f, {5, 5}), std::invalid_argument);
+  EXPECT_THROW(StepLrSchedule(-1.0f, {5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace con::nn

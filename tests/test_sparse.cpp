@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/pruner.h"
+#include "models/model_zoo.h"
+#include "sparse/csr.h"
+#include "sparse/sparse_model.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "test_helpers.h"
+
+namespace con::sparse {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor sparse_random(Shape shape, double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t{std::move(shape)};
+  for (float& v : t.flat()) {
+    v = rng.uniform() < density ? rng.normal_f(0.0f, 1.0f) : 0.0f;
+  }
+  return t;
+}
+
+TEST(Csr, RoundTripsDense) {
+  Tensor dense = sparse_random({7, 11}, 0.3, 1);
+  CsrMatrix csr = csr_from_dense(dense);
+  Tensor back = csr_to_dense(csr);
+  ASSERT_EQ(back.shape(), dense.shape());
+  for (Index i = 0; i < dense.numel(); ++i) ASSERT_EQ(back[i], dense[i]);
+}
+
+TEST(Csr, NnzAndDensity) {
+  Tensor dense({2, 3}, std::vector<float>{1, 0, 2, 0, 0, 3});
+  CsrMatrix csr = csr_from_dense(dense);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_DOUBLE_EQ(csr.density(), 0.5);
+  EXPECT_EQ(csr.row_ptr.front(), 0);
+  EXPECT_EQ(csr.row_ptr.back(), 3);
+}
+
+TEST(Csr, EmptyMatrixHandled) {
+  Tensor dense({3, 4});
+  CsrMatrix csr = csr_from_dense(dense);
+  EXPECT_EQ(csr.nnz(), 0);
+  Tensor x({4}, 1.0f);
+  Tensor y = csr_matvec(csr, x);
+  for (Index i = 0; i < 3; ++i) EXPECT_EQ(y[i], 0.0f);
+}
+
+TEST(Csr, MatvecMatchesDense) {
+  Tensor dense = sparse_random({9, 13}, 0.4, 2);
+  CsrMatrix csr = csr_from_dense(dense);
+  util::Rng rng(3);
+  Tensor x({13});
+  tensor::fill_normal(x, rng, 0.0f, 1.0f);
+  Tensor want = tensor::matmul(dense, x.reshaped({13, 1}));
+  Tensor got = csr_matvec(csr, x);
+  for (Index i = 0; i < 9; ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+TEST(Csr, MatmulMatchesDense) {
+  Tensor dense = sparse_random({6, 10}, 0.25, 4);
+  CsrMatrix csr = csr_from_dense(dense);
+  util::Rng rng(5);
+  Tensor b({10, 7});
+  tensor::fill_normal(b, rng, 0.0f, 1.0f);
+  Tensor want = tensor::matmul(dense, b);
+  Tensor got = csr_matmul(csr, b);
+  for (Index i = 0; i < want.numel(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4f);
+  }
+}
+
+TEST(Csr, ShapeErrorsThrow) {
+  CsrMatrix csr = csr_from_dense(Tensor({2, 3}));
+  EXPECT_THROW(csr_matvec(csr, Tensor({4})), std::invalid_argument);
+  EXPECT_THROW(csr_matmul(csr, Tensor({4, 2})), std::invalid_argument);
+  EXPECT_THROW(csr_from_dense(Tensor({4})), std::invalid_argument);
+}
+
+TEST(RelativeIndex, DenseRowNeedsNoPadding) {
+  Tensor dense({1, 8}, 1.0f);
+  CsrMatrix csr = csr_from_dense(dense);
+  RelativeIndexEncoding enc = encode_relative_indices(csr, 4);
+  EXPECT_EQ(enc.stored_entries, 8);
+  EXPECT_EQ(enc.padding_entries, 0);
+}
+
+TEST(RelativeIndex, WideGapsInsertPadding) {
+  // one nonzero at column 0 and one at column 40: gap 40 > 15 needs padding
+  Tensor dense({1, 64});
+  dense[0] = 1.0f;
+  dense[40] = 2.0f;
+  CsrMatrix csr = csr_from_dense(dense);
+  RelativeIndexEncoding enc = encode_relative_indices(csr, 4);
+  EXPECT_EQ(enc.padding_entries, 2);  // 40 = 15 + 15 + 10
+  EXPECT_EQ(enc.stored_entries, 4);
+}
+
+TEST(RelativeIndex, BitwidthValidated) {
+  CsrMatrix csr = csr_from_dense(Tensor({1, 4}, 1.0f));
+  EXPECT_THROW(encode_relative_indices(csr, 0), std::invalid_argument);
+  EXPECT_THROW(encode_relative_indices(csr, 32), std::invalid_argument);
+}
+
+TEST(Storage, SparseModelsCompress) {
+  Tensor dense = sparse_random({64, 64}, 0.1, 6);
+  CsrMatrix csr = csr_from_dense(dense);
+  StorageFootprint fp = storage_footprint(csr, /*weight_bits=*/32);
+  EXPECT_LT(fp.csr_bytes, fp.dense_bytes);
+  // with 4-bit weights and 4-bit indices EIE encoding shrinks much further
+  StorageFootprint fp4 = storage_footprint(csr, /*weight_bits=*/4);
+  EXPECT_LT(fp4.eie_bytes, fp.csr_bytes / 4);
+}
+
+TEST(Storage, DenseMatrixCsrIsLarger) {
+  // CSR on a fully dense matrix costs MORE than dense storage (indices).
+  Tensor dense({16, 16}, 1.0f);
+  CsrMatrix csr = csr_from_dense(dense);
+  StorageFootprint fp = storage_footprint(csr);
+  EXPECT_GT(fp.csr_bytes, fp.dense_bytes);
+}
+
+TEST(SparseModel, SnapshotOfPrunedModelMatchesDensity) {
+  nn::Sequential m = models::make_lenet5_small(7);
+  compress::DnsPruner pruner(m, compress::DnsConfig{.target_density = 0.2});
+  SparseModelSnapshot snap = snapshot_model(m);
+  ASSERT_FALSE(snap.entries.empty());
+  EXPECT_NEAR(snap.overall_density(), 0.2, 0.03);
+}
+
+TEST(SparseModel, KernelsDivergeOnlyByFloatNoise) {
+  nn::Sequential m = models::make_lenet5_small(8);
+  compress::DnsPruner pruner(m, compress::DnsConfig{.target_density = 0.3});
+  SparseModelSnapshot snap = snapshot_model(m);
+  EXPECT_LT(max_kernel_divergence(snap), 1e-3f);
+}
+
+TEST(SparseModel, FootprintScalesWithDensity) {
+  nn::Sequential dense_model = models::make_lenet5_small(9);
+  nn::Sequential sparse10 = dense_model.clone();
+  compress::DnsPruner p10(sparse10, compress::DnsConfig{.target_density = 0.1});
+  nn::Sequential sparse50 = dense_model.clone();
+  compress::DnsPruner p50(sparse50, compress::DnsConfig{.target_density = 0.5});
+
+  ModelFootprint f10 = model_footprint(snapshot_model(sparse10));
+  ModelFootprint f50 = model_footprint(snapshot_model(sparse50));
+  EXPECT_LT(f10.csr_bytes, f50.csr_bytes);
+  EXPECT_GT(f10.csr_compression_ratio(), f50.csr_compression_ratio());
+  // 10%-density model should compress better than 2x under CSR
+  EXPECT_GT(f10.csr_compression_ratio(), 2.0);
+}
+
+}  // namespace
+}  // namespace con::sparse
