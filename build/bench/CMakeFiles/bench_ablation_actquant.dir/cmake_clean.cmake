@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_actquant.dir/bench_ablation_actquant.cpp.o"
+  "CMakeFiles/bench_ablation_actquant.dir/bench_ablation_actquant.cpp.o.d"
+  "bench_ablation_actquant"
+  "bench_ablation_actquant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_actquant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

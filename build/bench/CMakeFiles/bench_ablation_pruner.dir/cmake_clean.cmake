@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pruner.dir/bench_ablation_pruner.cpp.o"
+  "CMakeFiles/bench_ablation_pruner.dir/bench_ablation_pruner.cpp.o.d"
+  "bench_ablation_pruner"
+  "bench_ablation_pruner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pruner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adv_training.dir/bench_adv_training.cpp.o"
+  "CMakeFiles/bench_adv_training.dir/bench_adv_training.cpp.o.d"
+  "bench_adv_training"
+  "bench_adv_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adv_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blackbox.dir/bench_blackbox.cpp.o"
+  "CMakeFiles/bench_blackbox.dir/bench_blackbox.cpp.o.d"
+  "bench_blackbox"
+  "bench_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_epsilon.cpp" "bench/CMakeFiles/bench_fig3_epsilon.dir/bench_fig3_epsilon.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_epsilon.dir/bench_fig3_epsilon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/con_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/con_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/con_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/con_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/con_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/con_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/con_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/con_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/con_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/con_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

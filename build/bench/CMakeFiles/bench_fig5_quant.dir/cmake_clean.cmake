@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_quant.dir/bench_fig5_quant.cpp.o"
+  "CMakeFiles/bench_fig5_quant.dir/bench_fig5_quant.cpp.o.d"
+  "bench_fig5_quant"
+  "bench_fig5_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

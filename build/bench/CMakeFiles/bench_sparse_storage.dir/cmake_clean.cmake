@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparse_storage.dir/bench_sparse_storage.cpp.o"
+  "CMakeFiles/bench_sparse_storage.dir/bench_sparse_storage.cpp.o.d"
+  "bench_sparse_storage"
+  "bench_sparse_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xinit_transfer.dir/bench_xinit_transfer.cpp.o"
+  "CMakeFiles/bench_xinit_transfer.dir/bench_xinit_transfer.cpp.o.d"
+  "bench_xinit_transfer"
+  "bench_xinit_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xinit_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

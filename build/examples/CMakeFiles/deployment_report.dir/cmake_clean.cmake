@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_report.dir/deployment_report.cpp.o"
+  "CMakeFiles/deployment_report.dir/deployment_report.cpp.o.d"
+  "deployment_report"
+  "deployment_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

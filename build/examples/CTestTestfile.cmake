@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--train-size" "300" "--test-size" "60" "--epochs" "1" "--attack-size" "20" "--finetune-epochs" "1")
+set_tests_properties(example_quickstart PROPERTIES  ENVIRONMENT "CON_ARTIFACTS_DIR=example_test_artifacts" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_edge_deployment "/root/repo/build/examples/edge_deployment" "--train-size" "300" "--test-size" "60" "--epochs" "1" "--attack-size" "20")
+set_tests_properties(example_edge_deployment PROPERTIES  ENVIRONMENT "CON_ARTIFACTS_DIR=example_test_artifacts" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_attack_gallery "/root/repo/build/examples/attack_gallery" "--train-size" "300" "--test-size" "60" "--epochs" "1" "--samples" "20")
+set_tests_properties(example_attack_gallery PROPERTIES  ENVIRONMENT "CON_ARTIFACTS_DIR=example_test_artifacts" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compression_tradeoffs "/root/repo/build/examples/compression_tradeoffs" "--train-size" "300" "--test-size" "60" "--epochs" "1" "--attack-size" "20" "--finetune-epochs" "1")
+set_tests_properties(example_compression_tradeoffs PROPERTIES  ENVIRONMENT "CON_ARTIFACTS_DIR=example_test_artifacts" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deployment_report "/root/repo/build/examples/deployment_report" "--train-size" "300" "--test-size" "60" "--epochs" "1" "--attack-size" "20")
+set_tests_properties(example_deployment_report PROPERTIES  ENVIRONMENT "CON_ARTIFACTS_DIR=example_test_artifacts" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_study "/root/repo/build/examples/run_study" "--train-size" "300" "--test-size" "60" "--epochs" "1" "--attack-size" "20" "--finetune-epochs" "1" "--compress" "quant" "--level" "8")
+set_tests_properties(example_run_study PROPERTIES  ENVIRONMENT "CON_ARTIFACTS_DIR=example_test_artifacts" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

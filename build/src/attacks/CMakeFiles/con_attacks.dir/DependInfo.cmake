@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/attack.cpp" "src/attacks/CMakeFiles/con_attacks.dir/attack.cpp.o" "gcc" "src/attacks/CMakeFiles/con_attacks.dir/attack.cpp.o.d"
+  "/root/repo/src/attacks/blackbox.cpp" "src/attacks/CMakeFiles/con_attacks.dir/blackbox.cpp.o" "gcc" "src/attacks/CMakeFiles/con_attacks.dir/blackbox.cpp.o.d"
+  "/root/repo/src/attacks/deepfool.cpp" "src/attacks/CMakeFiles/con_attacks.dir/deepfool.cpp.o" "gcc" "src/attacks/CMakeFiles/con_attacks.dir/deepfool.cpp.o.d"
+  "/root/repo/src/attacks/extended.cpp" "src/attacks/CMakeFiles/con_attacks.dir/extended.cpp.o" "gcc" "src/attacks/CMakeFiles/con_attacks.dir/extended.cpp.o.d"
+  "/root/repo/src/attacks/fast_gradient.cpp" "src/attacks/CMakeFiles/con_attacks.dir/fast_gradient.cpp.o" "gcc" "src/attacks/CMakeFiles/con_attacks.dir/fast_gradient.cpp.o.d"
+  "/root/repo/src/attacks/gradient.cpp" "src/attacks/CMakeFiles/con_attacks.dir/gradient.cpp.o" "gcc" "src/attacks/CMakeFiles/con_attacks.dir/gradient.cpp.o.d"
+  "/root/repo/src/attacks/params.cpp" "src/attacks/CMakeFiles/con_attacks.dir/params.cpp.o" "gcc" "src/attacks/CMakeFiles/con_attacks.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/con_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/con_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/con_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_attacks.dir/attack.cpp.o"
+  "CMakeFiles/con_attacks.dir/attack.cpp.o.d"
+  "CMakeFiles/con_attacks.dir/blackbox.cpp.o"
+  "CMakeFiles/con_attacks.dir/blackbox.cpp.o.d"
+  "CMakeFiles/con_attacks.dir/deepfool.cpp.o"
+  "CMakeFiles/con_attacks.dir/deepfool.cpp.o.d"
+  "CMakeFiles/con_attacks.dir/extended.cpp.o"
+  "CMakeFiles/con_attacks.dir/extended.cpp.o.d"
+  "CMakeFiles/con_attacks.dir/fast_gradient.cpp.o"
+  "CMakeFiles/con_attacks.dir/fast_gradient.cpp.o.d"
+  "CMakeFiles/con_attacks.dir/gradient.cpp.o"
+  "CMakeFiles/con_attacks.dir/gradient.cpp.o.d"
+  "CMakeFiles/con_attacks.dir/params.cpp.o"
+  "CMakeFiles/con_attacks.dir/params.cpp.o.d"
+  "libcon_attacks.a"
+  "libcon_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

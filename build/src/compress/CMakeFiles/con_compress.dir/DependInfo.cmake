@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/clustering.cpp" "src/compress/CMakeFiles/con_compress.dir/clustering.cpp.o" "gcc" "src/compress/CMakeFiles/con_compress.dir/clustering.cpp.o.d"
+  "/root/repo/src/compress/finetune.cpp" "src/compress/CMakeFiles/con_compress.dir/finetune.cpp.o" "gcc" "src/compress/CMakeFiles/con_compress.dir/finetune.cpp.o.d"
+  "/root/repo/src/compress/fixed_point.cpp" "src/compress/CMakeFiles/con_compress.dir/fixed_point.cpp.o" "gcc" "src/compress/CMakeFiles/con_compress.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/compress/integer_exec.cpp" "src/compress/CMakeFiles/con_compress.dir/integer_exec.cpp.o" "gcc" "src/compress/CMakeFiles/con_compress.dir/integer_exec.cpp.o.d"
+  "/root/repo/src/compress/pruner.cpp" "src/compress/CMakeFiles/con_compress.dir/pruner.cpp.o" "gcc" "src/compress/CMakeFiles/con_compress.dir/pruner.cpp.o.d"
+  "/root/repo/src/compress/quant_activation.cpp" "src/compress/CMakeFiles/con_compress.dir/quant_activation.cpp.o" "gcc" "src/compress/CMakeFiles/con_compress.dir/quant_activation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/con_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/con_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/con_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/con_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_compress.dir/clustering.cpp.o"
+  "CMakeFiles/con_compress.dir/clustering.cpp.o.d"
+  "CMakeFiles/con_compress.dir/finetune.cpp.o"
+  "CMakeFiles/con_compress.dir/finetune.cpp.o.d"
+  "CMakeFiles/con_compress.dir/fixed_point.cpp.o"
+  "CMakeFiles/con_compress.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/con_compress.dir/integer_exec.cpp.o"
+  "CMakeFiles/con_compress.dir/integer_exec.cpp.o.d"
+  "CMakeFiles/con_compress.dir/pruner.cpp.o"
+  "CMakeFiles/con_compress.dir/pruner.cpp.o.d"
+  "CMakeFiles/con_compress.dir/quant_activation.cpp.o"
+  "CMakeFiles/con_compress.dir/quant_activation.cpp.o.d"
+  "libcon_compress.a"
+  "libcon_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cdf.cpp" "src/core/CMakeFiles/con_core.dir/cdf.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/cdf.cpp.o.d"
+  "/root/repo/src/core/cross_init.cpp" "src/core/CMakeFiles/con_core.dir/cross_init.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/cross_init.cpp.o.d"
+  "/root/repo/src/core/defense.cpp" "src/core/CMakeFiles/con_core.dir/defense.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/defense.cpp.o.d"
+  "/root/repo/src/core/feature_space.cpp" "src/core/CMakeFiles/con_core.dir/feature_space.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/feature_space.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/con_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/con_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/con_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/sweeps.cpp" "src/core/CMakeFiles/con_core.dir/sweeps.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/sweeps.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/con_core.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/con_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/con_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/con_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/con_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/con_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/con_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/con_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/con_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/con_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

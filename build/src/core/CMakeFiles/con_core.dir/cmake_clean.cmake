@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_core.dir/cdf.cpp.o"
+  "CMakeFiles/con_core.dir/cdf.cpp.o.d"
+  "CMakeFiles/con_core.dir/cross_init.cpp.o"
+  "CMakeFiles/con_core.dir/cross_init.cpp.o.d"
+  "CMakeFiles/con_core.dir/defense.cpp.o"
+  "CMakeFiles/con_core.dir/defense.cpp.o.d"
+  "CMakeFiles/con_core.dir/feature_space.cpp.o"
+  "CMakeFiles/con_core.dir/feature_space.cpp.o.d"
+  "CMakeFiles/con_core.dir/scenario.cpp.o"
+  "CMakeFiles/con_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/con_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/con_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/con_core.dir/study.cpp.o"
+  "CMakeFiles/con_core.dir/study.cpp.o.d"
+  "CMakeFiles/con_core.dir/sweeps.cpp.o"
+  "CMakeFiles/con_core.dir/sweeps.cpp.o.d"
+  "CMakeFiles/con_core.dir/transfer.cpp.o"
+  "CMakeFiles/con_core.dir/transfer.cpp.o.d"
+  "libcon_core.a"
+  "libcon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

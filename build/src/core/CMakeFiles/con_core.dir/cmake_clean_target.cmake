@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcon_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_data.dir/dataset.cpp.o"
+  "CMakeFiles/con_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/con_data.dir/synth_digits.cpp.o"
+  "CMakeFiles/con_data.dir/synth_digits.cpp.o.d"
+  "CMakeFiles/con_data.dir/synth_objects.cpp.o"
+  "CMakeFiles/con_data.dir/synth_objects.cpp.o.d"
+  "libcon_data.a"
+  "libcon_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

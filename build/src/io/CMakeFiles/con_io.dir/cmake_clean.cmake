@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/con_io.dir/checkpoint.cpp.o.d"
+  "libcon_io.a"
+  "libcon_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

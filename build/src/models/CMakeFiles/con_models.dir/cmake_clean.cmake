@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_models.dir/model_zoo.cpp.o"
+  "CMakeFiles/con_models.dir/model_zoo.cpp.o.d"
+  "libcon_models.a"
+  "libcon_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/con_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/con_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/avgpool.cpp" "src/nn/CMakeFiles/con_nn.dir/avgpool.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/avgpool.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/con_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/con_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/con_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/con_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/con_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/parameter.cpp" "src/nn/CMakeFiles/con_nn.dir/parameter.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/parameter.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/con_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/reshape.cpp" "src/nn/CMakeFiles/con_nn.dir/reshape.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/reshape.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/con_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/con_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/con_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/con_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/con_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_nn.dir/activations.cpp.o"
+  "CMakeFiles/con_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/con_nn.dir/adam.cpp.o"
+  "CMakeFiles/con_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/con_nn.dir/avgpool.cpp.o"
+  "CMakeFiles/con_nn.dir/avgpool.cpp.o.d"
+  "CMakeFiles/con_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/con_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/con_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/con_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/con_nn.dir/linear.cpp.o"
+  "CMakeFiles/con_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/con_nn.dir/loss.cpp.o"
+  "CMakeFiles/con_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/con_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/con_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/con_nn.dir/parameter.cpp.o"
+  "CMakeFiles/con_nn.dir/parameter.cpp.o.d"
+  "CMakeFiles/con_nn.dir/pooling.cpp.o"
+  "CMakeFiles/con_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/con_nn.dir/reshape.cpp.o"
+  "CMakeFiles/con_nn.dir/reshape.cpp.o.d"
+  "CMakeFiles/con_nn.dir/sequential.cpp.o"
+  "CMakeFiles/con_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/con_nn.dir/trainer.cpp.o"
+  "CMakeFiles/con_nn.dir/trainer.cpp.o.d"
+  "libcon_nn.a"
+  "libcon_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

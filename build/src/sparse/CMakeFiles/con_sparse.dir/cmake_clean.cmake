@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_sparse.dir/csr.cpp.o"
+  "CMakeFiles/con_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/con_sparse.dir/huffman.cpp.o"
+  "CMakeFiles/con_sparse.dir/huffman.cpp.o.d"
+  "CMakeFiles/con_sparse.dir/sparse_model.cpp.o"
+  "CMakeFiles/con_sparse.dir/sparse_model.cpp.o.d"
+  "libcon_sparse.a"
+  "libcon_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_tensor.dir/ops.cpp.o"
+  "CMakeFiles/con_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/con_tensor.dir/random.cpp.o"
+  "CMakeFiles/con_tensor.dir/random.cpp.o.d"
+  "CMakeFiles/con_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/con_tensor.dir/tensor.cpp.o.d"
+  "libcon_tensor.a"
+  "libcon_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

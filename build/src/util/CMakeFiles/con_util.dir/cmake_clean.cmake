@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/con_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/con_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/con_util.dir/cli.cpp.o"
+  "CMakeFiles/con_util.dir/cli.cpp.o.d"
+  "CMakeFiles/con_util.dir/logging.cpp.o"
+  "CMakeFiles/con_util.dir/logging.cpp.o.d"
+  "CMakeFiles/con_util.dir/table.cpp.o"
+  "CMakeFiles/con_util.dir/table.cpp.o.d"
+  "CMakeFiles/con_util.dir/threadpool.cpp.o"
+  "CMakeFiles/con_util.dir/threadpool.cpp.o.d"
+  "libcon_util.a"
+  "libcon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/con_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

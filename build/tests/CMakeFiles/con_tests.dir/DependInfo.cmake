@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/con_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_attacks_extended.cpp" "tests/CMakeFiles/con_tests.dir/test_attacks_extended.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_attacks_extended.cpp.o.d"
+  "/root/repo/tests/test_blackbox_sensitivity.cpp" "tests/CMakeFiles/con_tests.dir/test_blackbox_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_blackbox_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_compress_extra.cpp" "tests/CMakeFiles/con_tests.dir/test_compress_extra.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_compress_extra.cpp.o.d"
+  "/root/repo/tests/test_compress_prune.cpp" "tests/CMakeFiles/con_tests.dir/test_compress_prune.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_compress_prune.cpp.o.d"
+  "/root/repo/tests/test_compress_quant.cpp" "tests/CMakeFiles/con_tests.dir/test_compress_quant.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_compress_quant.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/con_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_core_extra.cpp" "tests/CMakeFiles/con_tests.dir/test_core_extra.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_core_extra.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/con_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_huffman_plot.cpp" "tests/CMakeFiles/con_tests.dir/test_huffman_plot.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_huffman_plot.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/con_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/con_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/con_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_nn_extra.cpp" "tests/CMakeFiles/con_tests.dir/test_nn_extra.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_nn_extra.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/con_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/con_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/con_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/con_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/con_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/con_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/con_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/con_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/con_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/con_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/con_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/con_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/con_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/con_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/con_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/con_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
