@@ -15,6 +15,7 @@
 #include "io/checkpoint.h"
 #include "util/cli.h"
 #include "util/table.h"
+#include "util/threadpool.h"
 
 namespace con::bench {
 
@@ -25,11 +26,15 @@ struct BenchSetup {
 };
 
 // Parse the common flags: --network, --train-size, --test-size,
-// --attack-size, --epochs, --finetune-epochs, --paper-scale, --seed.
+// --attack-size, --epochs, --finetune-epochs, --paper-scale, --seed,
+// --threads (0 = hardware concurrency; results are identical for any
+// value, only wall-clock changes).
 inline BenchSetup parse_common(util::CliFlags& flags,
                                const std::string& default_network =
                                    "lenet5-small") {
   BenchSetup setup;
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(flags.get_int("threads", 0)));
   setup.paper_scale = flags.get_bool("paper-scale", false);
   setup.epochs_explicit = flags.has("epochs");
   core::StudyConfig& cfg = setup.study;

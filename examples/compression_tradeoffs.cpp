@@ -10,12 +10,15 @@
 #include "core/sweeps.h"
 #include "nn/trainer.h"
 #include "util/cli.h"
+#include "util/threadpool.h"
 #include "util/table.h"
 
 using namespace con;
 
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(flags.get_int("threads", 0)));
   core::StudyConfig cfg;
   cfg.network = flags.get_string("network", "lenet5-small");
   cfg.train_size = flags.get_int("train-size", 1500);

@@ -1,17 +1,20 @@
 #include "attacks/attack.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "util/threadpool.h"
 
 namespace con::attacks {
 
 using tensor::Index;
 
-Tensor run_attack(AttackKind kind, nn::Sequential& model, const Tensor& images,
-                  const std::vector<int>& labels, const AttackParams& params,
-                  int num_classes) {
+Tensor run_attack(AttackKind kind, const nn::Sequential& model,
+                  const Tensor& images, const std::vector<int>& labels,
+                  const AttackParams& params, int num_classes) {
   switch (kind) {
     case AttackKind::kFgm:
       return fgm(model, images, labels, params);
@@ -25,6 +28,47 @@ Tensor run_attack(AttackKind kind, nn::Sequential& model, const Tensor& images,
       return deepfool_images(model, images, labels, params, num_classes);
   }
   throw std::logic_error("unreachable attack kind");
+}
+
+Tensor run_attack_batched(AttackKind kind, const nn::Sequential& model,
+                          const Tensor& images, const std::vector<int>& labels,
+                          const AttackParams& params, int num_classes) {
+  if (images.rank() < 2) {
+    throw std::invalid_argument("run_attack_batched: images must be batched");
+  }
+  if (static_cast<std::size_t>(images.dim(0)) != labels.size()) {
+    throw std::invalid_argument(
+        "run_attack_batched: image/label count mismatch");
+  }
+  const Index n = images.dim(0);
+  if (n <= kAttackChunk) {
+    return run_attack(kind, model, images, labels, params, num_classes);
+  }
+  const Index per_sample = images.numel() / n;
+  const std::size_t num_chunks =
+      static_cast<std::size_t>((n + kAttackChunk - 1) / kAttackChunk);
+
+  Tensor result(images.shape());
+  util::parallel_for(0, num_chunks, [&](std::size_t c) {
+    const Index lo = static_cast<Index>(c) * kAttackChunk;
+    const Index hi = std::min(lo + kAttackChunk, n);
+    std::vector<Index> dims = images.shape().dims();
+    dims[0] = hi - lo;
+    Tensor chunk{tensor::Shape{dims}};
+    std::memcpy(chunk.data(), images.data() + lo * per_sample,
+                static_cast<std::size_t>((hi - lo) * per_sample) *
+                    sizeof(float));
+    const std::vector<int> chunk_labels(
+        labels.begin() + static_cast<std::ptrdiff_t>(lo),
+        labels.begin() + static_cast<std::ptrdiff_t>(hi));
+    Tensor adv = run_attack(kind, model, chunk, chunk_labels, params,
+                            num_classes);
+    // Each chunk owns its own slice of the result; no cross-chunk writes.
+    std::memcpy(result.data() + lo * per_sample, adv.data(),
+                static_cast<std::size_t>((hi - lo) * per_sample) *
+                    sizeof(float));
+  });
+  return result;
 }
 
 PerturbationStats perturbation_stats(const Tensor& clean,

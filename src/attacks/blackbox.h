@@ -35,12 +35,12 @@ class LabelOracle {
 // hit a remote API).
 class ModelOracle : public LabelOracle {
  public:
-  explicit ModelOracle(nn::Sequential& victim) : victim_(&victim) {}
+  explicit ModelOracle(const nn::Sequential& victim) : victim_(&victim) {}
   std::vector<int> query(const Tensor& images) override;
   std::size_t queries_used() const override { return queries_; }
 
  private:
-  nn::Sequential* victim_;
+  const nn::Sequential* victim_;
   std::size_t queries_ = 0;
 };
 

@@ -15,17 +15,17 @@ namespace {
 
 // One forward + per-class backward: returns logits and the gradient of
 // every logit w.r.t. the input. Exploits the fact that Layer::backward only
-// reads forward caches, so a single forward supports K backward passes.
+// reads the tape written by forward, so a single forward supports K
+// backward passes against the same tape.
 struct Linearisation {
   std::vector<float> logits;
   std::vector<Tensor> grads;  // grads[k] = ∇ₓ f_k
 };
 
-Linearisation linearise(nn::Sequential& model, const Tensor& sample_batch,
-                        int num_classes) {
+Linearisation linearise(const nn::Sequential& model, nn::ForwardTape& tape,
+                        const Tensor& sample_batch, int num_classes) {
   Linearisation lin;
-  model.zero_grad();
-  Tensor logits = model.forward(sample_batch, /*train=*/false);
+  Tensor logits = model.forward(sample_batch, /*train=*/false, tape);
   if (logits.dim(1) != num_classes) {
     throw std::invalid_argument("deepfool: class count mismatch");
   }
@@ -37,15 +37,14 @@ Linearisation linearise(nn::Sequential& model, const Tensor& sample_batch,
   for (int k = 0; k < num_classes; ++k) {
     Tensor seed(logits.shape());
     seed.at({0, k}) = 1.0f;
-    lin.grads.push_back(model.backward(seed));
+    lin.grads.push_back(model.backward(seed, tape));
   }
-  model.zero_grad();
   return lin;
 }
 
 }  // namespace
 
-DeepFoolResult deepfool(nn::Sequential& model, const Tensor& images,
+DeepFoolResult deepfool(const nn::Sequential& model, const Tensor& images,
                         const std::vector<int>& labels,
                         const AttackParams& params, int num_classes) {
   if (images.rank() < 2) {
@@ -65,6 +64,8 @@ DeepFoolResult deepfool(nn::Sequential& model, const Tensor& images,
   result.iterations_used.resize(static_cast<std::size_t>(n), 0);
   result.perturbation_l2.resize(static_cast<std::size_t>(n), 0.0f);
 
+  // One tape per sample loop: slots recycle their storage across iterates.
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
   for (Index s = 0; s < n; ++s) {
     const int y = labels[static_cast<std::size_t>(s)];
     Tensor sample = tensor::slice_batch(images, s);
@@ -83,7 +84,7 @@ DeepFoolResult deepfool(nn::Sequential& model, const Tensor& images,
       // implementation: x_i = x0 + (1 + η) r.
       Tensor xi = tensor::add_scaled(x0, r, 1.0f + overshoot);
       tensor::clamp_inplace(xi, 0.0f, 1.0f);
-      Linearisation lin = linearise(model, xi, num_classes);
+      Linearisation lin = linearise(model, tape, xi, num_classes);
 
       const int pred = static_cast<int>(
           tensor::argmax(Tensor({num_classes}, std::vector<float>(
@@ -129,7 +130,7 @@ DeepFoolResult deepfool(nn::Sequential& model, const Tensor& images,
   return result;
 }
 
-Tensor deepfool_images(nn::Sequential& model, const Tensor& images,
+Tensor deepfool_images(const nn::Sequential& model, const Tensor& images,
                        const std::vector<int>& labels,
                        const AttackParams& params, int num_classes) {
   return deepfool(model, images, labels, params, num_classes).adversarial;

@@ -25,12 +25,12 @@ struct DeepFoolResult {
 };
 
 // params.epsilon = overshoot factor, params.iterations = max iterations.
-DeepFoolResult deepfool(nn::Sequential& model, const Tensor& images,
+DeepFoolResult deepfool(const nn::Sequential& model, const Tensor& images,
                         const std::vector<int>& labels,
                         const AttackParams& params, int num_classes = 10);
 
 // Convenience wrapper returning only the adversarial batch.
-Tensor deepfool_images(nn::Sequential& model, const Tensor& images,
+Tensor deepfool_images(const nn::Sequential& model, const Tensor& images,
                        const std::vector<int>& labels,
                        const AttackParams& params, int num_classes = 10);
 

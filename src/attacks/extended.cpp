@@ -23,7 +23,7 @@ void check_batch(const Tensor& images, const std::vector<int>& labels) {
   }
 }
 
-Tensor per_sample_loss_gradient(nn::Sequential& model, const Tensor& batch,
+Tensor per_sample_loss_gradient(const nn::Sequential& model, const Tensor& batch,
                                 const std::vector<int>& labels) {
   Tensor g = loss_input_gradient(model, batch, labels);
   tensor::scale_inplace(g, static_cast<float>(batch.dim(0)));
@@ -32,7 +32,7 @@ Tensor per_sample_loss_gradient(nn::Sequential& model, const Tensor& batch,
 
 }  // namespace
 
-Tensor pgd(nn::Sequential& model, const Tensor& images,
+Tensor pgd(const nn::Sequential& model, const Tensor& images,
            const std::vector<int>& labels, const PgdParams& params) {
   check_batch(images, labels);
   if (params.epsilon <= 0.0f || params.step_size <= 0.0f ||
@@ -42,10 +42,18 @@ Tensor pgd(nn::Sequential& model, const Tensor& images,
   const Index n = images.numel();
   Tensor adv = images;
   if (params.random_start) {
-    util::Rng rng(params.seed);
+    // Each sample draws its random start from an independent stream seeded
+    // by (params.seed, sample index), so the result is the same no matter
+    // how the batch is split across chunks or threads.
+    const Index batch = images.dim(0);
+    const Index per_sample = n / batch;
     float* a = adv.data();
-    for (Index i = 0; i < n; ++i) {
-      a[i] += rng.uniform_f(-params.epsilon, params.epsilon);
+    for (Index s = 0; s < batch; ++s) {
+      std::uint64_t mix = params.seed + static_cast<std::uint64_t>(s);
+      util::Rng rng(util::splitmix64_next(mix));
+      for (Index i = s * per_sample; i < (s + 1) * per_sample; ++i) {
+        a[i] += rng.uniform_f(-params.epsilon, params.epsilon);
+      }
     }
     tensor::clamp_inplace(adv, 0.0f, 1.0f);
   }
@@ -70,7 +78,7 @@ Tensor pgd(nn::Sequential& model, const Tensor& images,
   return adv;
 }
 
-Tensor mi_fgsm(nn::Sequential& model, const Tensor& images,
+Tensor mi_fgsm(const nn::Sequential& model, const Tensor& images,
                const std::vector<int>& labels, const MiFgsmParams& params) {
   check_batch(images, labels);
   if (params.epsilon <= 0.0f || params.iterations <= 0) {
@@ -114,7 +122,7 @@ Tensor mi_fgsm(nn::Sequential& model, const Tensor& images,
   return adv;
 }
 
-Tensor targeted_ifgsm(nn::Sequential& model, const Tensor& images,
+Tensor targeted_ifgsm(const nn::Sequential& model, const Tensor& images,
                       const std::vector<int>& target_labels,
                       const AttackParams& params) {
   check_batch(images, target_labels);
@@ -144,7 +152,7 @@ Tensor targeted_ifgsm(nn::Sequential& model, const Tensor& images,
   return adv;
 }
 
-Tensor jsma(nn::Sequential& model, const Tensor& images,
+Tensor jsma(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const JsmaParams& params,
             int num_classes) {
   check_batch(images, labels);
@@ -161,7 +169,8 @@ Tensor jsma(nn::Sequential& model, const Tensor& images,
     const int y = labels[static_cast<std::size_t>(s)];
 
     // Pick the target: requested class, or the runner-up logit.
-    Tensor logits = model.forward(x, false);
+    nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+    Tensor logits = model.forward(x, false, tape);
     int target = params.target_class;
     if (target < 0 || target == y) {
       float best = -1e30f;
@@ -212,7 +221,7 @@ Tensor jsma(nn::Sequential& model, const Tensor& images,
       float& pixel = x[best_idx];
       pixel = std::min(1.0f, std::max(0.0f, pixel + best_dir * params.theta));
 
-      Tensor new_logits = model.forward(x, false);
+      Tensor new_logits = model.forward(x, false, tape);
       if (tensor::argmax_row(new_logits, 0) == target) break;
     }
     tensor::set_batch(result, s, x.reshaped(sample.shape()));

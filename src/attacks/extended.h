@@ -34,7 +34,7 @@ struct PgdParams {
   std::uint64_t seed = 0x96d;
 };
 
-Tensor pgd(nn::Sequential& model, const Tensor& images,
+Tensor pgd(const nn::Sequential& model, const Tensor& images,
            const std::vector<int>& labels, const PgdParams& params);
 
 struct MiFgsmParams {
@@ -43,11 +43,11 @@ struct MiFgsmParams {
   float decay = 1.0f;       // momentum decay μ
 };
 
-Tensor mi_fgsm(nn::Sequential& model, const Tensor& images,
+Tensor mi_fgsm(const nn::Sequential& model, const Tensor& images,
                const std::vector<int>& labels, const MiFgsmParams& params);
 
 // Targeted iterative FGSM: descends the loss toward `target_labels`.
-Tensor targeted_ifgsm(nn::Sequential& model, const Tensor& images,
+Tensor targeted_ifgsm(const nn::Sequential& model, const Tensor& images,
                       const std::vector<int>& target_labels,
                       const AttackParams& params);
 
@@ -57,7 +57,7 @@ struct JsmaParams {
   int target_class = -1;     // -1: most-likely wrong class per sample
 };
 
-Tensor jsma(nn::Sequential& model, const Tensor& images,
+Tensor jsma(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const JsmaParams& params,
             int num_classes = 10);
 

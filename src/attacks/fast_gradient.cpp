@@ -28,7 +28,7 @@ void check_inputs(const Tensor& images, const std::vector<int>& labels,
 // The batch loss is a mean; rescale by N so each sample sees the gradient
 // of its own (un-averaged) loss, making batched attacks identical to
 // per-sample attacks.
-Tensor per_sample_loss_gradient(nn::Sequential& model, const Tensor& batch,
+Tensor per_sample_loss_gradient(const nn::Sequential& model, const Tensor& batch,
                                 const std::vector<int>& labels) {
   Tensor g = loss_input_gradient(model, batch, labels);
   tensor::scale_inplace(g, static_cast<float>(batch.dim(0)));
@@ -37,7 +37,7 @@ Tensor per_sample_loss_gradient(nn::Sequential& model, const Tensor& batch,
 
 enum class StepRule { kGradient, kSign };
 
-Tensor iterate_fast_gradient(nn::Sequential& model, const Tensor& images,
+Tensor iterate_fast_gradient(const nn::Sequential& model, const Tensor& images,
                              const std::vector<int>& labels,
                              const AttackParams& params, StepRule rule) {
   check_inputs(images, labels, params);
@@ -69,7 +69,7 @@ Tensor iterate_fast_gradient(nn::Sequential& model, const Tensor& images,
 
 }  // namespace
 
-Tensor fgm(nn::Sequential& model, const Tensor& images,
+Tensor fgm(const nn::Sequential& model, const Tensor& images,
            const std::vector<int>& labels, const AttackParams& params) {
   AttackParams single = params;
   single.iterations = 1;
@@ -77,19 +77,19 @@ Tensor fgm(nn::Sequential& model, const Tensor& images,
                                StepRule::kGradient);
 }
 
-Tensor fgsm(nn::Sequential& model, const Tensor& images,
+Tensor fgsm(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const AttackParams& params) {
   AttackParams single = params;
   single.iterations = 1;
   return iterate_fast_gradient(model, images, labels, single, StepRule::kSign);
 }
 
-Tensor ifgsm(nn::Sequential& model, const Tensor& images,
+Tensor ifgsm(const nn::Sequential& model, const Tensor& images,
              const std::vector<int>& labels, const AttackParams& params) {
   return iterate_fast_gradient(model, images, labels, params, StepRule::kSign);
 }
 
-Tensor ifgm(nn::Sequential& model, const Tensor& images,
+Tensor ifgm(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const AttackParams& params) {
   return iterate_fast_gradient(model, images, labels, params,
                                StepRule::kGradient);

@@ -19,19 +19,19 @@ namespace con::attacks {
 using tensor::Tensor;
 
 // Single-step FGM: X + ε·∇ₓJ.
-Tensor fgm(nn::Sequential& model, const Tensor& images,
+Tensor fgm(const nn::Sequential& model, const Tensor& images,
            const std::vector<int>& labels, const AttackParams& params);
 
 // Single-step FGSM: X + ε·sign(∇ₓJ).
-Tensor fgsm(nn::Sequential& model, const Tensor& images,
+Tensor fgsm(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const AttackParams& params);
 
 // Iterative FGSM (Algorithm 1): per-iteration sign step of ε, clipped.
-Tensor ifgsm(nn::Sequential& model, const Tensor& images,
+Tensor ifgsm(const nn::Sequential& model, const Tensor& images,
              const std::vector<int>& labels, const AttackParams& params);
 
 // Iterative FGM: identical except N = ∇ₓJ (gradient amplitudes, not sign).
-Tensor ifgm(nn::Sequential& model, const Tensor& images,
+Tensor ifgm(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const AttackParams& params);
 
 }  // namespace con::attacks

@@ -6,24 +6,23 @@
 
 namespace con::attacks {
 
-Tensor loss_input_gradient(nn::Sequential& model, const Tensor& batch,
+Tensor loss_input_gradient(const nn::Sequential& model, const Tensor& batch,
                            const std::vector<int>& labels) {
-  model.zero_grad();
-  Tensor logits = model.forward(batch, /*train=*/false);
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+  Tensor logits = model.forward(batch, /*train=*/false, tape);
   nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
-  Tensor grad_input = model.backward(loss.grad_logits);
-  model.zero_grad();
-  return grad_input;
+  return model.backward(loss.grad_logits, tape);
 }
 
-Tensor logit_input_gradient(nn::Sequential& model, const Tensor& sample_batch,
-                            int class_index, int num_classes) {
+Tensor logit_input_gradient(const nn::Sequential& model,
+                            const Tensor& sample_batch, int class_index,
+                            int num_classes) {
   if (sample_batch.dim(0) != 1) {
     throw std::invalid_argument(
         "logit_input_gradient expects a single-sample batch");
   }
-  model.zero_grad();
-  Tensor logits = model.forward(sample_batch, /*train=*/false);
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+  Tensor logits = model.forward(sample_batch, /*train=*/false, tape);
   if (logits.dim(1) != num_classes) {
     throw std::invalid_argument("logit_input_gradient: class count mismatch");
   }
@@ -32,9 +31,7 @@ Tensor logit_input_gradient(nn::Sequential& model, const Tensor& sample_batch,
   }
   Tensor seed(logits.shape());
   seed.at({0, class_index}) = 1.0f;
-  Tensor grad_input = model.backward(seed);
-  model.zero_grad();
-  return grad_input;
+  return model.backward(seed, tape);
 }
 
 }  // namespace con::attacks

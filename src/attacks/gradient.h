@@ -1,9 +1,14 @@
 // Input-gradient computation shared by all white-box attacks.
+//
+// All helpers run eval-mode forwards with parameter-gradient accumulation
+// disabled on the tape, so they are const over the model and safe to call
+// concurrently from many threads on one shared model.
 #pragma once
 
 #include <vector>
 
 #include "nn/sequential.h"
+#include "nn/tape.h"
 #include "tensor/tensor.h"
 
 namespace con::attacks {
@@ -12,13 +17,14 @@ using tensor::Tensor;
 
 // ∇ₓ J(θ, X, y) for a batch X [N,...] with true labels y: forward in eval
 // mode, softmax-cross-entropy, backward to the input. Parameter gradients
-// are zeroed afterwards — attacks must not perturb training state.
-Tensor loss_input_gradient(nn::Sequential& model, const Tensor& batch,
+// are never touched — attacks must not perturb training state.
+Tensor loss_input_gradient(const nn::Sequential& model, const Tensor& batch,
                            const std::vector<int>& labels);
 
 // ∇ₓ f_k(X): gradient of logit k w.r.t. a single-sample batch [1,...].
 // Used by DeepFool, which needs per-class decision-boundary geometry.
-Tensor logit_input_gradient(nn::Sequential& model, const Tensor& sample_batch,
-                            int class_index, int num_classes);
+Tensor logit_input_gradient(const nn::Sequential& model,
+                            const Tensor& sample_batch, int class_index,
+                            int num_classes);
 
 }  // namespace con::attacks

@@ -14,13 +14,14 @@ using tensor::Tensor;
 QuantActivation::QuantActivation(FixedPointFormat fmt, std::string layer_name)
     : fmt_(fmt), name_(std::move(layer_name)) {}
 
-Tensor QuantActivation::forward(const Tensor& x, bool /*train*/) {
+Tensor QuantActivation::forward(const Tensor& x, bool /*train*/,
+                                nn::TapeSlot& slot) const {
   Tensor y(x.shape());
-  cached_gate_ = Tensor(x.shape());
+  slot.aux = Tensor(x.shape());
   const Index n = x.numel();
   const float* in = x.data();
   float* out = y.data();
-  float* g = cached_gate_.data();
+  float* g = slot.aux.data();
   const float lo = fmt_.lo();
   const float hi = fmt_.hi();
   const float s = fmt_.step();
@@ -35,11 +36,12 @@ Tensor QuantActivation::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
-Tensor QuantActivation::backward(const Tensor& grad_out) {
-  if (grad_out.shape() != cached_gate_.shape()) {
+Tensor QuantActivation::backward(const Tensor& grad_out,
+                                 nn::TapeSlot& slot) const {
+  if (grad_out.shape() != slot.aux.shape()) {
     throw std::invalid_argument(name_ + ": grad shape mismatch");
   }
-  return tensor::mul(grad_out, cached_gate_);
+  return tensor::mul(grad_out, slot.aux);
 }
 
 std::unique_ptr<nn::Layer> QuantActivation::clone() const {

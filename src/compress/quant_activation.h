@@ -18,8 +18,9 @@ class QuantActivation : public nn::Layer {
   explicit QuantActivation(FixedPointFormat fmt,
                            std::string layer_name = "quant_act");
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train,
+                 nn::TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, nn::TapeSlot& slot) const override;
   std::string name() const override { return name_; }
   std::unique_ptr<nn::Layer> clone() const override;
 
@@ -28,7 +29,6 @@ class QuantActivation : public nn::Layer {
  private:
   FixedPointFormat fmt_;
   std::string name_;
-  Tensor cached_gate_;
 };
 
 struct QuantizeOptions {

@@ -39,22 +39,24 @@ double cdf_at(const Cdf& cdf, float x) {
   return p0 + (p1 - p0) * (static_cast<double>(x) - x0) / (x1 - x0);
 }
 
-std::vector<float> gather_effective_weights(nn::Sequential& model) {
+std::vector<float> gather_effective_weights(const nn::Sequential& model) {
   std::vector<float> weights;
-  for (nn::Parameter* p : model.parameters()) {
+  for (const nn::Parameter* p : model.parameters()) {
     if (!p->compressible) continue;
-    tensor::Tensor eff = p->effective();
+    tensor::Tensor gate;
+    tensor::Tensor eff = p->effective(gate);
     weights.insert(weights.end(), eff.flat().begin(), eff.flat().end());
   }
   return weights;
 }
 
-std::vector<float> gather_activations(nn::Sequential& model,
+std::vector<float> gather_activations(const nn::Sequential& model,
                                       const tensor::Tensor& batch) {
   std::vector<float> activations;
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
   tensor::Tensor h = batch;
   for (std::size_t i = 0; i < model.num_layers(); ++i) {
-    h = model.layer(i).forward(h, /*train=*/false);
+    h = model.layer(i).forward(h, /*train=*/false, tape.slot(i));
     activations.insert(activations.end(), h.flat().begin(), h.flat().end());
   }
   return activations;

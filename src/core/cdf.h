@@ -23,12 +23,12 @@ double cdf_at(const Cdf& cdf, float x);
 
 // All effective weights (mask and quantisation applied) of the model's
 // compressible parameters, flattened.
-std::vector<float> gather_effective_weights(nn::Sequential& model);
+std::vector<float> gather_effective_weights(const nn::Sequential& model);
 
 // Outputs of every layer when `batch` flows through the model (eval mode),
 // flattened and concatenated — "all activations" in the paper's Fig. 6
 // sense. The input itself is not included.
-std::vector<float> gather_activations(nn::Sequential& model,
+std::vector<float> gather_activations(const nn::Sequential& model,
                                       const tensor::Tensor& batch);
 
 }  // namespace con::core

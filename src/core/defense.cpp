@@ -89,16 +89,16 @@ AdvTrainStats adversarial_train(nn::Sequential& model,
   return stats;
 }
 
-RobustnessReport measure_robustness(nn::Sequential& model,
+RobustnessReport measure_robustness(const nn::Sequential& model,
                                     const data::Dataset& eval_set,
                                     attacks::AttackKind attack,
                                     const attacks::AttackParams& params) {
   RobustnessReport report;
   report.clean_accuracy =
       nn::evaluate_accuracy(model, eval_set.images, eval_set.labels);
-  Tensor adv = attacks::run_attack(attack, model, eval_set.images,
-                                   eval_set.labels, params,
-                                   eval_set.num_classes());
+  Tensor adv = attacks::run_attack_batched(attack, model, eval_set.images,
+                                           eval_set.labels, params,
+                                           eval_set.num_classes());
   report.adversarial_accuracy =
       nn::evaluate_accuracy(model, adv, eval_set.labels);
   const std::vector<int> clean_pred = nn::predict(model, eval_set.images);

@@ -42,7 +42,7 @@ struct RobustnessReport {
   double fooling_rate = 0.0;
 };
 
-RobustnessReport measure_robustness(nn::Sequential& model,
+RobustnessReport measure_robustness(const nn::Sequential& model,
                                     const data::Dataset& eval_set,
                                     attacks::AttackKind attack,
                                     const attacks::AttackParams& params);

@@ -60,28 +60,30 @@ double linear_cka(const Tensor& x, const Tensor& y) {
   return cross / std::sqrt(kk * ll);
 }
 
-Tensor layer_activation_matrix(nn::Sequential& model, const Tensor& batch,
+Tensor layer_activation_matrix(const nn::Sequential& model, const Tensor& batch,
                                std::size_t layer_index) {
   if (layer_index >= model.num_layers()) {
     throw std::out_of_range("layer_activation_matrix: bad layer index");
   }
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
   Tensor h = batch;
   for (std::size_t i = 0; i <= layer_index; ++i) {
-    h = model.layer(i).forward(h, /*train=*/false);
+    h = model.layer(i).forward(h, /*train=*/false, tape.slot(i));
   }
   const Index n = h.dim(0);
   return h.reshaped({n, h.numel() / n});
 }
 
 std::vector<LayerSimilarity> feature_space_similarity(
-    nn::Sequential& reference, nn::Sequential& other, const Tensor& batch) {
+    const nn::Sequential& reference, const nn::Sequential& other, const Tensor& batch) {
   // Collect activations by layer name in both models (quantisation passes
   // insert extra layers, so positions do not line up — names do).
-  auto collect = [&](nn::Sequential& m) {
+  auto collect = [&](const nn::Sequential& m) {
     std::map<std::string, Tensor> acts;
+    nn::ForwardTape tape(/*accumulate_param_grads=*/false);
     Tensor h = batch;
     for (std::size_t i = 0; i < m.num_layers(); ++i) {
-      h = m.layer(i).forward(h, /*train=*/false);
+      h = m.layer(i).forward(h, /*train=*/false, tape.slot(i));
       const Index n = h.dim(0);
       acts[m.layer(i).name()] = h.reshaped({n, h.numel() / n});
     }
@@ -103,8 +105,8 @@ std::vector<LayerSimilarity> feature_space_similarity(
   return result;
 }
 
-double mean_feature_similarity(nn::Sequential& reference,
-                               nn::Sequential& other, const Tensor& batch) {
+double mean_feature_similarity(const nn::Sequential& reference,
+                               const nn::Sequential& other, const Tensor& batch) {
   const auto sims = feature_space_similarity(reference, other, batch);
   if (sims.empty()) {
     throw std::invalid_argument(

@@ -25,7 +25,7 @@ double linear_cka(const tensor::Tensor& x, const tensor::Tensor& y);
 
 // Activation matrix [n_samples, features] of the layer at `layer_index`
 // when `batch` flows through `model` in eval mode.
-tensor::Tensor layer_activation_matrix(nn::Sequential& model,
+tensor::Tensor layer_activation_matrix(const nn::Sequential& model,
                                        const tensor::Tensor& batch,
                                        std::size_t layer_index);
 
@@ -39,13 +39,13 @@ struct LayerSimilarity {
 // same architecture modulo inserted quantisation layers (layers are matched
 // by name, not position).
 std::vector<LayerSimilarity> feature_space_similarity(
-    nn::Sequential& reference, nn::Sequential& other,
+    const nn::Sequential& reference, const nn::Sequential& other,
     const tensor::Tensor& batch);
 
 // Mean CKA across matched layers — a scalar "how much of the feature space
 // survived compression" number.
-double mean_feature_similarity(nn::Sequential& reference,
-                               nn::Sequential& other,
+double mean_feature_similarity(const nn::Sequential& reference,
+                               const nn::Sequential& other,
                                const tensor::Tensor& batch);
 
 }  // namespace con::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace con::core {
 
@@ -36,15 +37,16 @@ std::vector<nn::Sequential> build_quantized_family(
 }
 
 std::vector<ScenarioPoint> sweep_scenarios(
-    nn::Sequential& baseline, std::vector<nn::Sequential>& family,
+    const nn::Sequential& baseline, const std::vector<nn::Sequential>& family,
     attacks::AttackKind attack, const attacks::AttackParams& params,
     const data::Dataset& eval_set) {
-  std::vector<ScenarioPoint> points;
-  points.reserve(family.size());
-  for (nn::Sequential& compressed : family) {
-    points.push_back(
-        evaluate_scenarios(baseline, compressed, attack, params, eval_set));
-  }
+  std::vector<ScenarioPoint> points(family.size());
+  // One matrix cell per family member; each cell only reads the (shared,
+  // immutable during execution) models and writes its own slot.
+  util::parallel_for(0, family.size(), [&](std::size_t i) {
+    points[i] =
+        evaluate_scenarios(baseline, family[i], attack, params, eval_set);
+  });
   return points;
 }
 

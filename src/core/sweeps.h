@@ -28,9 +28,11 @@ std::vector<nn::Sequential> build_quantized_family(
     bool quantize_activations = true);
 
 // Scenario accuracies for every member of a compressed family under one
-// attack. Output order matches the family order.
+// attack. Cells are evaluated in parallel over the global thread pool, but
+// each cell writes into its preallocated slot, so the output order matches
+// the family order and the values are thread-count invariant.
 std::vector<ScenarioPoint> sweep_scenarios(
-    nn::Sequential& baseline, std::vector<nn::Sequential>& family,
+    const nn::Sequential& baseline, const std::vector<nn::Sequential>& family,
     attacks::AttackKind attack, const attacks::AttackParams& params,
     const data::Dataset& eval_set);
 

@@ -6,21 +6,21 @@
 
 namespace con::core {
 
-double adversarial_accuracy(nn::Sequential& source, nn::Sequential& target,
+double adversarial_accuracy(const nn::Sequential& source, const nn::Sequential& target,
                             attacks::AttackKind attack,
                             const attacks::AttackParams& params,
                             const data::Dataset& eval_set) {
   if (eval_set.size() == 0) {
     throw std::invalid_argument("adversarial_accuracy: empty eval set");
   }
-  tensor::Tensor adv = attacks::run_attack(attack, source, eval_set.images,
+  tensor::Tensor adv = attacks::run_attack_batched(attack, source, eval_set.images,
                                            eval_set.labels, params,
                                            eval_set.num_classes());
   return nn::evaluate_accuracy(target, adv, eval_set.labels);
 }
 
-ScenarioPoint evaluate_scenarios(nn::Sequential& baseline,
-                                 nn::Sequential& compressed,
+ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
+                                 const nn::Sequential& compressed,
                                  attacks::AttackKind attack,
                                  const attacks::AttackParams& params,
                                  const data::Dataset& eval_set) {
@@ -29,13 +29,13 @@ ScenarioPoint evaluate_scenarios(nn::Sequential& baseline,
       nn::evaluate_accuracy(compressed, eval_set.images, eval_set.labels);
   // Samples from the compressed model serve scenarios 1 and 3; one attack
   // generation covers both.
-  tensor::Tensor adv_comp = attacks::run_attack(
+  tensor::Tensor adv_comp = attacks::run_attack_batched(
       attack, compressed, eval_set.images, eval_set.labels, params,
       eval_set.num_classes());
   p.comp_to_comp =
       nn::evaluate_accuracy(compressed, adv_comp, eval_set.labels);
   p.comp_to_full = nn::evaluate_accuracy(baseline, adv_comp, eval_set.labels);
-  tensor::Tensor adv_full = attacks::run_attack(
+  tensor::Tensor adv_full = attacks::run_attack_batched(
       attack, baseline, eval_set.images, eval_set.labels, params,
       eval_set.num_classes());
   p.full_to_comp =
@@ -43,11 +43,11 @@ ScenarioPoint evaluate_scenarios(nn::Sequential& baseline,
   return p;
 }
 
-double transfer_rate(nn::Sequential& source, nn::Sequential& target,
+double transfer_rate(const nn::Sequential& source, const nn::Sequential& target,
                      attacks::AttackKind attack,
                      const attacks::AttackParams& params,
                      const data::Dataset& eval_set) {
-  tensor::Tensor adv = attacks::run_attack(attack, source, eval_set.images,
+  tensor::Tensor adv = attacks::run_attack_batched(attack, source, eval_set.images,
                                            eval_set.labels, params,
                                            eval_set.num_classes());
   const std::vector<int> src_clean =

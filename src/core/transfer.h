@@ -13,7 +13,7 @@ namespace con::core {
 // Accuracy of `target` on adversarial samples crafted against `source` from
 // `eval_set` (white-box on source). source == target gives the self-attack
 // (Scenario 1) number.
-double adversarial_accuracy(nn::Sequential& source, nn::Sequential& target,
+double adversarial_accuracy(const nn::Sequential& source, const nn::Sequential& target,
                             attacks::AttackKind attack,
                             const attacks::AttackParams& params,
                             const data::Dataset& eval_set);
@@ -27,15 +27,15 @@ struct ScenarioPoint {
   double comp_to_full = 0.0;    // scenario 3 (red line)
 };
 
-ScenarioPoint evaluate_scenarios(nn::Sequential& baseline,
-                                 nn::Sequential& compressed,
+ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
+                                 const nn::Sequential& compressed,
                                  attacks::AttackKind attack,
                                  const attacks::AttackParams& params,
                                  const data::Dataset& eval_set);
 
 // Transfer rate as used for the §3.3 cross-initialisation check: of the
 // samples that fool `source`, the fraction that also fool `target`.
-double transfer_rate(nn::Sequential& source, nn::Sequential& target,
+double transfer_rate(const nn::Sequential& source, const nn::Sequential& target,
                      attacks::AttackKind attack,
                      const attacks::AttackParams& params,
                      const data::Dataset& eval_set);

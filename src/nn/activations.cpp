@@ -7,19 +7,19 @@ namespace con::nn {
 
 using tensor::Index;
 
-Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
-  cached_input_ = x;
+Tensor ReLU::forward(const Tensor& x, bool /*train*/, TapeSlot& slot) const {
+  slot.input = x;
   Tensor y = x;
   for (float& v : y.flat()) v = v > 0.0f ? v : 0.0f;
   return y;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  if (grad_out.shape() != cached_input_.shape()) {
+Tensor ReLU::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  if (grad_out.shape() != slot.input.shape()) {
     throw std::invalid_argument(name_ + ": grad shape mismatch");
   }
   Tensor gx = grad_out;
-  const float* in = cached_input_.data();
+  const float* in = slot.input.data();
   float* g = gx.data();
   const Index n = gx.numel();
   for (Index i = 0; i < n; ++i) {
@@ -28,19 +28,19 @@ Tensor ReLU::backward(const Tensor& grad_out) {
   return gx;
 }
 
-Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
+Tensor Tanh::forward(const Tensor& x, bool /*train*/, TapeSlot& slot) const {
   Tensor y = x;
   for (float& v : y.flat()) v = std::tanh(v);
-  cached_output_ = y;
+  slot.output = y;
   return y;
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
-  if (grad_out.shape() != cached_output_.shape()) {
+Tensor Tanh::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  if (grad_out.shape() != slot.output.shape()) {
     throw std::invalid_argument(name_ + ": grad shape mismatch");
   }
   Tensor gx = grad_out;
-  const float* y = cached_output_.data();
+  const float* y = slot.output.data();
   float* g = gx.data();
   const Index n = gx.numel();
   for (Index i = 0; i < n; ++i) g[i] *= 1.0f - y[i] * y[i];

@@ -9,8 +9,8 @@ class ReLU : public Layer {
  public:
   explicit ReLU(std::string layer_name = "relu") : name_(std::move(layer_name)) {}
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<ReLU>(name_);
@@ -18,7 +18,6 @@ class ReLU : public Layer {
 
  private:
   std::string name_;
-  Tensor cached_input_;
 };
 
 // tanh activation — LeNet5's classic nonlinearity is kept available even
@@ -28,8 +27,8 @@ class Tanh : public Layer {
  public:
   explicit Tanh(std::string layer_name = "tanh") : name_(std::move(layer_name)) {}
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Tanh>(name_);
@@ -37,7 +36,6 @@ class Tanh : public Layer {
 
  private:
   std::string name_;
-  Tensor cached_output_;
 };
 
 }  // namespace con::nn

@@ -13,7 +13,8 @@ AvgPool2d::AvgPool2d(Index window, Index stride, std::string layer_name)
   }
 }
 
-Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
+Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/,
+                          TapeSlot& slot) const {
   if (x.rank() != 4) {
     throw std::invalid_argument(name_ + ": expected NCHW input");
   }
@@ -23,7 +24,7 @@ Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
   if (oh <= 0 || ow <= 0) {
     throw std::invalid_argument(name_ + ": input too small for window");
   }
-  cached_in_shape_ = x.shape();
+  slot.in_shape = x.shape();
   Tensor y({n, c, oh, ow});
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   const float* in = x.data();
@@ -49,15 +50,15 @@ Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
-Tensor AvgPool2d::backward(const Tensor& grad_out) {
-  const Index n = cached_in_shape_.dim(0), c = cached_in_shape_.dim(1),
-              h = cached_in_shape_.dim(2), w = cached_in_shape_.dim(3);
+Tensor AvgPool2d::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  const Index n = slot.in_shape.dim(0), c = slot.in_shape.dim(1),
+              h = slot.in_shape.dim(2), w = slot.in_shape.dim(3);
   const Index oh = (h - window_) / stride_ + 1;
   const Index ow = (w - window_) / stride_ + 1;
   if (grad_out.numel() != n * c * oh * ow) {
     throw std::invalid_argument(name_ + ": grad size mismatch");
   }
-  Tensor gx(cached_in_shape_);
+  Tensor gx(slot.in_shape);
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   const float* go = grad_out.data();
   float* g = gx.data();

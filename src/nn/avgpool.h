@@ -11,8 +11,8 @@ class AvgPool2d : public Layer {
   AvgPool2d(tensor::Index window, tensor::Index stride,
             std::string layer_name = "avgpool");
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<AvgPool2d>(window_, stride_, name_);
@@ -22,7 +22,6 @@ class AvgPool2d : public Layer {
   tensor::Index window_;
   tensor::Index stride_;
   std::string name_;
-  tensor::Shape cached_in_shape_;
 };
 
 }  // namespace con::nn

@@ -23,15 +23,15 @@ BatchNorm2d::BatchNorm2d(Index channels, float momentum, float epsilon,
   beta_.compressible = false;
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+Tensor BatchNorm2d::forward(const Tensor& x, bool train, TapeSlot& slot) const {
   if (x.rank() != 4 || x.dim(1) != channels_) {
     throw std::invalid_argument(name_ + ": expected [N, C, H, W] input");
   }
   const Index n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const Index plane = h * w;
   const Index per_channel = n * plane;
-  cached_shape_ = x.shape();
-  cached_train_ = train;
+  slot.in_shape = x.shape();
+  slot.flag = train;
 
   Tensor mean({channels_});
   Tensor var({channels_});
@@ -62,18 +62,18 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     var = running_var_;
   }
 
-  cached_inv_std_ = Tensor({channels_});
+  slot.stats = Tensor({channels_});
   for (Index c = 0; c < channels_; ++c) {
-    cached_inv_std_[c] = 1.0f / std::sqrt(var[c] + epsilon_);
+    slot.stats[c] = 1.0f / std::sqrt(var[c] + epsilon_);
   }
   Tensor y(x.shape());
-  cached_xhat_ = Tensor(x.shape());
+  slot.aux = Tensor(x.shape());
   for (Index i = 0; i < n; ++i) {
     for (Index c = 0; c < channels_; ++c) {
       const float* p = x.data() + (i * channels_ + c) * plane;
-      float* xh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      float* xh = slot.aux.data() + (i * channels_ + c) * plane;
       float* yo = y.data() + (i * channels_ + c) * plane;
-      const float m = mean[c], is = cached_inv_std_[c];
+      const float m = mean[c], is = slot.stats[c];
       const float g = gamma_.value[c], b = beta_.value[c];
       for (Index j = 0; j < plane; ++j) {
         xh[j] = (p[j] - m) * is;
@@ -84,22 +84,22 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
-  if (grad_out.shape() != cached_shape_) {
+Tensor BatchNorm2d::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  if (grad_out.shape() != slot.in_shape) {
     throw std::invalid_argument(name_ + ": grad shape mismatch");
   }
-  const Index n = cached_shape_.dim(0), h = cached_shape_.dim(2),
-              w = cached_shape_.dim(3);
+  const Index n = slot.in_shape.dim(0), h = slot.in_shape.dim(2),
+              w = slot.in_shape.dim(3);
   const Index plane = h * w;
   const auto m = static_cast<double>(n * plane);
 
-  Tensor gx(cached_shape_);
+  Tensor gx(slot.in_shape);
   for (Index c = 0; c < channels_; ++c) {
     // accumulate dgamma, dbeta and the two correction sums
     double dgamma = 0.0, dbeta = 0.0, sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (Index i = 0; i < n; ++i) {
       const float* dy = grad_out.data() + (i * channels_ + c) * plane;
-      const float* xh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      const float* xh = slot.aux.data() + (i * channels_ + c) * plane;
       for (Index j = 0; j < plane; ++j) {
         dgamma += static_cast<double>(dy[j]) * xh[j];
         dbeta += dy[j];
@@ -107,17 +107,19 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
     }
     sum_dy = dbeta;
     sum_dy_xhat = dgamma;
-    gamma_.grad[c] += static_cast<float>(dgamma);
-    beta_.grad[c] += static_cast<float>(dbeta);
+    if (slot.accumulate_param_grads) {
+      gamma_.grad[c] += static_cast<float>(dgamma);
+      beta_.grad[c] += static_cast<float>(dbeta);
+    }
 
     const float g = gamma_.value[c];
-    const float is = cached_inv_std_[c];
+    const float is = slot.stats[c];
     for (Index i = 0; i < n; ++i) {
       const float* dy = grad_out.data() + (i * channels_ + c) * plane;
-      const float* xh = cached_xhat_.data() + (i * channels_ + c) * plane;
+      const float* xh = slot.aux.data() + (i * channels_ + c) * plane;
       float* gxp = gx.data() + (i * channels_ + c) * plane;
       for (Index j = 0; j < plane; ++j) {
-        if (cached_train_) {
+        if (slot.flag) {
           gxp[j] = static_cast<float>(
               g * is *
               (dy[j] - sum_dy / m - xh[j] * sum_dy_xhat / m));

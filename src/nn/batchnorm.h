@@ -14,8 +14,8 @@ class BatchNorm2d : public Layer {
   BatchNorm2d(tensor::Index channels, float momentum = 0.1f,
               float epsilon = 1e-5f, std::string layer_name = "bn");
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override;
@@ -32,14 +32,11 @@ class BatchNorm2d : public Layer {
   std::string name_;
   Parameter gamma_;
   Parameter beta_;
-  Tensor running_mean_;
-  Tensor running_var_;
-
-  // forward caches for backward
-  Tensor cached_xhat_;
-  Tensor cached_inv_std_;  // per channel
-  tensor::Shape cached_shape_;
-  bool cached_train_ = false;
+  // Running statistics are logical model state but are only written by
+  // train-mode forwards, which are single-threaded by contract; `mutable`
+  // lets eval-mode forward stay const and thread-safe.
+  mutable Tensor running_mean_;
+  mutable Tensor running_var_;
 };
 
 }  // namespace con::nn

@@ -26,14 +26,14 @@ Conv2d::Conv2d(const Conv2dSpec& spec, con::util::Rng& rng,
   bias_.compressible = false;
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+Tensor Conv2d::forward(const Tensor& x, bool train, TapeSlot& slot) const {
   if (x.rank() != 4 || x.dim(1) != spec_.in_channels) {
     throw std::invalid_argument(name_ + ": expected input [N, " +
                                 std::to_string(spec_.in_channels) +
                                 ", H, W], got " + x.shape().to_string());
   }
   const Index n = x.dim(0);
-  geom_ = tensor::Conv2dGeometry{
+  slot.geom = tensor::Conv2dGeometry{
       .in_channels = spec_.in_channels,
       .in_h = x.dim(2),
       .in_w = x.dim(3),
@@ -42,35 +42,37 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
       .stride = spec_.stride,
       .padding = spec_.padding,
   };
-  const Index oh = geom_.out_h(), ow = geom_.out_w();
-  cached_effective_ = weight_.effective();
-  cached_columns_.assign(static_cast<std::size_t>(n), Tensor());
-  cached_batch_ = n;
+  const Index oh = slot.geom.out_h(), ow = slot.geom.out_w();
+  slot.effective = weight_.effective(slot.weight_gate);
+  if (train) weight_.grad_gate = slot.weight_gate;
+  slot.batch = n;
 
+  // One im2col + one GEMM for the whole batch:
+  // out[outC, N*P] = W[outC, C*k*k] * cols[C*k*k, N*P].
+  slot.columns = tensor::im2col_batch(x, slot.geom);
+  Tensor out = tensor::matmul(slot.effective, slot.columns);
+
+  // Scatter [outC, N*P] into NCHW order and add the bias.
   Tensor y({n, spec_.out_channels, oh, ow});
   const Index plane = oh * ow;
+  const Index total = n * plane;
+  const float* od = out.data();
   const float* bd = bias_.value.data();
+  float* yd = y.data();
   for (Index i = 0; i < n; ++i) {
-    Tensor image = tensor::slice_batch(x, i);
-    cached_columns_[static_cast<std::size_t>(i)] = tensor::im2col(image, geom_);
-    // out[outC, oh*ow] = W[outC, C*k*k] * cols[C*k*k, oh*ow]
-    Tensor out = tensor::matmul(cached_effective_,
-                                cached_columns_[static_cast<std::size_t>(i)]);
-    float* od = out.data();
     for (Index c = 0; c < spec_.out_channels; ++c) {
+      const float* src = od + c * total + i * plane;
+      float* dst = yd + (i * spec_.out_channels + c) * plane;
       const float b = bd[c];
-      for (Index p = 0; p < plane; ++p) od[c * plane + p] += b;
+      for (Index p = 0; p < plane; ++p) dst[p] = src[p] + b;
     }
-    std::memcpy(y.data() + i * spec_.out_channels * plane, out.data(),
-                static_cast<std::size_t>(spec_.out_channels * plane) *
-                    sizeof(float));
   }
   return y;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
-  const Index n = cached_batch_;
-  const Index oh = geom_.out_h(), ow = geom_.out_w();
+Tensor Conv2d::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  const Index n = slot.batch;
+  const Index oh = slot.geom.out_h(), ow = slot.geom.out_w();
   const Index plane = oh * ow;
   if (grad_out.rank() != 4 || grad_out.dim(0) != n ||
       grad_out.dim(1) != spec_.out_channels || grad_out.dim(2) != oh ||
@@ -78,31 +80,37 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     throw std::invalid_argument(name_ + ": bad grad_out shape " +
                                 grad_out.shape().to_string());
   }
-  Tensor grad_in({n, spec_.in_channels, geom_.in_h, geom_.in_w});
-  float* bg = bias_.grad.data();
-  for (Index i = 0; i < n; ++i) {
-    // View this sample's output gradient as a [outC, oh*ow] matrix.
-    Tensor go({spec_.out_channels, plane});
-    std::memcpy(go.data(), grad_out.data() + i * spec_.out_channels * plane,
-                static_cast<std::size_t>(spec_.out_channels * plane) *
-                    sizeof(float));
-    const Tensor& cols = cached_columns_[static_cast<std::size_t>(i)];
-    // dW += go[outC, P] * cols[CKK, P]^T
-    Tensor dw = tensor::matmul_nt(go, cols);
+  // Gather the NCHW gradient into the [outC, N*P] layout of the forward
+  // GEMM output.
+  const Index total = n * plane;
+  Tensor go({spec_.out_channels, total});
+  {
+    const float* gd = grad_out.data();
+    float* god = go.data();
+    for (Index i = 0; i < n; ++i) {
+      for (Index c = 0; c < spec_.out_channels; ++c) {
+        std::memcpy(god + c * total + i * plane,
+                    gd + (i * spec_.out_channels + c) * plane,
+                    static_cast<std::size_t>(plane) * sizeof(float));
+      }
+    }
+  }
+  if (slot.accumulate_param_grads) {
+    // dW += go[outC, N*P] * cols[CKK, N*P]^T — one GEMM for the batch.
+    Tensor dw = tensor::matmul_nt(go, slot.columns);
     tensor::add_inplace(weight_.grad, dw);
     // db += row sums of go
+    float* bg = bias_.grad.data();
     const float* god = go.data();
     for (Index c = 0; c < spec_.out_channels; ++c) {
       double acc = 0.0;
-      for (Index p = 0; p < plane; ++p) acc += god[c * plane + p];
+      for (Index p = 0; p < total; ++p) acc += god[c * total + p];
       bg[c] += static_cast<float>(acc);
     }
-    // dcols[CKK, P] = W^T * go
-    Tensor dcols = tensor::matmul_tn(cached_effective_, go);
-    Tensor dimage = tensor::col2im(dcols, geom_);
-    tensor::set_batch(grad_in, i, dimage);
   }
-  return grad_in;
+  // dcols[CKK, N*P] = W^T * go
+  Tensor dcols = tensor::matmul_tn(slot.effective, go);
+  return tensor::col2im_batch(dcols, n, slot.geom);
 }
 
 std::unique_ptr<Layer> Conv2d::clone() const {

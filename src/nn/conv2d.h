@@ -20,8 +20,8 @@ class Conv2d : public Layer {
   Conv2d(const Conv2dSpec& spec, con::util::Rng& rng,
          std::string layer_name = "conv");
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override;
@@ -38,11 +38,6 @@ class Conv2d : public Layer {
   // weight stored as [out_channels, in_channels * k * k] for the matmul.
   Parameter weight_;
   Parameter bias_;
-
-  tensor::Conv2dGeometry geom_;          // set per forward from input shape
-  std::vector<Tensor> cached_columns_;   // per-sample im2col matrices
-  Tensor cached_effective_;
-  tensor::Index cached_batch_ = 0;
 };
 
 }  // namespace con::nn

@@ -1,9 +1,18 @@
 // Layer abstraction for feed-forward networks.
 //
-// Layers cache whatever forward state their backward pass needs; backward
-// returns the gradient with respect to the layer input (this is what lets
-// attacks compute ∇ₓJ by chaining backward all the way to the image) and
-// accumulates parameter gradients into Parameter::grad.
+// Layers are reentrant: forward writes whatever state its backward pass
+// needs into a caller-owned TapeSlot, and backward reads it back from the
+// same slot. backward returns the gradient with respect to the layer input
+// (this is what lets attacks compute ∇ₓJ by chaining backward all the way
+// to the image); it accumulates parameter gradients into Parameter::grad
+// only when slot.accumulate_param_grads is set.
+//
+// Thread-safety contract: eval-mode forward and backward (with
+// accumulate_param_grads=false) are safe to run concurrently on one shared
+// layer, each thread with its own slot. Train-mode forward mutates layer
+// state (BatchNorm running stats, Dropout's RNG, Parameter::grad_gate) and
+// is single-threaded by contract, as is any backward that accumulates
+// parameter gradients.
 #pragma once
 
 #include <memory>
@@ -11,6 +20,7 @@
 #include <vector>
 
 #include "nn/parameter.h"
+#include "nn/tape.h"
 #include "tensor/tensor.h"
 
 namespace con::nn {
@@ -19,14 +29,18 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  // `train` enables train-only behaviour (dropout); forward always caches
-  // enough state for a subsequent backward, because attacks differentiate
-  // through models in eval mode.
-  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  // `train` enables train-only behaviour (dropout, batch statistics);
+  // forward always records enough state in `slot` for a subsequent
+  // backward, because attacks differentiate through models in eval mode.
+  virtual Tensor forward(const Tensor& x, bool train,
+                         TapeSlot& slot) const = 0;
 
   // grad_out: gradient of the loss w.r.t. this layer's output. Returns the
-  // gradient w.r.t. this layer's input; accumulates into parameter grads.
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  // gradient w.r.t. this layer's input; accumulates into parameter grads
+  // when slot.accumulate_param_grads. A single forward supports any number
+  // of backward calls against the same slot (DeepFool differentiates every
+  // logit off one forward).
+  virtual Tensor backward(const Tensor& grad_out, TapeSlot& slot) const = 0;
 
   virtual std::vector<Parameter*> parameters() { return {}; }
 

@@ -20,16 +20,19 @@ Linear::Linear(Index in_features, Index out_features, con::util::Rng& rng,
   bias_.compressible = false;
 }
 
-Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+Tensor Linear::forward(const Tensor& x, bool train, TapeSlot& slot) const {
   if (x.rank() != 2 || x.dim(1) != in_features_) {
     throw std::invalid_argument(name_ + ": expected input [N, " +
                                 std::to_string(in_features_) + "], got " +
                                 x.shape().to_string());
   }
-  cached_input_ = x;
-  cached_effective_ = weight_.effective();
+  slot.input = x;
+  slot.effective = weight_.effective(slot.weight_gate);
+  // The optimizer reads grad_gate at step() time; only a training forward
+  // (single-threaded by contract) may refresh it.
+  if (train) weight_.grad_gate = slot.weight_gate;
   // y[N, out] = x[N, in] * W[out, in]^T
-  Tensor y = tensor::matmul_nt(x, cached_effective_);
+  Tensor y = tensor::matmul_nt(x, slot.effective);
   const Index n = y.dim(0);
   float* yd = y.data();
   const float* bd = bias_.value.data();
@@ -39,24 +42,28 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+Tensor Linear::backward(const Tensor& grad_out, TapeSlot& slot) const {
   if (grad_out.rank() != 2 || grad_out.dim(1) != out_features_ ||
-      grad_out.dim(0) != cached_input_.dim(0)) {
+      grad_out.dim(0) != slot.input.dim(0)) {
     throw std::invalid_argument(name_ + ": bad grad_out shape " +
                                 grad_out.shape().to_string());
   }
-  // dW[out, in] = grad_out[N, out]^T * x[N, in]
-  Tensor dw = tensor::matmul_tn(grad_out, cached_input_);
-  tensor::add_inplace(weight_.grad, dw);
-  // db[out] = column sums of grad_out
-  const Index n = grad_out.dim(0);
-  const float* gd = grad_out.data();
-  float* bd = bias_.grad.data();
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = 0; j < out_features_; ++j) bd[j] += gd[i * out_features_ + j];
+  if (slot.accumulate_param_grads) {
+    // dW[out, in] = grad_out[N, out]^T * x[N, in]
+    Tensor dw = tensor::matmul_tn(grad_out, slot.input);
+    tensor::add_inplace(weight_.grad, dw);
+    // db[out] = column sums of grad_out
+    const Index n = grad_out.dim(0);
+    const float* gd = grad_out.data();
+    float* bd = bias_.grad.data();
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < out_features_; ++j) {
+        bd[j] += gd[i * out_features_ + j];
+      }
+    }
   }
   // dx[N, in] = grad_out[N, out] * W[out, in]
-  return tensor::matmul(grad_out, cached_effective_);
+  return tensor::matmul(grad_out, slot.effective);
 }
 
 std::unique_ptr<Layer> Linear::clone() const {

@@ -11,8 +11,8 @@ class Linear : public Layer {
   Linear(tensor::Index in_features, tensor::Index out_features,
          con::util::Rng& rng, std::string layer_name = "linear");
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override;
@@ -30,8 +30,6 @@ class Linear : public Layer {
   std::string name_;
   Parameter weight_;
   Parameter bias_;
-  Tensor cached_input_;      // [N, in]
-  Tensor cached_effective_;  // effective weights used in the last forward
 };
 
 }  // namespace con::nn

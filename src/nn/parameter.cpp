@@ -6,7 +6,7 @@
 
 namespace con::nn {
 
-Tensor Parameter::effective() {
+Tensor Parameter::effective(Tensor& gate_out) const {
   Tensor eff = value;
   if (has_mask()) {
     if (mask.shape() != value.shape()) {
@@ -18,13 +18,15 @@ Tensor Parameter::effective() {
   }
   if (transform) {
     Tensor out(eff.shape());
-    grad_gate = Tensor(eff.shape());
-    transform->apply(eff, out, grad_gate);
+    gate_out = Tensor(eff.shape());
+    transform->apply(eff, out, gate_out);
     return out;
   }
-  grad_gate = Tensor();
+  gate_out = Tensor();
   return eff;
 }
+
+Tensor Parameter::effective() { return effective(grad_gate); }
 
 double Parameter::pruned_fraction() const {
   if (!has_mask()) return 0.0;

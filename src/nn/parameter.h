@@ -37,12 +37,17 @@ class WeightTransform {
 struct Parameter {
   std::string name;
   Tensor value;
-  Tensor grad;
+  // Gradient accumulator. Mutable because it is not logical model state:
+  // const (reentrant) backward passes may accumulate into it when their
+  // tape asks for parameter gradients — by contract only one such pass
+  // runs at a time (training is single-threaded).
+  mutable Tensor grad;
   // Pruning mask; empty tensor means "dense". Same shape as value when set.
   Tensor mask;
-  // Gradient gate produced by the transform during the last effective()
-  // call; empty when no transform is attached.
-  Tensor grad_gate;
+  // Gradient gate consumed by the optimizers at step() time; refreshed by
+  // train-mode forward passes. Empty when no transform is attached. Mutable
+  // for the same reason as `grad`.
+  mutable Tensor grad_gate;
   std::shared_ptr<const WeightTransform> transform;
   // Dense parameters that should never be pruned/quantised (biases) set
   // this to false; compression passes respect it.
@@ -54,7 +59,13 @@ struct Parameter {
         grad(value.shape()) {}
 
   // The weights actually used by the forward pass: transform(value ⊙ mask).
-  // Refreshes grad_gate as a side effect when a transform is attached.
+  // Writes the straight-through-estimator gate (empty when no transform)
+  // into `gate_out` instead of touching member state, so concurrent
+  // forwards on a shared model do not race.
+  Tensor effective(Tensor& gate_out) const;
+
+  // Legacy single-threaded form: refreshes member grad_gate as a side
+  // effect. Kept for analysis code that only wants the weights.
   Tensor effective();
 
   // True if a mask is attached (even an all-ones one).

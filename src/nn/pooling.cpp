@@ -14,7 +14,8 @@ MaxPool2d::MaxPool2d(Index window, Index stride, std::string layer_name)
   }
 }
 
-Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/,
+                          TapeSlot& slot) const {
   if (x.rank() != 4) {
     throw std::invalid_argument(name_ + ": expected NCHW input, got " +
                                 x.shape().to_string());
@@ -25,9 +26,10 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   if (oh <= 0 || ow <= 0) {
     throw std::invalid_argument(name_ + ": input too small for window");
   }
-  cached_in_shape_ = x.shape();
+  slot.in_shape = x.shape();
   Tensor y({n, c, oh, ow});
-  argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+  // Flat input index of the max element for every output element.
+  slot.indices.assign(static_cast<std::size_t>(y.numel()), 0);
   const float* in = x.data();
   float* out = y.data();
   Index o = 0;
@@ -51,7 +53,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
             }
           }
           out[o] = best;
-          argmax_[static_cast<std::size_t>(o)] = best_idx;
+          slot.indices[static_cast<std::size_t>(o)] = best_idx;
         }
       }
     }
@@ -59,15 +61,15 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
-  if (static_cast<std::size_t>(grad_out.numel()) != argmax_.size()) {
+Tensor MaxPool2d::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  if (static_cast<std::size_t>(grad_out.numel()) != slot.indices.size()) {
     throw std::invalid_argument(name_ + ": grad size mismatch");
   }
-  Tensor gx(cached_in_shape_);
+  Tensor gx(slot.in_shape);
   float* g = gx.data();
   const float* go = grad_out.data();
-  for (std::size_t i = 0; i < argmax_.size(); ++i) {
-    g[argmax_[i]] += go[i];
+  for (std::size_t i = 0; i < slot.indices.size(); ++i) {
+    g[slot.indices[i]] += go[i];
   }
   return gx;
 }

@@ -12,8 +12,8 @@ class MaxPool2d : public Layer {
   MaxPool2d(tensor::Index window, tensor::Index stride,
             std::string layer_name = "maxpool");
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<MaxPool2d>(window_, stride_, name_);
@@ -23,9 +23,6 @@ class MaxPool2d : public Layer {
   tensor::Index window_;
   tensor::Index stride_;
   std::string name_;
-  tensor::Shape cached_in_shape_;
-  // Flat input index of the max element for every output element.
-  std::vector<tensor::Index> argmax_;
 };
 
 }  // namespace con::nn

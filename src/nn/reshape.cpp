@@ -9,16 +9,16 @@ namespace con::nn {
 using tensor::Index;
 using tensor::Shape;
 
-Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+Tensor Flatten::forward(const Tensor& x, bool /*train*/, TapeSlot& slot) const {
   if (x.rank() < 2) {
     throw std::invalid_argument(name_ + ": expected rank >= 2");
   }
-  cached_in_shape_ = x.shape();
+  slot.in_shape = x.shape();
   return x.reshaped(Shape{{x.dim(0), x.numel() / x.dim(0)}});
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
-  return grad_out.reshaped(cached_in_shape_);
+Tensor Flatten::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  return grad_out.reshaped(slot.in_shape);
 }
 
 Dropout::Dropout(double drop_probability, std::uint64_t seed,
@@ -29,22 +29,22 @@ Dropout::Dropout(double drop_probability, std::uint64_t seed,
   }
 }
 
-Tensor Dropout::forward(const Tensor& x, bool train) {
+Tensor Dropout::forward(const Tensor& x, bool train, TapeSlot& slot) const {
   if (!train || p_ == 0.0) {
-    cached_mask_ = Tensor();
+    slot.aux = Tensor();  // empty mask marks an eval-mode forward
     return x;
   }
-  cached_mask_ = Tensor(x.shape());
+  slot.aux = Tensor(x.shape());
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
-  for (float& m : cached_mask_.flat()) {
+  for (float& m : slot.aux.flat()) {
     m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
   }
-  return tensor::mul(x, cached_mask_);
+  return tensor::mul(x, slot.aux);
 }
 
-Tensor Dropout::backward(const Tensor& grad_out) {
-  if (cached_mask_.empty()) return grad_out;
-  return tensor::mul(grad_out, cached_mask_);
+Tensor Dropout::backward(const Tensor& grad_out, TapeSlot& slot) const {
+  if (slot.aux.empty()) return grad_out;
+  return tensor::mul(grad_out, slot.aux);
 }
 
 std::unique_ptr<Layer> Dropout::clone() const {

@@ -6,14 +6,15 @@
 
 namespace con::nn {
 
-// [N, ...] -> [N, prod(...)]. Remembers the input shape for backward.
+// [N, ...] -> [N, prod(...)]. Records the input shape on the tape for
+// backward.
 class Flatten : public Layer {
  public:
   explicit Flatten(std::string layer_name = "flatten")
       : name_(std::move(layer_name)) {}
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Flatten>(name_);
@@ -21,27 +22,27 @@ class Flatten : public Layer {
 
  private:
   std::string name_;
-  tensor::Shape cached_in_shape_;
 };
 
 // Inverted dropout: active only when train=true. The RNG is owned by the
 // layer so cloned models have independent dropout streams but deterministic
-// behaviour under a fixed seed.
+// behaviour under a fixed seed. It is `mutable` because only train-mode
+// forwards (single-threaded by contract) draw from it; eval-mode forward is
+// a no-op and thread-safe.
 class Dropout : public Layer {
  public:
   Dropout(double drop_probability, std::uint64_t seed,
           std::string layer_name = "dropout");
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& grad_out) override;
+  Tensor forward(const Tensor& x, bool train, TapeSlot& slot) const override;
+  Tensor backward(const Tensor& grad_out, TapeSlot& slot) const override;
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
   double p_;
   std::string name_;
-  con::util::Rng rng_;
-  Tensor cached_mask_;  // empty when last forward was eval-mode
+  mutable con::util::Rng rng_;
 };
 
 }  // namespace con::nn

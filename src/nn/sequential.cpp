@@ -14,18 +14,34 @@ void Sequential::insert(std::size_t index, std::unique_ptr<Layer> layer) {
                  std::move(layer));
 }
 
-Tensor Sequential::forward(const Tensor& x, bool train) {
+Tensor Sequential::forward(const Tensor& x, bool train,
+                           ForwardTape& tape) const {
   Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h, train);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h, train, tape.slot(i));
+  }
   return h;
 }
 
-Tensor Sequential::backward(const Tensor& grad_logits) {
+Tensor Sequential::backward(const Tensor& grad_logits,
+                            ForwardTape& tape) const {
+  if (tape.size() < layers_.size()) {
+    throw std::invalid_argument(
+        "Sequential::backward: tape has no matching forward");
+  }
   Tensor g = grad_logits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g, tape.slot(i));
   }
   return g;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  return forward(x, train, scratch_tape_);
+}
+
+Tensor Sequential::backward(const Tensor& grad_logits) {
+  return backward(grad_logits, scratch_tape_);
 }
 
 std::vector<Parameter*> Sequential::parameters() {
@@ -36,20 +52,30 @@ std::vector<Parameter*> Sequential::parameters() {
   return params;
 }
 
+std::vector<const Parameter*> Sequential::parameters() const {
+  std::vector<const Parameter*> params;
+  for (const auto& layer : layers_) {
+    // Layer::parameters() is non-const only because callers may mutate the
+    // parameters; the call itself does not modify the layer.
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
 void Sequential::zero_grad() {
   for (Parameter* p : parameters()) p->zero_grad();
 }
 
-tensor::Index Sequential::num_parameters() {
+tensor::Index Sequential::num_parameters() const {
   tensor::Index n = 0;
-  for (Parameter* p : parameters()) n += p->value.numel();
+  for (const Parameter* p : parameters()) n += p->value.numel();
   return n;
 }
 
-double Sequential::density() {
+double Sequential::density() const {
   tensor::Index total = 0;
   tensor::Index nonzero = 0;
-  for (Parameter* p : parameters()) {
+  for (const Parameter* p : parameters()) {
     if (!p->compressible) continue;
     total += p->value.numel();
     if (p->has_mask()) {
@@ -70,7 +96,7 @@ Sequential Sequential::clone() const {
   return copy;
 }
 
-std::string Sequential::summary() {
+std::string Sequential::summary() const {
   std::string s = name_ + " (" + std::to_string(num_parameters()) +
                   " parameters, density " +
                   std::to_string(density()) + ")\n";

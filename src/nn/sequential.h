@@ -1,4 +1,11 @@
 // Sequential model: an ordered stack of layers with chained forward/backward.
+//
+// The model itself is immutable during execution: forward/backward are
+// const and thread on a caller-owned ForwardTape, so any number of threads
+// may run eval-mode forward + non-accumulating backward on one shared
+// model concurrently (see nn/layer.h for the full contract). The
+// tape-less forward/backward overloads are a single-threaded convenience
+// backed by an internal scratch tape.
 #pragma once
 
 #include <memory>
@@ -6,6 +13,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/tape.h"
 
 namespace con::nn {
 
@@ -34,19 +42,29 @@ class Sequential {
   // interleave activation-quantisation layers).
   void insert(std::size_t index, std::unique_ptr<Layer> layer);
 
+  // Reentrant execution: per-call state lives in `tape` (slot i belongs to
+  // layer i), never in the layers. One forward supports any number of
+  // backward calls against the same tape.
+  Tensor forward(const Tensor& x, bool train, ForwardTape& tape) const;
+  // Gradient of the loss w.r.t. the model input; parameter grads accumulate
+  // iff tape.accumulate_param_grads().
+  Tensor backward(const Tensor& grad_logits, ForwardTape& tape) const;
+
+  // Single-threaded convenience overloads backed by an internal scratch
+  // tape. NOT safe to call concurrently on a shared model.
   Tensor forward(const Tensor& x, bool train = false);
-  // Gradient of the loss w.r.t. the model input; parameter grads accumulate.
   Tensor backward(const Tensor& grad_logits);
 
   std::vector<Parameter*> parameters();
+  std::vector<const Parameter*> parameters() const;
   void zero_grad();
 
   // Total number of weight/bias scalars (the paper quotes 431K for LeNet5,
   // 1.3M for CifarNet).
-  tensor::Index num_parameters();
+  tensor::Index num_parameters() const;
   // Overall density: non-zero fraction of effective (masked) compressible
   // weights. 1.0 for a dense model.
-  double density();
+  double density() const;
 
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
@@ -58,11 +76,13 @@ class Sequential {
   Sequential clone() const;
 
   // Human-readable architecture summary.
-  std::string summary();
+  std::string summary() const;
 
  private:
   std::string name_ = "model";
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Backs the tape-less convenience overloads only.
+  ForwardTape scratch_tape_;
 };
 
 }  // namespace con::nn

@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "nn/loss.h"
+#include "nn/tape.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace con::nn {
 
@@ -72,6 +74,8 @@ TrainStats train_classifier(Sequential& model, const Tensor& images,
 
   TrainStats stats;
   int global_step = 0;
+  // One tape for the whole loop: slot storage is recycled across steps.
+  ForwardTape tape(/*accumulate_param_grads=*/true);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.use_paper_lr_schedule) {
       optimizer.set_learning_rate(schedule.lr_at_epoch(epoch));
@@ -90,9 +94,9 @@ TrainStats train_classifier(Sequential& model, const Tensor& images,
       std::vector<int> batch_labels = gather_labels(labels, order, lo, hi);
 
       model.zero_grad();
-      Tensor logits = model.forward(batch, /*train=*/true);
+      Tensor logits = model.forward(batch, /*train=*/true, tape);
       LossResult loss = softmax_cross_entropy(logits, batch_labels);
-      model.backward(loss.grad_logits);
+      model.backward(loss.grad_logits, tape);
       optimizer.step();
 
       epoch_loss += loss.loss;
@@ -119,26 +123,32 @@ TrainStats train_classifier(Sequential& model, const Tensor& images,
   return stats;
 }
 
-std::vector<int> predict(Sequential& model, const Tensor& images,
+std::vector<int> predict(const Sequential& model, const Tensor& images,
                          int batch_size) {
   const Index n = images.dim(0);
   std::vector<int> preds(static_cast<std::size_t>(n));
   std::vector<Index> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), Index{0});
-  for (Index lo = 0; lo < n; lo += batch_size) {
+  const std::size_t num_batches = static_cast<std::size_t>(
+      (n + batch_size - 1) / batch_size);
+  // Eval-mode forward on a shared model is thread-safe (see nn/layer.h);
+  // every batch writes only its own slots of `preds`.
+  util::parallel_for(0, num_batches, [&](std::size_t b) {
+    const Index lo = static_cast<Index>(b) * batch_size;
     const Index hi = std::min(n, lo + batch_size);
     Tensor batch = gather_batch(images, order, static_cast<std::size_t>(lo),
                                 static_cast<std::size_t>(hi));
-    Tensor logits = model.forward(batch, /*train=*/false);
+    ForwardTape tape(/*accumulate_param_grads=*/false);
+    Tensor logits = model.forward(batch, /*train=*/false, tape);
     for (Index i = lo; i < hi; ++i) {
       preds[static_cast<std::size_t>(i)] =
           static_cast<int>(tensor::argmax_row(logits, i - lo));
     }
-  }
+  });
   return preds;
 }
 
-double evaluate_accuracy(Sequential& model, const Tensor& images,
+double evaluate_accuracy(const Sequential& model, const Tensor& images,
                          const std::vector<int>& labels, int batch_size) {
   check_dataset(images, labels);
   std::vector<int> preds = predict(model, images, batch_size);
@@ -149,22 +159,29 @@ double evaluate_accuracy(Sequential& model, const Tensor& images,
   return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 
-double evaluate_loss(Sequential& model, const Tensor& images,
+double evaluate_loss(const Sequential& model, const Tensor& images,
                      const std::vector<int>& labels, int batch_size) {
   check_dataset(images, labels);
   const Index n = images.dim(0);
   std::vector<Index> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), Index{0});
-  double total = 0.0;
-  for (Index lo = 0; lo < n; lo += batch_size) {
+  const std::size_t num_batches = static_cast<std::size_t>(
+      (n + batch_size - 1) / batch_size);
+  std::vector<double> partial(num_batches, 0.0);
+  util::parallel_for(0, num_batches, [&](std::size_t b) {
+    const Index lo = static_cast<Index>(b) * batch_size;
     const Index hi = std::min(n, lo + batch_size);
     Tensor batch = gather_batch(images, order, static_cast<std::size_t>(lo),
                                 static_cast<std::size_t>(hi));
     std::vector<int> batch_labels(labels.begin() + lo, labels.begin() + hi);
-    Tensor logits = model.forward(batch, /*train=*/false);
+    ForwardTape tape(/*accumulate_param_grads=*/false);
+    Tensor logits = model.forward(batch, /*train=*/false, tape);
     LossResult loss = softmax_cross_entropy(logits, batch_labels);
-    total += static_cast<double>(loss.loss) * static_cast<double>(hi - lo);
-  }
+    partial[b] = static_cast<double>(loss.loss) * static_cast<double>(hi - lo);
+  });
+  // Reduce in fixed batch order so the sum is thread-count invariant.
+  double total = 0.0;
+  for (double p : partial) total += p;
   return total / static_cast<double>(n);
 }
 

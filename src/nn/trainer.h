@@ -46,15 +46,19 @@ TrainStats train_classifier(Sequential& model, const Tensor& images,
                             const PostEpochHook& post_epoch = {});
 
 // Top-1 accuracy of `model` on (images, labels), evaluated in eval mode.
-double evaluate_accuracy(Sequential& model, const Tensor& images,
+// Batches are evaluated in parallel over the global thread pool; results
+// are written to per-sample slots, so the value is thread-count invariant.
+double evaluate_accuracy(const Sequential& model, const Tensor& images,
                          const std::vector<int>& labels, int batch_size = 64);
 
-// Per-sample predicted classes.
-std::vector<int> predict(Sequential& model, const Tensor& images,
+// Per-sample predicted classes (parallel over batches, deterministic).
+std::vector<int> predict(const Sequential& model, const Tensor& images,
                          int batch_size = 64);
 
-// Mean cross-entropy loss on a dataset, eval mode.
-double evaluate_loss(Sequential& model, const Tensor& images,
+// Mean cross-entropy loss on a dataset, eval mode (parallel over batches;
+// partial sums are reduced in fixed batch order, so the value is
+// thread-count invariant).
+double evaluate_loss(const Sequential& model, const Tensor& images,
                      const std::vector<int>& labels, int batch_size = 64);
 
 }  // namespace con::nn

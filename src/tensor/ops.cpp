@@ -353,6 +353,89 @@ Tensor col2im(const Tensor& columns, const Conv2dGeometry& g) {
   return image;
 }
 
+Tensor im2col_batch(const Tensor& batch, const Conv2dGeometry& g) {
+  if (batch.rank() != 4 || batch.dim(1) != g.in_channels ||
+      batch.dim(2) != g.in_h || batch.dim(3) != g.in_w) {
+    throw std::invalid_argument("im2col_batch: batch shape " +
+                                batch.shape().to_string() +
+                                " does not match geometry");
+  }
+  const Index n = batch.dim(0);
+  const Index oh = g.out_h(), ow = g.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("im2col_batch: non-positive output size");
+  }
+  const Index plane = oh * ow;
+  const Index rows = g.in_channels * g.kernel_h * g.kernel_w;
+  const Index cols_per_row = n * plane;
+  Tensor cols({rows, cols_per_row});
+  const Index image_stride = g.in_channels * g.in_h * g.in_w;
+  for (Index i = 0; i < n; ++i) {
+    const float* src = batch.data() + i * image_stride;
+    float* dst = cols.data() + i * plane;  // this sample's column block
+    for (Index c = 0; c < g.in_channels; ++c) {
+      for (Index kh = 0; kh < g.kernel_h; ++kh) {
+        for (Index kw = 0; kw < g.kernel_w; ++kw) {
+          const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+          float* drow = dst + row * cols_per_row;
+          for (Index y = 0; y < oh; ++y) {
+            const Index in_y = y * g.stride + kh - g.padding;
+            if (in_y < 0 || in_y >= g.in_h) {
+              for (Index x = 0; x < ow; ++x) drow[y * ow + x] = 0.0f;
+              continue;
+            }
+            const float* srow = src + (c * g.in_h + in_y) * g.in_w;
+            for (Index x = 0; x < ow; ++x) {
+              const Index in_x = x * g.stride + kw - g.padding;
+              drow[y * ow + x] =
+                  (in_x >= 0 && in_x < g.in_w) ? srow[in_x] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im_batch(const Tensor& columns, Index batch_size,
+                    const Conv2dGeometry& g) {
+  const Index oh = g.out_h(), ow = g.out_w();
+  const Index plane = oh * ow;
+  const Index rows = g.in_channels * g.kernel_h * g.kernel_w;
+  if (columns.rank() != 2 || columns.dim(0) != rows ||
+      columns.dim(1) != batch_size * plane) {
+    throw std::invalid_argument("col2im_batch: column shape " +
+                                columns.shape().to_string() +
+                                " does not match geometry");
+  }
+  Tensor batch({batch_size, g.in_channels, g.in_h, g.in_w});
+  const Index cols_per_row = batch_size * plane;
+  const Index image_stride = g.in_channels * g.in_h * g.in_w;
+  for (Index i = 0; i < batch_size; ++i) {
+    const float* src = columns.data() + i * plane;
+    float* dst = batch.data() + i * image_stride;
+    for (Index c = 0; c < g.in_channels; ++c) {
+      for (Index kh = 0; kh < g.kernel_h; ++kh) {
+        for (Index kw = 0; kw < g.kernel_w; ++kw) {
+          const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+          const float* srow = src + row * cols_per_row;
+          for (Index y = 0; y < oh; ++y) {
+            const Index in_y = y * g.stride + kh - g.padding;
+            if (in_y < 0 || in_y >= g.in_h) continue;
+            float* drow = dst + (c * g.in_h + in_y) * g.in_w;
+            for (Index x = 0; x < ow; ++x) {
+              const Index in_x = x * g.stride + kw - g.padding;
+              if (in_x >= 0 && in_x < g.in_w) drow[in_x] += srow[y * ow + x];
+            }
+          }
+        }
+      }
+    }
+  }
+  return batch;
+}
+
 // ---- batched slicing -------------------------------------------------------
 
 Tensor slice_batch(const Tensor& batch, Index n) {

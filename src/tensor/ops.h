@@ -73,6 +73,17 @@ Tensor im2col(const Tensor& image, const Conv2dGeometry& g);
 // Scatter-add the column gradient back into an image gradient [C,H,W].
 Tensor col2im(const Tensor& columns, const Conv2dGeometry& g);
 
+// Batched variants: the whole batch becomes ONE column matrix so a conv
+// layer is a single GEMM instead of N small ones. Sample i occupies the
+// contiguous column block [i*out_h*out_w, (i+1)*out_h*out_w); within a
+// block the layout matches im2col, so per-column results are bit-identical
+// to the per-sample path.
+// [N,C,H,W] -> [C*kh*kw, N*out_h*out_w].
+Tensor im2col_batch(const Tensor& batch, const Conv2dGeometry& g);
+// [C*kh*kw, N*out_h*out_w] -> [N,C,H,W] (scatter-add).
+Tensor col2im_batch(const Tensor& columns, Index batch_size,
+                    const Conv2dGeometry& g);
+
 // ---- batched slicing -------------------------------------------------------
 // Extract sample `n` of a batch tensor [N, ...] as a tensor of shape [...].
 Tensor slice_batch(const Tensor& batch, Index n);

@@ -83,6 +83,9 @@ TEST_F(AttackTest, LogitGradientMatchesNumerical) {
 
 TEST_F(AttackTest, AttacksDoNotCorruptParameterGradients) {
   data::Dataset sub = split_->test.take(4);
+  // Attacks run on a private ForwardTape with parameter-gradient
+  // accumulation off: they must not write a single grad entry.
+  model_->zero_grad();
   run_attack(AttackKind::kIfgsm, *model_, sub.images, sub.labels,
              AttackParams{.epsilon = 0.02f, .iterations = 3});
   for (nn::Parameter* p : model_->parameters()) {

@@ -99,12 +99,13 @@ TEST(WeightTransform, GateBlocksSaturatedValues) {
 TEST(QuantActivationLayer, ForwardQuantisesBackwardGates) {
   QuantActivation layer(FixedPointFormat{.total_bits = 4, .integer_bits = 1});
   Tensor x({3}, std::vector<float>{0.3f, 1.7f, -0.06f});
-  Tensor y = layer.forward(x, false);
+  nn::TapeSlot slot;
+  Tensor y = layer.forward(x, false, slot);
   EXPECT_FLOAT_EQ(y[0], 0.25f);
   EXPECT_FLOAT_EQ(y[1], 0.875f);  // saturated
   EXPECT_FLOAT_EQ(y[2], 0.0f);    // -0.06/0.125 = -0.48 rounds to zero
   Tensor g({3}, std::vector<float>{1.0f, 1.0f, 1.0f});
-  Tensor gx = layer.backward(g);
+  Tensor gx = layer.backward(g, slot);
   EXPECT_FLOAT_EQ(gx[0], 1.0f);
   EXPECT_FLOAT_EQ(gx[1], 0.0f);  // gradient blocked at the clip
   EXPECT_FLOAT_EQ(gx[2], 1.0f);
@@ -147,8 +148,9 @@ TEST(QuantizeModel, OutputsLieOnQuantisedPath) {
       quantize_model(base, QuantizeOptions{.format = fmt});
   Tensor x = random_batch(Shape{2, 1, 28, 28}, 51);
   Tensor h = x;
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
   for (std::size_t i = 0; i < q.num_layers(); ++i) {
-    h = q.layer(i).forward(h, false);
+    h = q.layer(i).forward(h, false, tape.slot(i));
     if (dynamic_cast<QuantActivation*>(&q.layer(i)) != nullptr) {
       EXPECT_GE(tensor::min_value(h), fmt.lo());
       EXPECT_LE(tensor::max_value(h), fmt.hi());

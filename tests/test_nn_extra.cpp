@@ -26,7 +26,8 @@ using tensor::Tensor;
 TEST(AvgPoolTest, ForwardAverages) {
   AvgPool2d pool(2, 2);
   Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
-  Tensor y = pool.forward(x, false);
+  TapeSlot slot;
+  Tensor y = pool.forward(x, false, slot);
   ASSERT_EQ(y.numel(), 1);
   EXPECT_FLOAT_EQ(y[0], 3.0f);
 }
@@ -34,9 +35,10 @@ TEST(AvgPoolTest, ForwardAverages) {
 TEST(AvgPoolTest, BackwardDistributesEvenly) {
   AvgPool2d pool(2, 2);
   Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 6});
-  pool.forward(x, false);
+  TapeSlot slot;
+  pool.forward(x, false, slot);
   Tensor g({1, 1, 1, 1}, std::vector<float>{4.0f});
-  Tensor gx = pool.backward(g);
+  Tensor gx = pool.backward(g, slot);
   for (Index i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 1.0f);
 }
 
@@ -61,7 +63,8 @@ TEST(AvgPoolTest, GradientMatchesNumerical) {
 TEST(BatchNormTest, NormalizesPerChannelInTraining) {
   BatchNorm2d bn(2);
   Tensor x = random_batch(Shape{4, 2, 3, 3}, 93);
-  Tensor y = bn.forward(x, /*train=*/true);
+  TapeSlot slot;
+  Tensor y = bn.forward(x, /*train=*/true, slot);
   // each channel of the output has ~zero mean, ~unit variance
   const Index plane = 9;
   for (Index c = 0; c < 2; ++c) {
@@ -85,16 +88,17 @@ TEST(BatchNormTest, RunningStatsConvergeAndDriveEval) {
   BatchNorm2d bn(1);
   util::Rng rng(94);
   // feed batches with mean 2, std 0.5
+  TapeSlot slot;
   for (int step = 0; step < 200; ++step) {
     Tensor x({8, 1, 2, 2});
     for (float& v : x.flat()) v = rng.normal_f(2.0f, 0.5f);
-    bn.forward(x, /*train=*/true);
+    bn.forward(x, /*train=*/true, slot);
   }
   EXPECT_NEAR(bn.running_mean()[0], 2.0f, 0.1f);
   EXPECT_NEAR(bn.running_var()[0], 0.25f, 0.05f);
   // eval mode uses running stats: a batch at the running mean maps to ~0
   Tensor probe({1, 1, 2, 2}, 2.0f);
-  Tensor out = bn.forward(probe, /*train=*/false);
+  Tensor out = bn.forward(probe, /*train=*/false, slot);
   EXPECT_NEAR(out[0], 0.0f, 0.2f);
 }
 
@@ -106,8 +110,10 @@ TEST(BatchNormTest, EvalGradientMatchesNumerical) {
   m.emplace<Flatten>();
   m.emplace<Linear>(2 * 2 * 2, 3, rng, "fc");
   // warm the running stats
+  TapeSlot warm_slot;
   for (int i = 0; i < 20; ++i) {
-    m.layer(0).forward(random_batch(Shape{4, 2, 2, 2}, 96 + i), true);
+    m.layer(0).forward(random_batch(Shape{4, 2, 2, 2}, 96 + i), true,
+                       warm_slot);
   }
   Tensor x = random_batch(Shape{2, 2, 2, 2}, 97);
   std::vector<int> labels = {0, 2};

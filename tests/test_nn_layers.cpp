@@ -27,7 +27,8 @@ TEST(Linear, ForwardMatchesHandComputation) {
   layer.weight().value = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
   layer.bias().value = Tensor({2}, std::vector<float>{0.5f, -0.5f});
   Tensor x({1, 2}, std::vector<float>{1, 1});
-  Tensor y = layer.forward(x, false);
+  TapeSlot slot;
+  Tensor y = layer.forward(x, false, slot);
   EXPECT_FLOAT_EQ(y.at({0, 0}), 3.5f);   // 1+2+0.5
   EXPECT_FLOAT_EQ(y.at({0, 1}), 6.5f);   // 3+4-0.5
 }
@@ -35,7 +36,9 @@ TEST(Linear, ForwardMatchesHandComputation) {
 TEST(Linear, RejectsWrongInputWidth) {
   util::Rng rng(1);
   Linear layer(3, 2, rng);
-  EXPECT_THROW(layer.forward(Tensor({1, 4}), false), std::invalid_argument);
+  TapeSlot slot;
+  EXPECT_THROW(layer.forward(Tensor({1, 4}), false, slot),
+               std::invalid_argument);
 }
 
 TEST(Conv2d, OutputShape) {
@@ -44,7 +47,8 @@ TEST(Conv2d, OutputShape) {
                          .stride = 1, .padding = 1},
               rng);
   Tensor x = random_batch(Shape{2, 3, 8, 8}, 3);
-  Tensor y = conv.forward(x, false);
+  TapeSlot slot;
+  Tensor y = conv.forward(x, false, slot);
   EXPECT_EQ(y.shape(), Shape({2, 8, 8, 8}));
 }
 
@@ -55,7 +59,8 @@ TEST(Conv2d, KnownAveragingKernel) {
   conv.weight().value.fill(0.25f);
   conv.bias().value.fill(0.0f);
   Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
-  Tensor y = conv.forward(x, false);
+  TapeSlot slot;
+  Tensor y = conv.forward(x, false, slot);
   ASSERT_EQ(y.shape(), Shape({1, 1, 1, 1}));
   EXPECT_FLOAT_EQ(y[0], 2.5f);
 }
@@ -63,7 +68,8 @@ TEST(Conv2d, KnownAveragingKernel) {
 TEST(MaxPool2d, ForwardSelectsWindowMax) {
   MaxPool2d pool(2, 2);
   Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
-  Tensor y = pool.forward(x, false);
+  TapeSlot slot;
+  Tensor y = pool.forward(x, false, slot);
   ASSERT_EQ(y.numel(), 1);
   EXPECT_FLOAT_EQ(y[0], 5.0f);
 }
@@ -71,9 +77,10 @@ TEST(MaxPool2d, ForwardSelectsWindowMax) {
 TEST(MaxPool2d, BackwardRoutesToArgmax) {
   MaxPool2d pool(2, 2);
   Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
-  pool.forward(x, false);
+  TapeSlot slot;
+  pool.forward(x, false, slot);
   Tensor g({1, 1, 1, 1}, std::vector<float>{2.0f});
-  Tensor gx = pool.backward(g);
+  Tensor gx = pool.backward(g, slot);
   EXPECT_FLOAT_EQ(gx[0], 0.0f);
   EXPECT_FLOAT_EQ(gx[1], 2.0f);
   EXPECT_FLOAT_EQ(gx[2], 0.0f);
@@ -82,7 +89,8 @@ TEST(MaxPool2d, BackwardRoutesToArgmax) {
 TEST(ReLUTest, ForwardZeroesNegatives) {
   ReLU relu;
   Tensor x({3}, std::vector<float>{-1.0f, 0.0f, 2.0f});
-  Tensor y = relu.forward(x, false);
+  TapeSlot slot;
+  Tensor y = relu.forward(x, false, slot);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
   EXPECT_FLOAT_EQ(y[1], 0.0f);
   EXPECT_FLOAT_EQ(y[2], 2.0f);
@@ -91,23 +99,26 @@ TEST(ReLUTest, ForwardZeroesNegatives) {
 TEST(FlattenTest, RoundTripsShape) {
   Flatten flat;
   Tensor x = random_batch(Shape{2, 3, 4, 4}, 9);
-  Tensor y = flat.forward(x, false);
+  TapeSlot slot;
+  Tensor y = flat.forward(x, false, slot);
   EXPECT_EQ(y.shape(), Shape({2, 48}));
-  Tensor gx = flat.backward(y);
+  Tensor gx = flat.backward(y, slot);
   EXPECT_EQ(gx.shape(), x.shape());
 }
 
 TEST(DropoutTest, EvalModeIsIdentity) {
   Dropout drop(0.5, 123);
   Tensor x = random_batch(Shape{2, 10}, 10);
-  Tensor y = drop.forward(x, /*train=*/false);
+  TapeSlot slot;
+  Tensor y = drop.forward(x, /*train=*/false, slot);
   for (Index i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
 }
 
 TEST(DropoutTest, TrainModeDropsAndRescales) {
   Dropout drop(0.5, 123);
   Tensor x({1, 1000}, std::vector<float>(1000, 1.0f));
-  Tensor y = drop.forward(x, /*train=*/true);
+  TapeSlot slot;
+  Tensor y = drop.forward(x, /*train=*/true, slot);
   Index zeros = 0;
   for (Index i = 0; i < y.numel(); ++i) {
     if (y[i] == 0.0f) {
