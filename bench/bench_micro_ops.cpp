@@ -9,6 +9,7 @@
 #include "compress/pruner.h"
 #include "models/model_zoo.h"
 #include "nn/loss.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
 #include "util/rng.h"
@@ -52,6 +53,128 @@ void BM_MatmulSparseA(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatmulSparseA)->Arg(128)->Arg(256);
+
+// ---- GEMM kernels at real layer shapes --------------------------------------
+// Each shape runs as Gemm<Kind>/scalar (the pre-blocking reference loops)
+// and Gemm<Kind>/blocked (the packed kernels, weights pre-packed the way
+// the layer cache holds them). The bench-smoke target captures both into
+// BENCH_gemm.json, so the before/after ratio ships with the repo.
+//
+// Shapes: [M, K, N] of the forward GEMM.
+//   lenet5 fc1:     out[50·4·4 → 500] as y = x·Wᵀ,  M=N_batch? — we bench
+//                   the conv layout: out[outC, N·P] = W[outC, CKK]·cols.
+//   cifarnet conv2: W[32, 288] · cols[288, 32·1024]  (batch 32, 32×32)
+//   cifarnet conv3: W[64, 288] · cols[288, 32·256]   (after pool, 16×16)
+//   lenet5 conv2:   W[50, 500] · cols[500, 32·64]    (batch 32, 8×8)
+
+struct GemmShape {
+  tensor::Index m, k, n;
+};
+
+GemmShape gemm_shape_for(int idx) {
+  switch (idx) {
+    case 0: return {32, 288, 32 * 1024};  // cifarnet conv2
+    case 1: return {64, 288, 32 * 256};   // cifarnet conv3
+    default: return {50, 500, 32 * 64};   // lenet5 conv2
+  }
+}
+
+void BM_GemmNnScalar(benchmark::State& state) {
+  const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
+  Tensor a = random_tensor({s.m, s.k}, 20);
+  Tensor b = random_tensor({s.k, s.n}, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::reference_nn(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.k * s.n);
+}
+BENCHMARK(BM_GemmNnScalar)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GemmNnBlocked(benchmark::State& state) {
+  const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
+  Tensor a = random_tensor({s.m, s.k}, 20);
+  Tensor b = random_tensor({s.k, s.n}, 21);
+  // Weights pre-packed, as the Linear/Conv2d cache holds them mid-attack.
+  const auto pa = tensor::gemm::pack_rowmajor(a, tensor::gemm::kStripA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_nn(pa, b));
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.k * s.n);
+}
+BENCHMARK(BM_GemmNnBlocked)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GemmNnSparseScalar(benchmark::State& state) {
+  const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
+  Tensor a = random_tensor({s.m, s.k}, 22);
+  util::Rng rng(23);
+  for (float& v : a.flat()) {
+    if (rng.uniform() < 0.9) v = 0.0f;  // 90% pruned weights
+  }
+  Tensor b = random_tensor({s.k, s.n}, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::reference_nn(a, b));
+  }
+}
+BENCHMARK(BM_GemmNnSparseScalar)->Arg(0)->Arg(2);
+
+void BM_GemmNnSparseBlocked(benchmark::State& state) {
+  const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
+  Tensor a = random_tensor({s.m, s.k}, 22);
+  util::Rng rng(23);
+  for (float& v : a.flat()) {
+    if (rng.uniform() < 0.9) v = 0.0f;
+  }
+  Tensor b = random_tensor({s.k, s.n}, 24);
+  const auto pa = tensor::gemm::pack_rowmajor(a, tensor::gemm::kStripA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_nn(pa, b));
+  }
+}
+BENCHMARK(BM_GemmNnSparseBlocked)->Arg(0)->Arg(2);
+
+void BM_GemmNtScalar(benchmark::State& state) {
+  // Linear forward at LeNet5 fc1: y[32, 500] = x[32, 800] · W[500, 800]ᵀ.
+  Tensor x = random_tensor({32, 800}, 25);
+  Tensor w = random_tensor({500, 800}, 26);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::reference_nt(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 800 * 500);
+}
+BENCHMARK(BM_GemmNtScalar);
+
+void BM_GemmNtBlocked(benchmark::State& state) {
+  Tensor x = random_tensor({32, 800}, 25);
+  Tensor w = random_tensor({500, 800}, 26);
+  const auto pw = tensor::gemm::pack_rowmajor(w, tensor::gemm::kStripB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_nt(x, pw));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 800 * 500);
+}
+BENCHMARK(BM_GemmNtBlocked);
+
+void BM_GemmTnScalar(benchmark::State& state) {
+  // Conv2d backward at cifarnet conv2: dcols = Wᵀ[288, 32] · go[32, 8192].
+  Tensor w = random_tensor({32, 288}, 27);
+  Tensor go = random_tensor({32, 8192}, 28);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::reference_tn(w, go));
+  }
+  state.SetItemsProcessed(state.iterations() * 288 * 32 * 8192);
+}
+BENCHMARK(BM_GemmTnScalar);
+
+void BM_GemmTnBlocked(benchmark::State& state) {
+  Tensor w = random_tensor({32, 288}, 27);
+  Tensor go = random_tensor({32, 8192}, 28);
+  const auto pw = tensor::gemm::pack_colmajor(w, tensor::gemm::kStripA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_tn(pw, go));
+  }
+  state.SetItemsProcessed(state.iterations() * 288 * 32 * 8192);
+}
+BENCHMARK(BM_GemmTnBlocked);
 
 void BM_Im2col(benchmark::State& state) {
   Tensor img = random_tensor({3, 32, 32}, 6);

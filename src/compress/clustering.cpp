@@ -153,6 +153,7 @@ nn::Sequential cluster_model(const nn::Sequential& model, int bits,
     p->transform =
         std::make_shared<const ClusterWeightTransform>(std::move(centroids),
                                                        bits);
+    p->bump_version();
   }
   return out;
 }

@@ -75,6 +75,9 @@ void DnsPruner::update_masks() {
       }
       // in the hysteresis band [α, β] the mask keeps its previous state
     }
+    // Mask rewritten in place: invalidate packed-weight panels built from
+    // the old effective weights (nn/packed_weights.h).
+    p->bump_version();
   }
 }
 

@@ -57,7 +57,10 @@ nn::Sequential quantize_model(const nn::Sequential& model,
     auto transform =
         std::make_shared<const FixedPointWeightTransform>(options.format);
     for (nn::Parameter* p : q.parameters()) {
-      if (p->compressible) p->transform = transform;
+      if (p->compressible) {
+        p->transform = transform;
+        p->bump_version();
+      }
     }
   }
 

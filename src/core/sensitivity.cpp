@@ -55,6 +55,9 @@ std::vector<SensitivityPoint> prune_sensitivity_scan(
         if (std::fabs(p->value[i]) < alpha) mask[i] = 0.0f;
       }
       p->mask = std::move(mask);
+      // Copy/move-assignment may reuse the old tensor's allocation, so the
+      // packed-weight cache cannot rely on the pointer alone — bump.
+      p->bump_version();
       points.push_back(SensitivityPoint{
           .parameter = p->name,
           .level = d,
@@ -62,6 +65,7 @@ std::vector<SensitivityPoint> prune_sensitivity_scan(
                                             eval_set.labels)});
     }
     p->mask = saved_mask;
+    p->bump_version();
   }
   return points;
 }
@@ -80,6 +84,7 @@ std::vector<SensitivityPoint> quant_sensitivity_scan(
     for (int bits : bitwidths) {
       p->transform = std::make_shared<const compress::FixedPointWeightTransform>(
           compress::FixedPointFormat::paper_format(bits));
+      p->bump_version();
       points.push_back(SensitivityPoint{
           .parameter = p->name,
           .level = static_cast<double>(bits),
@@ -87,6 +92,7 @@ std::vector<SensitivityPoint> quant_sensitivity_scan(
                                             eval_set.labels)});
     }
     p->transform = saved_transform;
+    p->bump_version();
   }
   return points;
 }

@@ -182,6 +182,9 @@ void load_model_into(nn::Sequential& model, const std::string& path) {
         throw std::runtime_error("checkpoint: unknown transform kind");
       }
     }
+    // Everything about this parameter may have changed; invalidate packed
+    // weight panels (nn/packed_weights.h).
+    p->bump_version();
   }
 }
 

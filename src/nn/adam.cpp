@@ -45,6 +45,9 @@ void Adam::step() {
       const float vhat = v[j] / bias2;
       w[j] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
     }
+    // In-place write: invalidate any packed-weight panels built from the
+    // old values (nn/packed_weights.h).
+    p.bump_version();
   }
 }
 

@@ -3,12 +3,25 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/gemm.h"
 #include "tensor/random.h"
 
 namespace con::nn {
 
 using tensor::Index;
 using tensor::Tensor;
+
+namespace {
+
+// out = W · cols wants W packed row-major as the left operand (rows =
+// outC); dcols = Wᵀ · go wants W as the left operand of a TN product,
+// i.e. packed along columns (rows = C·k·k).
+void pack_conv(PackedWeights& pw) {
+  pw.fwd = tensor::gemm::pack_rowmajor(pw.effective, tensor::gemm::kStripA);
+  pw.bwd = tensor::gemm::pack_colmajor(pw.effective, tensor::gemm::kStripA);
+}
+
+}  // namespace
 
 Conv2d::Conv2d(const Conv2dSpec& spec, con::util::Rng& rng,
                std::string layer_name)
@@ -43,14 +56,14 @@ Tensor Conv2d::forward(const Tensor& x, bool train, TapeSlot& slot) const {
       .padding = spec_.padding,
   };
   const Index oh = slot.geom.out_h(), ow = slot.geom.out_w();
-  slot.effective = weight_.effective(slot.weight_gate);
-  if (train) weight_.grad_gate = slot.weight_gate;
+  slot.packed = cache_.get(weight_, &pack_conv);
+  if (train) weight_.grad_gate = slot.packed->gate;
   slot.batch = n;
 
   // One im2col + one GEMM for the whole batch:
   // out[outC, N*P] = W[outC, C*k*k] * cols[C*k*k, N*P].
   slot.columns = tensor::im2col_batch(x, slot.geom);
-  Tensor out = tensor::matmul(slot.effective, slot.columns);
+  Tensor out = tensor::gemm::matmul_nn(slot.packed->fwd, slot.columns);
 
   // Scatter [outC, N*P] into NCHW order and add the bias.
   Tensor y({n, spec_.out_channels, oh, ow});
@@ -109,7 +122,7 @@ Tensor Conv2d::backward(const Tensor& grad_out, TapeSlot& slot) const {
     }
   }
   // dcols[CKK, N*P] = W^T * go
-  Tensor dcols = tensor::matmul_tn(slot.effective, go);
+  Tensor dcols = tensor::gemm::matmul_tn(slot.packed->bwd, go);
   return tensor::col2im_batch(dcols, n, slot.geom);
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "nn/packed_weights.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -38,6 +39,9 @@ class Conv2d : public Layer {
   // weight stored as [out_channels, in_channels * k * k] for the matmul.
   Parameter weight_;
   Parameter bias_;
+  // Packed effective-weight panels, rebuilt when weight_'s fingerprint
+  // changes (internally mutable: packing is not logical layer state).
+  PackedWeightsCache cache_;
 };
 
 }  // namespace con::nn

@@ -2,12 +2,24 @@
 
 #include <stdexcept>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
 
 namespace con::nn {
 
 using tensor::Index;
+
+namespace {
+
+// y = x Wᵀ wants W packed row-major (rows = out); dx = g W wants W as the
+// right operand of an NN product, i.e. packed along columns (rows = in).
+void pack_linear(PackedWeights& pw) {
+  pw.fwd = tensor::gemm::pack_rowmajor(pw.effective, tensor::gemm::kStripB);
+  pw.bwd = tensor::gemm::pack_colmajor(pw.effective, tensor::gemm::kStripB);
+}
+
+}  // namespace
 
 Linear::Linear(Index in_features, Index out_features, con::util::Rng& rng,
                std::string layer_name)
@@ -27,12 +39,12 @@ Tensor Linear::forward(const Tensor& x, bool train, TapeSlot& slot) const {
                                 x.shape().to_string());
   }
   slot.input = x;
-  slot.effective = weight_.effective(slot.weight_gate);
+  slot.packed = cache_.get(weight_, &pack_linear);
   // The optimizer reads grad_gate at step() time; only a training forward
   // (single-threaded by contract) may refresh it.
-  if (train) weight_.grad_gate = slot.weight_gate;
+  if (train) weight_.grad_gate = slot.packed->gate;
   // y[N, out] = x[N, in] * W[out, in]^T
-  Tensor y = tensor::matmul_nt(x, slot.effective);
+  Tensor y = tensor::gemm::matmul_nt(x, slot.packed->fwd);
   const Index n = y.dim(0);
   float* yd = y.data();
   const float* bd = bias_.value.data();
@@ -63,7 +75,7 @@ Tensor Linear::backward(const Tensor& grad_out, TapeSlot& slot) const {
     }
   }
   // dx[N, in] = grad_out[N, out] * W[out, in]
-  return tensor::matmul(grad_out, slot.effective);
+  return tensor::gemm::matmul_nn(grad_out, slot.packed->bwd);
 }
 
 std::unique_ptr<Layer> Linear::clone() const {

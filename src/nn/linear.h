@@ -2,6 +2,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "nn/packed_weights.h"
 #include "util/rng.h"
 
 namespace con::nn {
@@ -30,6 +31,9 @@ class Linear : public Layer {
   std::string name_;
   Parameter weight_;
   Parameter bias_;
+  // Packed effective-weight panels, rebuilt when weight_'s fingerprint
+  // changes (internally mutable: packing is not logical layer state).
+  PackedWeightsCache cache_;
 };
 
 }  // namespace con::nn

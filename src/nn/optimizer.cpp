@@ -40,6 +40,9 @@ void Sgd::step() {
       v[j] = mu * v[j] + gj;
       w[j] -= lr * v[j];
     }
+    // In-place write: invalidate any packed-weight panels built from the
+    // old values (nn/packed_weights.h).
+    p.bump_version();
   }
 }
 

@@ -1,0 +1,29 @@
+#include "nn/packed_weights.h"
+
+namespace con::nn {
+
+std::shared_ptr<const PackedWeights> PackedWeightsCache::get(
+    const Parameter& p, BuildFn build) const {
+  const float* mask_data = p.mask.empty() ? nullptr : p.mask.data();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ != nullptr && current_->version == p.version &&
+      current_->value_data == p.value.data() &&
+      current_->mask_data == mask_data &&
+      current_->transform == p.transform.get()) {
+    return current_;
+  }
+  // Rebuild under the lock: redundant packing by racing threads would be
+  // harmless but wasteful, and rebuilds are rare (weights are frozen for
+  // the whole of an attack run).
+  auto pw = std::make_shared<PackedWeights>();
+  pw->version = p.version;
+  pw->value_data = p.value.data();
+  pw->mask_data = mask_data;
+  pw->transform = p.transform.get();
+  pw->effective = p.effective(pw->gate);
+  build(*pw);
+  current_ = pw;
+  return current_;
+}
+
+}  // namespace con::nn

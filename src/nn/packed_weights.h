@@ -1,0 +1,72 @@
+// Cached packed weight panels for the GEMM-backed layers.
+//
+// Attacks run thousands of forward/backward passes against frozen weights,
+// so Linear and Conv2d pack their effective (pruned/quantised) weight
+// matrix into GEMM strips (tensor/gemm.h) once and reuse the panels for
+// every subsequent call. The cache is invalidated by a fingerprint of the
+// owning Parameter:
+//
+//   (version, value.data(), mask.data(), transform.get())
+//
+// `version` is the authoritative signal — every mutation site (optimizer
+// step, pruner mask update, transform swap, checkpoint load, sensitivity
+// scan save/restore) bumps it (see Parameter::bump_version). The storage
+// pointers are a belt-and-braces check that catches tensor *reassignment*
+// even where a bump was forgotten; they cannot catch in-place writes or
+// same-capacity copy-assignment on their own, which is why the counter
+// exists.
+//
+// Thread-safety: get() may be called from any number of concurrent eval
+// forwards on a shared model (the transfer-study pattern). Readers receive
+// a shared_ptr<const PackedWeights>, so a rebuild triggered by one thread
+// never invalidates panels another thread is still multiplying with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "nn/parameter.h"
+#include "tensor/gemm.h"
+
+namespace con::nn {
+
+// One immutable snapshot of a parameter's effective weights, packed for
+// the owning layer's forward and backward kernels.
+struct PackedWeights {
+  // Fingerprint of the Parameter state this snapshot was built from.
+  std::uint64_t version = 0;
+  const float* value_data = nullptr;
+  const float* mask_data = nullptr;
+  const void* transform = nullptr;
+
+  Tensor effective;  // transform(value ⊙ mask) at build time
+  Tensor gate;       // straight-through gate (empty when no transform)
+  tensor::gemm::PackedMatrix fwd;  // operand panels for the forward GEMM
+  tensor::gemm::PackedMatrix bwd;  // operand panels for the backward GEMM
+};
+
+class PackedWeightsCache {
+ public:
+  // Fills pw.fwd/pw.bwd from pw.effective; layer-specific (strip widths and
+  // row/column-major orientation differ between Linear and Conv2d).
+  using BuildFn = void (*)(PackedWeights& pw);
+
+  PackedWeightsCache() = default;
+  // Layer::clone copies layers wholesale; the copy must not share cache
+  // state (its parameters are distinct objects), so it starts cold and
+  // repacks on first use.
+  PackedWeightsCache(const PackedWeightsCache&) {}
+  PackedWeightsCache& operator=(const PackedWeightsCache&) { return *this; }
+
+  // Returns the cached snapshot if the fingerprint still matches `p`,
+  // otherwise rebuilds via `build` and caches the result.
+  std::shared_ptr<const PackedWeights> get(const Parameter& p,
+                                           BuildFn build) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const PackedWeights> current_;
+};
+
+}  // namespace con::nn

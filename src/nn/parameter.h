@@ -11,6 +11,7 @@
 //    saturating straight-through estimator lets gradient flow back.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -52,6 +53,14 @@ struct Parameter {
   // Dense parameters that should never be pruned/quantised (biases) set
   // this to false; compression passes respect it.
   bool compressible = true;
+  // Mutation counter backing the packed-weight cache (nn/packed_weights.h).
+  // Contract: any code that changes what `effective()` would return — an
+  // optimizer step, a pruner mask refresh, a transform swap, a checkpoint
+  // load — must call bump_version(). The cache also fingerprints the
+  // value/mask/transform storage pointers, but that alone is defeated by
+  // same-shape copy-assignment (std::vector reuses the allocation), so the
+  // counter is the authoritative signal.
+  std::uint64_t version = 1;
 
   explicit Parameter(std::string param_name, Tensor initial)
       : name(std::move(param_name)),
@@ -75,6 +84,9 @@ struct Parameter {
   double pruned_fraction() const;
 
   void zero_grad() { grad.zero(); }
+
+  // Declare that value/mask/transform changed; see `version`.
+  void bump_version() { ++version; }
 };
 
 }  // namespace con::nn

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tensor/ops.h"
@@ -19,12 +20,13 @@ namespace con::nn {
 
 using tensor::Tensor;
 
+struct PackedWeights;
+
 // Per-layer forward record. The fields are a union-of-needs across the
 // layer zoo; each layer uses the subset documented next to it and ignores
 // the rest:
-//   Linear         input, effective, weight_gate
-//   Conv2d         columns (batched im2col), effective, weight_gate, geom,
-//                  batch
+//   Linear         input, packed (weight panels used by the forward)
+//   Conv2d         columns (batched im2col), packed, geom, batch
 //   BatchNorm2d    aux (xhat), stats (inv_std), in_shape, flag (train mode)
 //   ReLU           input
 //   Tanh           output
@@ -39,8 +41,11 @@ struct TapeSlot {
   Tensor aux;
   Tensor stats;
   Tensor columns;
-  Tensor effective;
-  Tensor weight_gate;
+  // The weight snapshot the forward multiplied with. Backward reuses it so
+  // a weight mutation between forward and backward (which would be a bug in
+  // the caller anyway) cannot desynchronise the pair, and so the backward
+  // GEMM gets pre-packed panels for free.
+  std::shared_ptr<const PackedWeights> packed;
   tensor::Shape in_shape;
   tensor::Conv2dGeometry geom;
   std::vector<tensor::Index> indices;

@@ -1,5 +1,6 @@
 #include "sparse/csr.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace con::sparse {
@@ -59,26 +60,53 @@ Tensor csr_matvec(const CsrMatrix& a, const Tensor& x) {
   return y;
 }
 
+tensor::gemm::PackedMatrix csr_pack(const CsrMatrix& a) {
+  namespace gemm = tensor::gemm;
+  gemm::PackedMatrix p;
+  p.rows = a.rows;
+  p.depth = a.cols;
+  p.strip = gemm::kStripA;
+  const Index ns = p.num_strips();
+  p.data.assign(static_cast<std::size_t>(ns * p.depth * p.strip), 0.0f);
+  p.nnz_ptr.reserve(static_cast<std::size_t>(ns) + 1);
+  p.nnz_ptr.push_back(0);
+  // Which depth indices any of the strip's rows touches; rebuilt per strip.
+  std::vector<char> seen(static_cast<std::size_t>(a.cols));
+  for (Index s = 0; s < ns; ++s) {
+    std::fill(seen.begin(), seen.end(), 0);
+    const Index r0 = s * p.strip;
+    const Index rl = std::min(p.strip, a.rows - r0);
+    float* strip = p.data.data() + s * p.depth * p.strip;
+    for (Index t = 0; t < rl; ++t) {
+      const auto r = static_cast<std::size_t>(r0 + t);
+      for (std::int64_t i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+        const auto k =
+            static_cast<Index>(a.col_indices[static_cast<std::size_t>(i)]);
+        const float v = a.values[static_cast<std::size_t>(i)];
+        strip[k * p.strip + t] = v;
+        seen[static_cast<std::size_t>(k)] = 1;
+        p.nnz += (v != 0.0f);  // CSR may carry explicit zeros
+      }
+    }
+    for (Index k = 0; k < p.depth; ++k) {
+      if (seen[static_cast<std::size_t>(k)]) {
+        p.nnz_k.push_back(static_cast<std::int32_t>(k));
+      }
+    }
+    p.nnz_ptr.push_back(static_cast<std::int64_t>(p.nnz_k.size()));
+  }
+  return p;
+}
+
 Tensor csr_matmul(const CsrMatrix& a, const Tensor& b) {
   if (b.rank() != 2 || b.dim(0) != a.cols) {
     throw std::invalid_argument("csr_matmul: inner dims mismatch");
   }
-  const Index n = b.dim(1);
-  Tensor c({a.rows, n});
-  const float* bv = b.data();
-  float* cv = c.data();
-  for (Index r = 0; r < a.rows; ++r) {
-    float* crow = cv + r * n;
-    for (std::int64_t i = a.row_ptr[static_cast<std::size_t>(r)];
-         i < a.row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
-      const float v = a.values[static_cast<std::size_t>(i)];
-      const float* brow =
-          bv + static_cast<Index>(
-                   a.col_indices[static_cast<std::size_t>(i)]) * n;
-      for (Index j = 0; j < n; ++j) crow[j] += v * brow[j];
-    }
-  }
-  return c;
+  // Bit-identical to the old per-row scalar loop: each output element is
+  // one float accumulator fed the row's non-zeros in ascending column
+  // order, which is exactly what the blocked kernel does with the packed
+  // skip lists.
+  return tensor::gemm::matmul_nn(csr_pack(a), b);
 }
 
 RelativeIndexEncoding encode_relative_indices(const CsrMatrix& csr,

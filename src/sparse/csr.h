@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace con::sparse {
@@ -43,7 +44,13 @@ Tensor csr_to_dense(const CsrMatrix& csr);
 // y[rows] = A x[cols] — the accelerator's core kernel.
 Tensor csr_matvec(const CsrMatrix& a, const Tensor& x);
 
-// C[rows, n] = A * B[cols, n].
+// Expand the CSR matrix straight into GEMM strip panels (tensor/gemm.h):
+// zero-skip lists come directly from the column indices, so pruned rows
+// cost nothing in the blocked kernels.
+tensor::gemm::PackedMatrix csr_pack(const CsrMatrix& a);
+
+// C[rows, n] = A * B[cols, n]. Runs on the blocked GEMM kernels via
+// csr_pack; bit-identical to the dense product against csr_to_dense(a).
 Tensor csr_matmul(const CsrMatrix& a, const Tensor& b);
 
 // EIE-style relative index encoding: column gaps stored in `index_bits`

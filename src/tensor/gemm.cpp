@@ -1,0 +1,409 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <type_traits>
+
+#include "util/threadpool.h"
+
+namespace con::tensor::gemm {
+
+namespace {
+
+void check_rank2(const Tensor& t, const char* op) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(op) + ": expected rank-2, got " +
+                                t.shape().to_string());
+  }
+}
+
+void check_inner(Index got, Index want, const char* op) {
+  if (got != want) {
+    throw std::invalid_argument(std::string(op) + ": inner dims mismatch");
+  }
+}
+
+// Below this M·N·K the pack/dispatch overhead of the blocked path is not
+// worth paying; the scalar loops produce the same bits, so the switch is
+// invisible to callers.
+constexpr Index kSmallGemmFlops = 1 << 15;
+
+// Builds the per-strip ascending k-lists and the element count over
+// already-packed strip storage.
+void build_skip_lists(PackedMatrix& p) {
+  const Index ns = p.num_strips();
+  p.nnz_ptr.clear();
+  p.nnz_ptr.reserve(static_cast<std::size_t>(ns) + 1);
+  p.nnz_ptr.push_back(0);
+  p.nnz_k.clear();
+  p.nnz = 0;
+  for (Index s = 0; s < ns; ++s) {
+    const float* strip = p.data.data() + s * p.depth * p.strip;
+    for (Index k = 0; k < p.depth; ++k) {
+      const float* col = strip + k * p.strip;
+      Index nz = 0;
+      for (Index t = 0; t < p.strip; ++t) nz += (col[t] != 0.0f);
+      if (nz > 0) p.nnz_k.push_back(static_cast<std::int32_t>(k));
+      p.nnz += nz;
+    }
+    p.nnz_ptr.push_back(static_cast<std::int64_t>(p.nnz_k.size()));
+  }
+}
+
+// The register-tile micro-kernel: one MR×NR accumulator tile, full depth
+// per output element, k ascending — the scalar loops' exact operation
+// sequence. `klist == nullptr` runs the dense loop; otherwise only the
+// listed k are visited, and rows whose A value is zero are skipped too —
+// every elided term has a zero factor. Writes the mv×nv valid corner of
+// the tile to C.
+template <int MR, int NR, typename Acc>
+void micro_kernel(Index depth, const float* __restrict ap,
+                  const float* __restrict bp,
+                  const std::int32_t* __restrict klist, Index nk,
+                  float* __restrict c, Index ldc, Index mv, Index nv) {
+  Acc acc[MR][NR] = {};
+  if (klist == nullptr) {
+    for (Index k = 0; k < depth; ++k) {
+      const float* __restrict av = ap + k * MR;
+      const float* __restrict bv = bp + k * NR;
+      for (int i = 0; i < MR; ++i) {
+        const Acc a = static_cast<Acc>(av[i]);
+        for (int j = 0; j < NR; ++j) acc[i][j] += a * static_cast<Acc>(bv[j]);
+      }
+    }
+  } else {
+    for (Index t = 0; t < nk; ++t) {
+      const Index k = klist[t];
+      const float* __restrict av = ap + k * MR;
+      const float* __restrict bv = bp + k * NR;
+      for (int i = 0; i < MR; ++i) {
+        const Acc a = static_cast<Acc>(av[i]);
+        if (a == Acc(0)) continue;  // pruned row within a live strip column
+        for (int j = 0; j < NR; ++j) acc[i][j] += a * static_cast<Acc>(bv[j]);
+      }
+    }
+  }
+  if (mv == MR && nv == NR) {
+    for (int i = 0; i < MR; ++i) {
+      for (int j = 0; j < NR; ++j) {
+        c[i * ldc + j] = static_cast<float>(acc[i][j]);
+      }
+    }
+  } else {
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) {
+        c[i * ldc + j] = static_cast<float>(acc[i][j]);
+      }
+    }
+  }
+}
+
+// The right operand of a GEMM call: either a pre-packed matrix (cached
+// weight panels) or raw storage packed panel-by-panel inside each task.
+struct BSource {
+  const PackedMatrix* packed = nullptr;
+  const float* raw = nullptr;
+  Index ld = 0;         // leading dimension of raw storage
+  bool k_major = false;  // true: raw[k*ld + j] ([K,N]); false: raw[j*ld + k]
+};
+
+// Packs the columns [j0, j0+jn) of a raw right operand into kStripB strips
+// plus skip lists, reusing the caller's scratch vectors. Zero detection is
+// fused into the copy (the flags array is 8× smaller than the panel) so
+// the packed floats are written once and never re-read here.
+void pack_panel(const BSource& b, Index depth, Index j0, Index jn,
+                std::vector<float>& data, std::vector<char>& flags,
+                std::vector<std::int32_t>& nnz, std::vector<std::int64_t>& ptr) {
+  const Index ns = (jn + kStripB - 1) / kStripB;
+  data.assign(static_cast<std::size_t>(ns * depth * kStripB), 0.0f);
+  flags.assign(static_cast<std::size_t>(ns * depth), 0);
+  if (b.k_major) {
+    // k outer keeps the reads streaming through the big matrix row by row.
+    for (Index k = 0; k < depth; ++k) {
+      const float* src = b.raw + k * b.ld + j0;
+      for (Index s = 0; s < ns; ++s) {
+        const Index c0 = s * kStripB;
+        const Index cl = std::min<Index>(kStripB, jn - c0);
+        float* dst = data.data() + (s * depth + k) * kStripB;
+        char nz = 0;
+        for (Index t = 0; t < cl; ++t) {
+          dst[t] = src[c0 + t];
+          nz |= (dst[t] != 0.0f);
+        }
+        flags[static_cast<std::size_t>(s * depth + k)] = nz;
+      }
+    }
+  } else {
+    for (Index s = 0; s < ns; ++s) {
+      const Index c0 = s * kStripB;
+      const Index cl = std::min<Index>(kStripB, jn - c0);
+      float* strip = data.data() + s * depth * kStripB;
+      char* fl = flags.data() + s * depth;
+      for (Index t = 0; t < cl; ++t) {
+        const float* src = b.raw + (j0 + c0 + t) * b.ld;
+        for (Index k = 0; k < depth; ++k) {
+          strip[k * kStripB + t] = src[k];
+          fl[k] |= (src[k] != 0.0f);
+        }
+      }
+    }
+  }
+  ptr.clear();
+  ptr.reserve(static_cast<std::size_t>(ns) + 1);
+  ptr.push_back(0);
+  nnz.clear();
+  for (Index s = 0; s < ns; ++s) {
+    const char* fl = flags.data() + s * depth;
+    for (Index k = 0; k < depth; ++k) {
+      if (fl[k]) nnz.push_back(static_cast<std::int32_t>(k));
+    }
+    ptr.push_back(static_cast<std::int64_t>(nnz.size()));
+  }
+}
+
+// Below this density a packed float-accumulating left operand is cheaper
+// to multiply as per-row axpy sweeps over its skip lists (the scalar
+// loops' own strategy) than as register tiles: the tile pays for every
+// live strip column even when three of its four rows are zero there, and
+// the right operand no longer needs packing at all.
+constexpr Index kSparseAxpyDensityPct = 25;
+
+// Row-axpy kernel for heavily pruned packed A against raw k-major B.
+// Identical per-element operation sequence to reference_nn: each C row
+// accumulates av·B[k,·] in ascending k, skipping zero av, as full-row
+// streaming sweeps (the prefetch-friendly pattern of the scalar loops).
+// Parallel over C rows — every element has exactly one owner, so the
+// output does not depend on the thread count.
+void sparse_axpy(const PackedMatrix& a, const float* b, Index ldb, Index n,
+                 float* c) {
+  util::parallel_for(0, static_cast<std::size_t>(a.rows), [&](std::size_t r) {
+    const Index row = static_cast<Index>(r);
+    const Index s = row / a.strip;
+    const Index t = row % a.strip;
+    const float* strip = a.data.data() + s * a.depth * a.strip;
+    const std::int32_t* kl =
+        a.nnz_k.data() + a.nnz_ptr[static_cast<std::size_t>(s)];
+    const Index nk =
+        static_cast<Index>(a.nnz_ptr[static_cast<std::size_t>(s) + 1] -
+                           a.nnz_ptr[static_cast<std::size_t>(s)]);
+    float* __restrict crow = c + row * n;
+    for (Index u = 0; u < nk; ++u) {
+      const Index k = kl[u];
+      const float av = strip[k * a.strip + t];
+      if (av == 0.0f) continue;
+      const float* __restrict brow = b + k * ldb;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+// Drives a full C[M,N] product from a packed left operand and a BSource.
+// Parallel over kNC-column panels: each task owns a disjoint column range
+// of C and computes every one of its elements exactly once, so the output
+// is independent of the thread count.
+template <typename Acc, int MR>
+void gemm_blocked(const PackedMatrix& a, const BSource& bsrc, Index n,
+                  float* c) {
+  const Index m = a.rows;
+  const Index depth = a.depth;
+  if (m == 0 || n == 0) return;
+  if (std::is_same_v<Acc, float> && bsrc.packed == nullptr && bsrc.k_major &&
+      a.nnz * 100 <= m * depth * kSparseAxpyDensityPct) {
+    sparse_axpy(a, bsrc.raw, bsrc.ld, n, c);
+    return;
+  }
+  const Index npanels = (n + kNC - 1) / kNC;
+  const Index na_strips = a.num_strips();
+  const float* adata = a.data.data();
+  const std::int32_t* annz = a.nnz_k.data();
+  const std::int64_t* aptr = a.nnz_ptr.data();
+
+  util::parallel_for(0, static_cast<std::size_t>(npanels), [&](std::size_t pi) {
+    const Index j0 = static_cast<Index>(pi) * kNC;
+    const Index jn = std::min<Index>(kNC, n - j0);
+    const Index nb_strips = (jn + kStripB - 1) / kStripB;
+    std::vector<float> scratch;
+    std::vector<char> sflags;
+    std::vector<std::int32_t> snnz;
+    std::vector<std::int64_t> sptr;
+    const float* bstrips;
+    const std::int32_t* bnnz;
+    const std::int64_t* bptr;
+    if (bsrc.packed != nullptr) {
+      // kNC % kStripB == 0, so a panel is a contiguous run of strips.
+      const Index s0 = j0 / kStripB;
+      bstrips = bsrc.packed->data.data() + s0 * depth * kStripB;
+      bnnz = bsrc.packed->nnz_k.data();
+      bptr = bsrc.packed->nnz_ptr.data() + s0;
+    } else {
+      pack_panel(bsrc, depth, j0, jn, scratch, sflags, snnz, sptr);
+      bstrips = scratch.data();
+      bnnz = snnz.data();
+      bptr = sptr.data();
+    }
+    // B strip outermost (stays in L1 across the sweep of A strips).
+    for (Index sb = 0; sb < nb_strips; ++sb) {
+      const Index j = j0 + sb * kStripB;
+      const Index nv = std::min<Index>(kStripB, n - j);
+      const float* bp = bstrips + sb * depth * kStripB;
+      const std::int64_t bk0 = bptr[sb];
+      const Index bnk = static_cast<Index>(bptr[sb + 1] - bk0);
+      for (Index sa = 0; sa < na_strips; ++sa) {
+        const Index i = sa * MR;
+        const Index mv = std::min<Index>(static_cast<Index>(MR), m - i);
+        const float* ap = adata + sa * depth * MR;
+        const std::int64_t ak0 = aptr[sa];
+        const Index ank = static_cast<Index>(aptr[sa + 1] - ak0);
+        // Iterate the sparser operand's k-list (every elided term has a
+        // zero factor, so the result is unchanged); dense strips take the
+        // indirection-free loop.
+        const std::int32_t* kl = nullptr;
+        Index nk = depth;
+        if (ank <= bnk) {
+          if (ank < depth) {
+            kl = annz + ak0;
+            nk = ank;
+          }
+        } else if (bnk < depth) {
+          kl = bnnz + bk0;
+          nk = bnk;
+        }
+        micro_kernel<MR, static_cast<int>(kStripB), Acc>(
+            depth, ap, bp, kl, nk, c + i * n + j, n, mv, nv);
+      }
+    }
+  });
+}
+
+PackedMatrix pack_impl(const float* src, Index rows, Index depth,
+                       bool row_major, Index strip) {
+  PackedMatrix p;
+  p.rows = rows;
+  p.depth = depth;
+  p.strip = strip;
+  const Index ns = p.num_strips();
+  p.data.assign(static_cast<std::size_t>(ns * depth * strip), 0.0f);
+  for (Index s = 0; s < ns; ++s) {
+    const Index r0 = s * strip;
+    const Index rl = std::min(strip, rows - r0);
+    float* dst = p.data.data() + s * depth * strip;
+    if (row_major) {
+      for (Index t = 0; t < rl; ++t) {
+        const float* row = src + (r0 + t) * depth;
+        for (Index k = 0; k < depth; ++k) dst[k * strip + t] = row[k];
+      }
+    } else {
+      for (Index k = 0; k < depth; ++k) {
+        const float* row = src + k * rows + r0;
+        for (Index t = 0; t < rl; ++t) dst[k * strip + t] = row[t];
+      }
+    }
+  }
+  build_skip_lists(p);
+  return p;
+}
+
+}  // namespace
+
+PackedMatrix pack_rowmajor(const Tensor& m, Index strip) {
+  check_rank2(m, "pack_rowmajor");
+  return pack_impl(m.data(), m.dim(0), m.dim(1), /*row_major=*/true, strip);
+}
+
+PackedMatrix pack_colmajor(const Tensor& m, Index strip) {
+  check_rank2(m, "pack_colmajor");
+  return pack_impl(m.data(), m.dim(1), m.dim(0), /*row_major=*/false, strip);
+}
+
+// ---- NN: C[M,N] = A[M,K] · B[K,N] ------------------------------------------
+
+Tensor matmul_nn(const PackedMatrix& a, const Tensor& b) {
+  check_rank2(b, "matmul_nn");
+  check_inner(b.dim(0), a.depth, "matmul_nn");
+  Tensor c({a.rows, b.dim(1)});
+  BSource bs{.raw = b.data(), .ld = b.dim(1), .k_major = true};
+  gemm_blocked<float, static_cast<int>(kStripA)>(a, bs, b.dim(1), c.data());
+  return c;
+}
+
+Tensor matmul_nn(const Tensor& a, const PackedMatrix& b) {
+  check_rank2(a, "matmul_nn");
+  check_inner(a.dim(1), b.depth, "matmul_nn");
+  PackedMatrix pa = pack_rowmajor(a, kStripA);
+  Tensor c({a.dim(0), b.rows});
+  BSource bs{.packed = &b};
+  gemm_blocked<float, static_cast<int>(kStripA)>(pa, bs, b.rows, c.data());
+  return c;
+}
+
+Tensor matmul_nn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dims mismatch " +
+                                a.shape().to_string() + " x " +
+                                b.shape().to_string());
+  }
+  if (m * n * k <= kSmallGemmFlops) return reference_nn(a, b);
+  PackedMatrix pa = pack_rowmajor(a, kStripA);
+  Tensor c({m, n});
+  BSource bs{.raw = b.data(), .ld = n, .k_major = true};
+  gemm_blocked<float, static_cast<int>(kStripA)>(pa, bs, n, c.data());
+  return c;
+}
+
+// ---- TN: C[M,N] = A[K,M]ᵀ · B[K,N] -----------------------------------------
+
+Tensor matmul_tn(const PackedMatrix& a, const Tensor& b) {
+  check_rank2(b, "matmul_tn");
+  check_inner(b.dim(0), a.depth, "matmul_tn");
+  Tensor c({a.rows, b.dim(1)});
+  BSource bs{.raw = b.data(), .ld = b.dim(1), .k_major = true};
+  gemm_blocked<float, static_cast<int>(kStripA)>(a, bs, b.dim(1), c.data());
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const Index k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_tn: inner dims mismatch");
+  }
+  if (m * n * k <= kSmallGemmFlops) return reference_tn(a, b);
+  PackedMatrix pa = pack_colmajor(a, kStripA);
+  Tensor c({m, n});
+  BSource bs{.raw = b.data(), .ld = n, .k_major = true};
+  gemm_blocked<float, static_cast<int>(kStripA)>(pa, bs, n, c.data());
+  return c;
+}
+
+// ---- NT: C[M,N] = A[M,K] · B[N,K]ᵀ -----------------------------------------
+
+Tensor matmul_nt(const Tensor& a, const PackedMatrix& b) {
+  check_rank2(a, "matmul_nt");
+  check_inner(a.dim(1), b.depth, "matmul_nt");
+  PackedMatrix pa = pack_rowmajor(a, kStripANt);
+  Tensor c({a.dim(0), b.rows});
+  BSource bs{.packed = &b};
+  gemm_blocked<double, static_cast<int>(kStripANt)>(pa, bs, b.rows, c.data());
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_nt: inner dims mismatch");
+  }
+  if (m * n * k <= kSmallGemmFlops) return reference_nt(a, b);
+  PackedMatrix pa = pack_rowmajor(a, kStripANt);
+  Tensor c({m, n});
+  BSource bs{.raw = b.data(), .ld = k, .k_major = false};
+  gemm_blocked<double, static_cast<int>(kStripANt)>(pa, bs, n, c.data());
+  return c;
+}
+
+}  // namespace con::tensor::gemm

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/gemm.h"
+
 namespace con::tensor {
 
 namespace {
@@ -123,8 +125,11 @@ void clamp_inplace(Tensor& a, float lo, float hi) {
 // ---- reductions -----------------------------------------------------------
 
 float sum(const Tensor& a) {
-  // Kahan summation: models here have up to ~1.3M weights and analysis code
-  // sums over them; naive accumulation loses precision in float.
+  // Plain double accumulation (not Kahan): models here have up to ~1.3M
+  // weights, and a double accumulator has 29 spare mantissa bits over
+  // float, which is ample at that length. Reductions follow the precision
+  // contract in DESIGN.md §5: dot-product-shaped reductions accumulate in
+  // double, streaming updates stay in float.
   double acc = 0.0;
   for (float v : a.flat()) acc += v;
   return static_cast<float>(acc);
@@ -192,79 +197,20 @@ Index argmax_row(const Tensor& a, Index row) {
 
 // ---- linear algebra -------------------------------------------------------
 
+// The matmul family delegates to the blocked kernels in tensor/gemm.h,
+// which reproduce the old scalar loops bit-for-bit (see gemm.h for the
+// argument) and fall back to them outright below a size threshold.
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul");
-  check_rank2(b, "matmul");
-  const Index m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) {
-    throw std::invalid_argument("matmul: inner dims mismatch " +
-                                a.shape().to_string() + " x " +
-                                b.shape().to_string());
-  }
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order: unit-stride access on B and C rows, which is the
-  // difference between usable and unusable on this scalar build.
-  for (Index i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (Index kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;  // pruned weights make A genuinely sparse
-      const float* brow = pb + kk * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return c;
+  return gemm::matmul_nn(a, b);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_tn");
-  check_rank2(b, "matmul_tn");
-  const Index k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) {
-    throw std::invalid_argument("matmul_tn: inner dims mismatch");
-  }
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (Index kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (Index i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-  return c;
+  return gemm::matmul_tn(a, b);
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_nt");
-  check_rank2(b, "matmul_nt");
-  const Index m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  if (b.dim(1) != k) {
-    throw std::invalid_argument("matmul_nt: inner dims mismatch");
-  }
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (Index i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (Index j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (Index kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
-      crow[j] = static_cast<float>(acc);
-    }
-  }
-  return c;
+  return gemm::matmul_nt(a, b);
 }
 
 Tensor transpose(const Tensor& a) {
@@ -281,26 +227,21 @@ Tensor transpose(const Tensor& a) {
 
 // ---- convolution support ---------------------------------------------------
 
-Tensor im2col(const Tensor& image, const Conv2dGeometry& g) {
-  if (image.rank() != 3 || image.dim(0) != g.in_channels ||
-      image.dim(1) != g.in_h || image.dim(2) != g.in_w) {
-    throw std::invalid_argument("im2col: image shape " +
-                                image.shape().to_string() +
-                                " does not match geometry");
-  }
+namespace {
+
+// Lowers one CHW image into its patch-column block. `dst` points at the
+// block's first column; rows of the destination matrix are `dst_ld` floats
+// apart (oh*ow for a single image, n*oh*ow for a block inside a batched
+// matrix). The single-image and batched entry points below share this body,
+// differing only in where the blocks sit.
+void im2col_image(const float* src, float* dst, Index dst_ld,
+                  const Conv2dGeometry& g) {
   const Index oh = g.out_h(), ow = g.out_w();
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("im2col: non-positive output size");
-  }
-  Tensor cols({g.in_channels * g.kernel_h * g.kernel_w, oh * ow});
-  const float* src = image.data();
-  float* dst = cols.data();
-  const Index ow_total = oh * ow;
   for (Index c = 0; c < g.in_channels; ++c) {
     for (Index kh = 0; kh < g.kernel_h; ++kh) {
       for (Index kw = 0; kw < g.kernel_w; ++kw) {
         const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
-        float* drow = dst + row * ow_total;
+        float* drow = dst + row * dst_ld;
         for (Index y = 0; y < oh; ++y) {
           const Index in_y = y * g.stride + kh - g.padding;
           if (in_y < 0 || in_y >= g.in_h) {
@@ -317,6 +258,47 @@ Tensor im2col(const Tensor& image, const Conv2dGeometry& g) {
       }
     }
   }
+}
+
+// Adjoint of im2col_image: accumulates one patch-column block (rows
+// `src_ld` floats apart) back into a zero-initialised CHW image.
+void col2im_image(const float* src, Index src_ld, float* dst,
+                  const Conv2dGeometry& g) {
+  const Index oh = g.out_h(), ow = g.out_w();
+  for (Index c = 0; c < g.in_channels; ++c) {
+    for (Index kh = 0; kh < g.kernel_h; ++kh) {
+      for (Index kw = 0; kw < g.kernel_w; ++kw) {
+        const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
+        const float* srow = src + row * src_ld;
+        for (Index y = 0; y < oh; ++y) {
+          const Index in_y = y * g.stride + kh - g.padding;
+          if (in_y < 0 || in_y >= g.in_h) continue;
+          float* drow = dst + (c * g.in_h + in_y) * g.in_w;
+          for (Index x = 0; x < ow; ++x) {
+            const Index in_x = x * g.stride + kw - g.padding;
+            if (in_x >= 0 && in_x < g.in_w) drow[in_x] += srow[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& image, const Conv2dGeometry& g) {
+  if (image.rank() != 3 || image.dim(0) != g.in_channels ||
+      image.dim(1) != g.in_h || image.dim(2) != g.in_w) {
+    throw std::invalid_argument("im2col: image shape " +
+                                image.shape().to_string() +
+                                " does not match geometry");
+  }
+  const Index oh = g.out_h(), ow = g.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("im2col: non-positive output size");
+  }
+  Tensor cols({g.in_channels * g.kernel_h * g.kernel_w, oh * ow});
+  im2col_image(image.data(), cols.data(), oh * ow, g);
   return cols;
 }
 
@@ -330,26 +312,7 @@ Tensor col2im(const Tensor& columns, const Conv2dGeometry& g) {
                                 " does not match geometry");
   }
   Tensor image({g.in_channels, g.in_h, g.in_w});
-  const float* src = columns.data();
-  float* dst = image.data();
-  const Index ow_total = oh * ow;
-  for (Index c = 0; c < g.in_channels; ++c) {
-    for (Index kh = 0; kh < g.kernel_h; ++kh) {
-      for (Index kw = 0; kw < g.kernel_w; ++kw) {
-        const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
-        const float* srow = src + row * ow_total;
-        for (Index y = 0; y < oh; ++y) {
-          const Index in_y = y * g.stride + kh - g.padding;
-          if (in_y < 0 || in_y >= g.in_h) continue;
-          float* drow = dst + (c * g.in_h + in_y) * g.in_w;
-          for (Index x = 0; x < ow; ++x) {
-            const Index in_x = x * g.stride + kw - g.padding;
-            if (in_x >= 0 && in_x < g.in_w) drow[in_x] += srow[y * ow + x];
-          }
-        }
-      }
-    }
-  }
+  col2im_image(columns.data(), oh * ow, image.data(), g);
   return image;
 }
 
@@ -371,29 +334,8 @@ Tensor im2col_batch(const Tensor& batch, const Conv2dGeometry& g) {
   Tensor cols({rows, cols_per_row});
   const Index image_stride = g.in_channels * g.in_h * g.in_w;
   for (Index i = 0; i < n; ++i) {
-    const float* src = batch.data() + i * image_stride;
-    float* dst = cols.data() + i * plane;  // this sample's column block
-    for (Index c = 0; c < g.in_channels; ++c) {
-      for (Index kh = 0; kh < g.kernel_h; ++kh) {
-        for (Index kw = 0; kw < g.kernel_w; ++kw) {
-          const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
-          float* drow = dst + row * cols_per_row;
-          for (Index y = 0; y < oh; ++y) {
-            const Index in_y = y * g.stride + kh - g.padding;
-            if (in_y < 0 || in_y >= g.in_h) {
-              for (Index x = 0; x < ow; ++x) drow[y * ow + x] = 0.0f;
-              continue;
-            }
-            const float* srow = src + (c * g.in_h + in_y) * g.in_w;
-            for (Index x = 0; x < ow; ++x) {
-              const Index in_x = x * g.stride + kw - g.padding;
-              drow[y * ow + x] =
-                  (in_x >= 0 && in_x < g.in_w) ? srow[in_x] : 0.0f;
-            }
-          }
-        }
-      }
-    }
+    im2col_image(batch.data() + i * image_stride, cols.data() + i * plane,
+                 cols_per_row, g);
   }
   return cols;
 }
@@ -413,25 +355,8 @@ Tensor col2im_batch(const Tensor& columns, Index batch_size,
   const Index cols_per_row = batch_size * plane;
   const Index image_stride = g.in_channels * g.in_h * g.in_w;
   for (Index i = 0; i < batch_size; ++i) {
-    const float* src = columns.data() + i * plane;
-    float* dst = batch.data() + i * image_stride;
-    for (Index c = 0; c < g.in_channels; ++c) {
-      for (Index kh = 0; kh < g.kernel_h; ++kh) {
-        for (Index kw = 0; kw < g.kernel_w; ++kw) {
-          const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
-          const float* srow = src + row * cols_per_row;
-          for (Index y = 0; y < oh; ++y) {
-            const Index in_y = y * g.stride + kh - g.padding;
-            if (in_y < 0 || in_y >= g.in_h) continue;
-            float* drow = dst + (c * g.in_h + in_y) * g.in_w;
-            for (Index x = 0; x < ow; ++x) {
-              const Index in_x = x * g.stride + kw - g.padding;
-              if (in_x >= 0 && in_x < g.in_w) drow[in_x] += srow[y * ow + x];
-            }
-          }
-        }
-      }
-    }
+    col2im_image(columns.data() + i * plane, cols_per_row,
+                 batch.data() + i * image_stride, g);
   }
   return batch;
 }

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <string>
 
 #include "core/cdf.h"
 #include "core/scenario.h"
@@ -128,7 +131,14 @@ TEST(Grids, PaperGridsAreSane) {
 class StudyTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    setenv("CON_ARTIFACTS_DIR", "/tmp/con_core_test_artifacts", 1);
+    // ctest -j runs each test in its own process, and every process runs
+    // this fixture; a shared directory would let one process remove_all the
+    // checkpoint cache another is mid-way through reading. Keep the
+    // intra-process cache-hit semantics (CheckpointCacheRoundTrips) but
+    // isolate processes from each other.
+    artifacts_dir_ =
+        "/tmp/con_core_test_artifacts." + std::to_string(getpid());
+    setenv("CON_ARTIFACTS_DIR", artifacts_dir_.c_str(), 1);
     StudyConfig cfg;
     cfg.network = "lenet5-small";
     cfg.train_size = 1200;
@@ -142,13 +152,15 @@ class StudyTest : public ::testing::Test {
   static void TearDownTestSuite() {
     delete study_;
     study_ = nullptr;
-    std::filesystem::remove_all("/tmp/con_core_test_artifacts");
+    std::filesystem::remove_all(artifacts_dir_);
     unsetenv("CON_ARTIFACTS_DIR");
   }
   static Study* study_;
+  static std::string artifacts_dir_;
 };
 
 Study* StudyTest::study_ = nullptr;
+std::string StudyTest::artifacts_dir_;
 
 TEST_F(StudyTest, BaselineLearns) {
   EXPECT_GT(study_->baseline_accuracy(), 0.7);

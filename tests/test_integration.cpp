@@ -3,8 +3,10 @@
 // compression (both families), attacks, the three-scenario taxonomy, sparse
 // deployment encodings and checkpointing.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
+#include <string>
 
 #include "compress/clustering.h"
 #include "compress/finetune.h"
@@ -25,7 +27,11 @@ namespace {
 class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    setenv("CON_ARTIFACTS_DIR", "/tmp/con_integration_artifacts", 1);
+    // ctest -j runs every discovered test in its own process; a shared
+    // artifacts path would race one process's TearDown remove_all against
+    // another's checkpoint write, so each process gets its own directory.
+    artifacts_dir_ = "/tmp/con_integration_artifacts." + std::to_string(getpid());
+    setenv("CON_ARTIFACTS_DIR", artifacts_dir_.c_str(), 1);
     core::StudyConfig cfg;
     cfg.network = "lenet5-small";
     cfg.train_size = 1500;
@@ -39,13 +45,15 @@ class IntegrationTest : public ::testing::Test {
   static void TearDownTestSuite() {
     delete study_;
     study_ = nullptr;
-    std::filesystem::remove_all("/tmp/con_integration_artifacts");
+    std::filesystem::remove_all(artifacts_dir_);
     unsetenv("CON_ARTIFACTS_DIR");
   }
   static core::Study* study_;
+  static std::string artifacts_dir_;
 };
 
 core::Study* IntegrationTest::study_ = nullptr;
+std::string IntegrationTest::artifacts_dir_;
 
 TEST_F(IntegrationTest, FullPruningPipelineReproducesHeadlineFinding) {
   // The paper's headline: adversarial samples transfer between compressed

@@ -192,9 +192,14 @@ class GradientCheck : public ::testing::Test {
                             double tolerance = 2e-2) {
     auto f = [&](const Tensor& w) {
       Tensor saved = p.value;
+      // Same-shape copy-assignment reuses the tensor's allocation, so the
+      // packed-weight cache can only notice the change via the version
+      // counter (see Parameter::bump_version).
       p.value = w;
+      p.bump_version();
       const double loss = model_loss(model, x, labels);
       p.value = saved;
+      p.bump_version();
       return loss;
     };
     model.zero_grad();
