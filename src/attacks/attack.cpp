@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <stdexcept>
 
 #include "tensor/ops.h"
@@ -11,6 +10,46 @@
 namespace con::attacks {
 
 using tensor::Index;
+
+namespace {
+
+// Range dispatch: attack rows [lo, hi), writing the adversarial rows
+// straight into `result`. No intermediate chunk tensors.
+void run_attack_range(AttackKind kind, const nn::Sequential& model,
+                      const Tensor& images, Index lo, Index hi,
+                      const std::vector<int>& labels,
+                      const AttackParams& params, int num_classes,
+                      Tensor& result) {
+  switch (kind) {
+    case AttackKind::kFgm:
+    case AttackKind::kFgsm: {
+      AttackParams single = params;
+      single.iterations = 1;
+      fast_gradient_range(model, images, lo, hi, labels, single,
+                          kind == AttackKind::kFgm
+                              ? FastGradientRule::kGradient
+                              : FastGradientRule::kSign,
+                          result);
+      return;
+    }
+    case AttackKind::kIfgm:
+    case AttackKind::kIfgsm:
+      fast_gradient_range(model, images, lo, hi, labels, params,
+                          kind == AttackKind::kIfgm
+                              ? FastGradientRule::kGradient
+                              : FastGradientRule::kSign,
+                          result);
+      return;
+    case AttackKind::kDeepFool:
+      deepfool_range(model, images, lo, hi, labels, params, num_classes,
+                     result, /*iterations_used=*/nullptr,
+                     /*perturbation_l2=*/nullptr);
+      return;
+  }
+  throw std::logic_error("unreachable attack kind");
+}
+
+}  // namespace
 
 Tensor run_attack(AttackKind kind, const nn::Sequential& model,
                   const Tensor& images, const std::vector<int>& labels,
@@ -41,10 +80,6 @@ Tensor run_attack_batched(AttackKind kind, const nn::Sequential& model,
         "run_attack_batched: image/label count mismatch");
   }
   const Index n = images.dim(0);
-  if (n <= kAttackChunk) {
-    return run_attack(kind, model, images, labels, params, num_classes);
-  }
-  const Index per_sample = images.numel() / n;
   const std::size_t num_chunks =
       static_cast<std::size_t>((n + kAttackChunk - 1) / kAttackChunk);
 
@@ -52,21 +87,10 @@ Tensor run_attack_batched(AttackKind kind, const nn::Sequential& model,
   util::parallel_for(0, num_chunks, [&](std::size_t c) {
     const Index lo = static_cast<Index>(c) * kAttackChunk;
     const Index hi = std::min(lo + kAttackChunk, n);
-    std::vector<Index> dims = images.shape().dims();
-    dims[0] = hi - lo;
-    Tensor chunk{tensor::Shape{dims}};
-    std::memcpy(chunk.data(), images.data() + lo * per_sample,
-                static_cast<std::size_t>((hi - lo) * per_sample) *
-                    sizeof(float));
-    const std::vector<int> chunk_labels(
-        labels.begin() + static_cast<std::ptrdiff_t>(lo),
-        labels.begin() + static_cast<std::ptrdiff_t>(hi));
-    Tensor adv = run_attack(kind, model, chunk, chunk_labels, params,
-                            num_classes);
-    // Each chunk owns its own slice of the result; no cross-chunk writes.
-    std::memcpy(result.data() + lo * per_sample, adv.data(),
-                static_cast<std::size_t>((hi - lo) * per_sample) *
-                    sizeof(float));
+    // Each chunk reads its own rows of `images` and owns its own rows of
+    // `result`; no cross-chunk writes, no chunk copies.
+    run_attack_range(kind, model, images, lo, hi, labels, params, num_classes,
+                     result);
   });
   return result;
 }

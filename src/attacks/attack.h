@@ -22,9 +22,12 @@ inline constexpr tensor::Index kAttackChunk = 32;
 
 // Like run_attack, but splits the batch into fixed chunks of kAttackChunk
 // samples and generates them in parallel over the global thread pool.
-// The chunk boundaries depend only on the batch size — never on the thread
-// count — and every chunk writes into its own slice of the result, so the
-// output is identical for any --threads value (including 1).
+// Chunks are dispatched through the attacks' *_range entry points: each
+// chunk reads its rows of `images` and writes its rows of the result
+// directly, with no intermediate chunk tensors or copies. The chunk
+// boundaries depend only on the batch size — never on the thread count —
+// and every chunk writes into its own slice of the result, so the output
+// is identical for any --threads value (including 1).
 Tensor run_attack_batched(AttackKind kind, const nn::Sequential& model,
                           const Tensor& images, const std::vector<int>& labels,
                           const AttackParams& params, int num_classes = 10);

@@ -23,9 +23,13 @@ void check_batch(const Tensor& images, const std::vector<int>& labels) {
   }
 }
 
+// The batch loss is a mean; rescale by N so each sample sees the gradient
+// of its own (un-averaged) loss. The caller owns the tape so iterative
+// loops recycle slot storage instead of allocating per iteration.
 Tensor per_sample_loss_gradient(const nn::Sequential& model, const Tensor& batch,
-                                const std::vector<int>& labels) {
-  Tensor g = loss_input_gradient(model, batch, labels);
+                                const std::vector<int>& labels,
+                                nn::ForwardTape& tape) {
+  Tensor g = loss_input_gradient(model, batch, labels, tape);
   tensor::scale_inplace(g, static_cast<float>(batch.dim(0)));
   return g;
 }
@@ -58,8 +62,9 @@ Tensor pgd(const nn::Sequential& model, const Tensor& images,
     tensor::clamp_inplace(adv, 0.0f, 1.0f);
   }
   const float* orig = images.data();
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
   for (int it = 0; it < params.iterations; ++it) {
-    Tensor grad = per_sample_loss_gradient(model, adv, labels);
+    Tensor grad = per_sample_loss_gradient(model, adv, labels, tape);
     const float* g = grad.data();
     float* a = adv.data();
     for (Index i = 0; i < n; ++i) {
@@ -92,8 +97,9 @@ Tensor mi_fgsm(const nn::Sequential& model, const Tensor& images,
   Tensor adv = images;
   Tensor momentum(images.shape());
   const float* orig = images.data();
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
   for (int it = 0; it < params.iterations; ++it) {
-    Tensor grad = per_sample_loss_gradient(model, adv, labels);
+    Tensor grad = per_sample_loss_gradient(model, adv, labels, tape);
     // Normalise each sample's gradient by its L1 norm before accumulation
     // (the MI-FGSM update rule).
     float* g = grad.data();
@@ -131,23 +137,23 @@ Tensor targeted_ifgsm(const nn::Sequential& model, const Tensor& images,
   }
   const Index n = images.numel();
   Tensor adv = images;
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
   for (int it = 0; it < params.iterations; ++it) {
-    Tensor grad = per_sample_loss_gradient(model, adv, target_labels);
+    Tensor grad = per_sample_loss_gradient(model, adv, target_labels, tape);
     const float* g = grad.data();
-    const float* prev = adv.data();
-    Tensor next = adv;
-    float* x = next.data();
+    // In-place update: a[i] is read before it is written, so the ε-ball
+    // clip around the previous iterate needs no copy of the batch.
+    float* a = adv.data();
     for (Index i = 0; i < n; ++i) {
       // DESCEND the loss toward the target class: minus sign.
       const float step =
           -params.epsilon *
           (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f));
-      float v = prev[i] + step;
-      v = std::min(prev[i] + params.epsilon,
-                   std::max(prev[i] - params.epsilon, v));
-      x[i] = std::min(1.0f, std::max(0.0f, v));
+      float v = a[i] + step;
+      v = std::min(a[i] + params.epsilon,
+                   std::max(a[i] - params.epsilon, v));
+      a[i] = std::min(1.0f, std::max(0.0f, v));
     }
-    adv = std::move(next);
   }
   return adv;
 }
@@ -161,6 +167,12 @@ Tensor jsma(const nn::Sequential& model, const Tensor& images,
   }
   const Index batch = images.dim(0);
   Tensor result = images;
+  // Tape and backward seed hoisted out of both loops: one forward per
+  // picked pixel serves the misclassification check and both class
+  // gradients (two backwards against the same tape), instead of the three
+  // forwards the per-gradient helpers would cost.
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+  Tensor seed;
   for (Index s = 0; s < batch; ++s) {
     Tensor sample = tensor::slice_batch(images, s);
     std::vector<Index> dims = {1};
@@ -169,8 +181,10 @@ Tensor jsma(const nn::Sequential& model, const Tensor& images,
     const int y = labels[static_cast<std::size_t>(s)];
 
     // Pick the target: requested class, or the runner-up logit.
-    nn::ForwardTape tape(/*accumulate_param_grads=*/false);
     Tensor logits = model.forward(x, false, tape);
+    if (logits.dim(1) != num_classes) {
+      throw std::invalid_argument("jsma: class count mismatch");
+    }
     int target = params.target_class;
     if (target < 0 || target == y) {
       float best = -1e30f;
@@ -185,8 +199,15 @@ Tensor jsma(const nn::Sequential& model, const Tensor& images,
 
     std::vector<bool> used(static_cast<std::size_t>(x.numel()), false);
     for (int picked = 0; picked < params.max_pixels; ++picked) {
-      Tensor grad_t = logit_input_gradient(model, x, target, num_classes);
-      Tensor grad_y = logit_input_gradient(model, x, y, num_classes);
+      // The tape already holds the forward of the current x (from the
+      // initial forward or the post-update check below).
+      if (seed.shape() != logits.shape()) seed.resize(logits.shape());
+      seed.at({0, target}) = 1.0f;
+      Tensor grad_t = model.backward(seed, tape);
+      seed.at({0, target}) = 0.0f;
+      seed.at({0, y}) = 1.0f;
+      Tensor grad_y = model.backward(seed, tape);
+      seed.at({0, y}) = 0.0f;
       // Saliency: pixels whose increase helps the target and hurts the
       // true class (and symmetrically for decrease).
       Index best_idx = -1;
@@ -221,8 +242,8 @@ Tensor jsma(const nn::Sequential& model, const Tensor& images,
       float& pixel = x[best_idx];
       pixel = std::min(1.0f, std::max(0.0f, pixel + best_dir * params.theta));
 
-      Tensor new_logits = model.forward(x, false, tape);
-      if (tensor::argmax_row(new_logits, 0) == target) break;
+      logits = model.forward(x, false, tape);
+      if (tensor::argmax_row(logits, 0) == target) break;
     }
     tensor::set_batch(result, s, x.reshaped(sample.shape()));
   }

@@ -25,34 +25,61 @@ void check_inputs(const Tensor& images, const std::vector<int>& labels,
   }
 }
 
-// The batch loss is a mean; rescale by N so each sample sees the gradient
-// of its own (un-averaged) loss, making batched attacks identical to
-// per-sample attacks.
-Tensor per_sample_loss_gradient(const nn::Sequential& model, const Tensor& batch,
-                                const std::vector<int>& labels) {
-  Tensor g = loss_input_gradient(model, batch, labels);
-  tensor::scale_inplace(g, static_cast<float>(batch.dim(0)));
-  return g;
+Tensor run_full_batch(const nn::Sequential& model, const Tensor& images,
+                      const std::vector<int>& labels,
+                      const AttackParams& params, FastGradientRule rule) {
+  check_inputs(images, labels, params);
+  Tensor adv(images.shape());
+  fast_gradient_range(model, images, 0, images.dim(0), labels, params, rule,
+                      adv);
+  return adv;
 }
 
-enum class StepRule { kGradient, kSign };
+}  // namespace
 
-Tensor iterate_fast_gradient(const nn::Sequential& model, const Tensor& images,
-                             const std::vector<int>& labels,
-                             const AttackParams& params, StepRule rule) {
+void fast_gradient_range(const nn::Sequential& model, const Tensor& images,
+                         Index lo, Index hi, const std::vector<int>& labels,
+                         const AttackParams& params, FastGradientRule rule,
+                         Tensor& out_adversarial) {
   check_inputs(images, labels, params);
-  Tensor adv = images;
+  if (lo < 0 || hi > images.dim(0) || lo > hi) {
+    throw std::out_of_range("fast_gradient_range: bad row range");
+  }
+  if (out_adversarial.shape() != images.shape()) {
+    throw std::invalid_argument("fast_gradient_range: output shape mismatch");
+  }
+  if (lo == hi) return;
+  const Index per_sample = images.numel() / images.dim(0);
+
+  // Working iterate for the chunk. This is the only batch-sized buffer the
+  // loop owns; every iteration updates it in place.
+  Tensor adv = tensor::copy_rows(images, lo, hi);
+  const std::vector<int> chunk_labels(
+      labels.begin() + static_cast<std::ptrdiff_t>(lo),
+      labels.begin() + static_cast<std::ptrdiff_t>(hi));
+
+  // The batch loss is a mean; rescale by the chunk size so each sample sees
+  // the gradient of its own (un-averaged) loss, making batched attacks
+  // identical to per-sample attacks.
+  const float batch_scale = static_cast<float>(adv.dim(0));
+  nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+  Tensor grad;
   const Index n = adv.numel();
+  const float eps = params.epsilon;
   for (int it = 0; it < params.iterations; ++it) {
-    Tensor grad = per_sample_loss_gradient(model, adv, labels);
+    grad = loss_input_gradient(model, adv, chunk_labels, tape);
+    tensor::scale_inplace(grad, batch_scale);
     const float* g = grad.data();
     const float* prev = adv.data();
-    Tensor next = adv;
-    float* x = next.data();
-    const float eps = params.epsilon;
+    // The last iteration writes through to the caller's rows; earlier ones
+    // update the iterate in place (prev[i] is read before x[i] is written,
+    // so full aliasing is fine).
+    float* x = (it + 1 == params.iterations)
+                   ? out_adversarial.data() + lo * per_sample
+                   : adv.data();
     for (Index i = 0; i < n; ++i) {
       const float step =
-          rule == StepRule::kSign
+          rule == FastGradientRule::kSign
               ? eps * (g[i] > 0.0f ? 1.0f : (g[i] < 0.0f ? -1.0f : 0.0f))
               : eps * g[i];
       float v = prev[i] + step;
@@ -62,37 +89,33 @@ Tensor iterate_fast_gradient(const nn::Sequential& model, const Tensor& images,
       v = std::min(1.0f, std::max(0.0f, v));
       x[i] = v;
     }
-    adv = std::move(next);
   }
-  return adv;
 }
-
-}  // namespace
 
 Tensor fgm(const nn::Sequential& model, const Tensor& images,
            const std::vector<int>& labels, const AttackParams& params) {
   AttackParams single = params;
   single.iterations = 1;
-  return iterate_fast_gradient(model, images, labels, single,
-                               StepRule::kGradient);
+  return run_full_batch(model, images, labels, single,
+                        FastGradientRule::kGradient);
 }
 
 Tensor fgsm(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const AttackParams& params) {
   AttackParams single = params;
   single.iterations = 1;
-  return iterate_fast_gradient(model, images, labels, single, StepRule::kSign);
+  return run_full_batch(model, images, labels, single, FastGradientRule::kSign);
 }
 
 Tensor ifgsm(const nn::Sequential& model, const Tensor& images,
              const std::vector<int>& labels, const AttackParams& params) {
-  return iterate_fast_gradient(model, images, labels, params, StepRule::kSign);
+  return run_full_batch(model, images, labels, params, FastGradientRule::kSign);
 }
 
 Tensor ifgm(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const AttackParams& params) {
-  return iterate_fast_gradient(model, images, labels, params,
-                               StepRule::kGradient);
+  return run_full_batch(model, images, labels, params,
+                        FastGradientRule::kGradient);
 }
 
 }  // namespace con::attacks

@@ -6,6 +6,12 @@
 // of radius ε around the previous iterate ("the intermediate results get
 // clipped to ensure that the resulting adversarial images lie within ε of
 // the previous iteration", §3.3).
+//
+// The iterative loop is allocation-free in steady state: the iterate is
+// updated in place (the ε-ball clip reads prev[i] before writing x[i], so
+// aliasing is safe), the forward/backward tape is hoisted out of the loop
+// and recycles its slot storage, and the last iteration writes directly
+// into the caller's output rows.
 #pragma once
 
 #include <vector>
@@ -17,6 +23,9 @@
 namespace con::attacks {
 
 using tensor::Tensor;
+
+// N in Algorithm 1: step along sign(∇ₓJ) (FGSM) or ∇ₓJ itself (FGM).
+enum class FastGradientRule { kGradient, kSign };
 
 // Single-step FGM: X + ε·∇ₓJ.
 Tensor fgm(const nn::Sequential& model, const Tensor& images,
@@ -33,5 +42,18 @@ Tensor ifgsm(const nn::Sequential& model, const Tensor& images,
 // Iterative FGM: identical except N = ∇ₓJ (gradient amplitudes, not sign).
 Tensor ifgm(const nn::Sequential& model, const Tensor& images,
             const std::vector<int>& labels, const AttackParams& params);
+
+// Attack rows [lo, hi) of `images`, writing adversarial rows straight into
+// the same rows of `out_adversarial` (same shape as `images`). This is the
+// non-copying entry the chunked attack driver uses: chunks read and write
+// through row views of the shared batch, never through intermediate chunk
+// tensors. Labels are indexed absolutely. The batch-mean loss gradient is
+// rescaled by the chunk size, so per-row results do not depend on the
+// chunking.
+void fast_gradient_range(const nn::Sequential& model, const Tensor& images,
+                         tensor::Index lo, tensor::Index hi,
+                         const std::vector<int>& labels,
+                         const AttackParams& params, FastGradientRule rule,
+                         Tensor& out_adversarial);
 
 }  // namespace con::attacks

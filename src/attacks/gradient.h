@@ -21,6 +21,14 @@ using tensor::Tensor;
 Tensor loss_input_gradient(const nn::Sequential& model, const Tensor& batch,
                            const std::vector<int>& labels);
 
+// Tape-reusing variant for iterative loops: the caller owns `tape` (built
+// with accumulate_param_grads=false) and passes it every iteration, so the
+// slot storage warmed by the first pass is recycled by every later one and
+// the loop's steady state stops allocating per-layer state.
+Tensor loss_input_gradient(const nn::Sequential& model, const Tensor& batch,
+                           const std::vector<int>& labels,
+                           nn::ForwardTape& tape);
+
 // ∇ₓ f_k(X): gradient of logit k w.r.t. a single-sample batch [1,...].
 // Used by DeepFool, which needs per-class decision-boundary geometry.
 Tensor logit_input_gradient(const nn::Sequential& model,

@@ -41,11 +41,18 @@ std::vector<ScenarioPoint> sweep_scenarios(
     attacks::AttackKind attack, const attacks::AttackParams& params,
     const data::Dataset& eval_set) {
   std::vector<ScenarioPoint> points(family.size());
+  if (family.empty()) return points;
+  // The scenario-2 batch (attack on the baseline) is identical for every
+  // family member: generate it once up front and share it, instead of
+  // paying one full attack generation per member.
+  const tensor::Tensor baseline_adv = attacks::run_attack_batched(
+      attack, baseline, eval_set.images, eval_set.labels, params,
+      eval_set.num_classes());
   // One matrix cell per family member; each cell only reads the (shared,
   // immutable during execution) models and writes its own slot.
   util::parallel_for(0, family.size(), [&](std::size_t i) {
-    points[i] =
-        evaluate_scenarios(baseline, family[i], attack, params, eval_set);
+    points[i] = evaluate_scenarios(baseline, family[i], attack, params,
+                                   eval_set, baseline_adv);
   });
   return points;
 }

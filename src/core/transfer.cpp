@@ -24,6 +24,23 @@ ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
                                  attacks::AttackKind attack,
                                  const attacks::AttackParams& params,
                                  const data::Dataset& eval_set) {
+  tensor::Tensor adv_full = attacks::run_attack_batched(
+      attack, baseline, eval_set.images, eval_set.labels, params,
+      eval_set.num_classes());
+  return evaluate_scenarios(baseline, compressed, attack, params, eval_set,
+                            adv_full);
+}
+
+ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
+                                 const nn::Sequential& compressed,
+                                 attacks::AttackKind attack,
+                                 const attacks::AttackParams& params,
+                                 const data::Dataset& eval_set,
+                                 const tensor::Tensor& baseline_adv) {
+  if (baseline_adv.shape() != eval_set.images.shape()) {
+    throw std::invalid_argument(
+        "evaluate_scenarios: baseline_adv shape mismatch");
+  }
   ScenarioPoint p;
   p.base_accuracy =
       nn::evaluate_accuracy(compressed, eval_set.images, eval_set.labels);
@@ -35,11 +52,8 @@ ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
   p.comp_to_comp =
       nn::evaluate_accuracy(compressed, adv_comp, eval_set.labels);
   p.comp_to_full = nn::evaluate_accuracy(baseline, adv_comp, eval_set.labels);
-  tensor::Tensor adv_full = attacks::run_attack_batched(
-      attack, baseline, eval_set.images, eval_set.labels, params,
-      eval_set.num_classes());
   p.full_to_comp =
-      nn::evaluate_accuracy(compressed, adv_full, eval_set.labels);
+      nn::evaluate_accuracy(compressed, baseline_adv, eval_set.labels);
   return p;
 }
 

@@ -33,6 +33,18 @@ ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
                                  const attacks::AttackParams& params,
                                  const data::Dataset& eval_set);
 
+// Variant taking the scenario-2 adversarial batch (crafted against the
+// baseline) precomputed. The baseline attack does not depend on the
+// compressed model, so sweeps over a whole compression family generate it
+// once and share it across every member instead of regenerating identical
+// samples per member.
+ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
+                                 const nn::Sequential& compressed,
+                                 attacks::AttackKind attack,
+                                 const attacks::AttackParams& params,
+                                 const data::Dataset& eval_set,
+                                 const tensor::Tensor& baseline_adv);
+
 // Transfer rate as used for the §3.3 cross-initialisation check: of the
 // samples that fool `source`, the fraction that also fool `target`.
 double transfer_rate(const nn::Sequential& source, const nn::Sequential& target,

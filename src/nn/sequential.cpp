@@ -16,8 +16,12 @@ void Sequential::insert(std::size_t index, std::unique_ptr<Layer> layer) {
 
 Tensor Sequential::forward(const Tensor& x, bool train,
                            ForwardTape& tape) const {
-  Tensor h = x;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  // Dispatch the first layer against `x` directly instead of copying the
+  // batch into a working tensor — forward is called once per attack
+  // iteration, so the head copy was a full-batch allocation per step.
+  if (layers_.empty()) return x;
+  Tensor h = layers_[0]->forward(x, train, tape.slot(0));
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
     h = layers_[i]->forward(h, train, tape.slot(i));
   }
   return h;
@@ -29,8 +33,10 @@ Tensor Sequential::backward(const Tensor& grad_logits,
     throw std::invalid_argument(
         "Sequential::backward: tape has no matching forward");
   }
-  Tensor g = grad_logits;
-  for (std::size_t i = layers_.size(); i-- > 0;) {
+  if (layers_.empty()) return grad_logits;
+  const std::size_t last = layers_.size() - 1;
+  Tensor g = layers_[last]->backward(grad_logits, tape.slot(last));
+  for (std::size_t i = last; i-- > 0;) {
     g = layers_[i]->backward(g, tape.slot(i));
   }
   return g;

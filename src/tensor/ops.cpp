@@ -98,6 +98,16 @@ void add_scaled_inplace(Tensor& dst, const Tensor& src, float s) {
   for (Index i = 0; i < n; ++i) d[i] += s * sp[i];
 }
 
+void add_scaled_into(Tensor& dst, const Tensor& a, const Tensor& b, float s) {
+  check_same_shape(a, b, "add_scaled_into");
+  if (dst.shape() != a.shape()) dst.resize(a.shape());
+  float* d = dst.data();
+  const float* av = a.data();
+  const float* bv = b.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) d[i] = av[i] + s * bv[i];
+}
+
 Tensor sign(const Tensor& a) {
   Tensor out(a.shape());
   const float* s = a.data();
@@ -391,6 +401,86 @@ void set_batch(Tensor& batch, Index n, const Tensor& sample) {
   }
   std::memcpy(batch.data() + n * stride, sample.data(),
               static_cast<std::size_t>(stride) * sizeof(float));
+}
+
+// ---- batch gather / scatter / compaction -----------------------------------
+
+namespace {
+
+// Batch-row geometry shared by the gather/scatter family: validates that
+// `batch` is batched and returns the per-row element count.
+Index row_stride(const Tensor& batch, const char* op) {
+  if (batch.rank() < 1 || batch.dim(0) == 0) {
+    throw std::invalid_argument(std::string(op) + ": empty batch");
+  }
+  return batch.numel() / batch.dim(0);
+}
+
+Shape rows_shape(const Tensor& batch, Index rows) {
+  std::vector<Index> dims = batch.shape().dims();
+  dims[0] = rows;
+  return Shape{std::move(dims)};
+}
+
+}  // namespace
+
+Tensor copy_rows(const Tensor& batch, Index lo, Index hi) {
+  const Index stride = row_stride(batch, "copy_rows");
+  if (lo < 0 || hi > batch.dim(0) || lo > hi) {
+    throw std::out_of_range("copy_rows: bad row range");
+  }
+  Tensor out(rows_shape(batch, hi - lo));
+  std::memcpy(out.data(), batch.data() + lo * stride,
+              static_cast<std::size_t>((hi - lo) * stride) * sizeof(float));
+  return out;
+}
+
+void write_rows(Tensor& batch, Index lo, const Tensor& src) {
+  const Index stride = row_stride(batch, "write_rows");
+  if (src.rank() < 1 || src.numel() != src.dim(0) * stride) {
+    throw std::invalid_argument("write_rows: row size mismatch");
+  }
+  if (lo < 0 || lo + src.dim(0) > batch.dim(0)) {
+    throw std::out_of_range("write_rows: bad row range");
+  }
+  std::memcpy(batch.data() + lo * stride, src.data(),
+              static_cast<std::size_t>(src.numel()) * sizeof(float));
+}
+
+Tensor gather_rows(const Tensor& batch, const std::vector<Index>& rows) {
+  const Index stride = row_stride(batch, "gather_rows");
+  Tensor out(rows_shape(batch, static_cast<Index>(rows.size())));
+  float* d = out.data();
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    const Index r = rows[j];
+    if (r < 0 || r >= batch.dim(0)) {
+      throw std::out_of_range("gather_rows: row index out of range");
+    }
+    std::memcpy(d + static_cast<Index>(j) * stride, batch.data() + r * stride,
+                static_cast<std::size_t>(stride) * sizeof(float));
+  }
+  return out;
+}
+
+void compact_rows_inplace(Tensor& batch, const std::vector<Index>& keep) {
+  const Index stride = row_stride(batch, "compact_rows_inplace");
+  float* d = batch.data();
+  Index prev = -1;
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    const Index r = keep[j];
+    if (r <= prev || r >= batch.dim(0)) {
+      throw std::invalid_argument(
+          "compact_rows_inplace: keep must be ascending and in range");
+    }
+    prev = r;
+    // Ascending keep means the destination row j never overtakes the
+    // source row r, so in-place forward moves are safe.
+    if (r != static_cast<Index>(j)) {
+      std::memmove(d + static_cast<Index>(j) * stride, d + r * stride,
+                   static_cast<std::size_t>(stride) * sizeof(float));
+    }
+  }
+  batch.shrink_rows(static_cast<Index>(keep.size()));
 }
 
 Tensor stack(const std::vector<Tensor>& samples) {

@@ -22,6 +22,11 @@ void mul_inplace(Tensor& dst, const Tensor& src);
 void scale_inplace(Tensor& dst, float s);
 void add_scaled_inplace(Tensor& dst, const Tensor& src, float s);
 
+// dst = a + s*b, reusing dst's storage when its capacity allows. dst must
+// not alias a or b. Element expression matches add_scaled(a, b, s) exactly,
+// so iterative loops can swap in the fused form without changing a bit.
+void add_scaled_into(Tensor& dst, const Tensor& a, const Tensor& b, float s);
+
 // Elementwise sign(): -1, 0 or +1.
 Tensor sign(const Tensor& a);
 // Elementwise clamp to [lo, hi].
@@ -91,5 +96,25 @@ Tensor slice_batch(const Tensor& batch, Index n);
 void set_batch(Tensor& batch, Index n, const Tensor& sample);
 // Stack K same-shape tensors into [K, ...].
 Tensor stack(const std::vector<Tensor>& samples);
+
+// ---- batch gather / scatter / compaction -----------------------------------
+// Row-range and index-set operations over the leading (batch) dimension.
+// These are the primitives behind the active-set attack loops and the
+// view-based attack chunking: chunks read their input rows and write their
+// result rows directly, with no intermediate chunk tensors.
+
+// Copy rows [lo, hi) of `batch` into a fresh [hi-lo, ...] tensor.
+Tensor copy_rows(const Tensor& batch, Index lo, Index hi);
+// Write `src` ([M, ...], same trailing dims as `batch`) into rows
+// [lo, lo+M) of `batch`.
+void write_rows(Tensor& batch, Index lo, const Tensor& src);
+// Gather `batch` row rows[j] into row j of a fresh [rows.size(), ...]
+// tensor. Indices may repeat and appear in any order.
+Tensor gather_rows(const Tensor& batch, const std::vector<Index>& rows);
+// Stable in-place compaction: `batch` row keep[j] moves to row j and the
+// batch dimension shrinks to keep.size(). `keep` must be strictly
+// ascending. Storage is retained, so a live set can shrink to nothing
+// without a single reallocation.
+void compact_rows_inplace(Tensor& batch, const std::vector<Index>& keep);
 
 }  // namespace con::tensor

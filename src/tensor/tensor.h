@@ -48,6 +48,16 @@ class Tensor {
   Tensor(Shape shape, float fill_value);
   Tensor(Shape shape, std::vector<float> values);
 
+  // Copies are counted (see buffer_allocations); moves steal storage and
+  // count nothing. Copy-assignment into a tensor whose storage already has
+  // room reuses it, which is what lets tape slots and iterative-attack
+  // buffers reach an allocation-free steady state.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  ~Tensor() = default;
+
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
 
@@ -73,8 +83,24 @@ class Tensor {
   // but a different shape. numel must match.
   Tensor reshaped(Shape new_shape) const;
 
+  // Re-shape this tensor to `new_shape`, keeping the existing storage when
+  // its capacity allows (shrinking never reallocates). Contents are reset
+  // to zero. This is what the active-set attack loops use to shrink their
+  // live batches without churning the allocator.
+  void resize(Shape new_shape);
+
+  // Shrink the batch (leading) dimension to `new_rows`, preserving the
+  // leading rows' contents and the storage. Never reallocates.
+  void shrink_rows(Index new_rows);
+
   void fill(float v);
   void zero() { fill(0.0f); }
+
+  // Process-wide count of float-buffer acquisitions by tensors: fresh
+  // constructions, copies, and copy-assignments/resizes that outgrow the
+  // destination's capacity. Monotonic; read it before/after a region to
+  // bound its allocation behaviour (see the attack-loop regression tests).
+  static std::uint64_t buffer_allocations();
 
   std::string to_string(Index max_elems = 32) const;
 
