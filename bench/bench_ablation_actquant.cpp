@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Ablation: weight-only vs weight+activation quantisation "
               "(%s) ==\n",
@@ -71,5 +72,6 @@ int main(int argc, char** argv) {
   bench::shape_check(
       both_points[0].full_to_comp + 0.03 >= weights_points[0].full_to_comp,
       "activation clipping contributes to the 4-bit defence (full->comp)");
+  bench::finish_run(setup, "bench_ablation_actquant");
   return 0;
 }

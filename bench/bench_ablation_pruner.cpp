@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   setup.study.finetune.epochs = std::max(setup.study.finetune.epochs, 4);
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Ablation: DNS vs one-shot pruning on %s ==\n", net.c_str());
   std::printf("dense baseline accuracy %.3f\n", study.baseline_accuracy());
@@ -71,5 +72,6 @@ int main(int argc, char** argv) {
   bench::shape_check(dns_adv >= oneshot_adv - 0.1 * densities.size(),
                      "DNS recovery is competitive with one-shot at short "
                      "fine-tuning budgets");
+  bench::finish_run(setup, "bench_ablation_pruner");
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Extension: adversarial training x compression (%s) ==\n",
               net.c_str());
@@ -85,5 +86,6 @@ int main(int argc, char** argv) {
                   std::max(1e-9, 1.0 - robust_rep.fooling_rate),
               100.0 * (1.0 - quant_rep.fooling_rate) /
                   std::max(1e-9, 1.0 - robust_rep.fooling_rate));
+  bench::finish_run(setup, "bench_adv_training");
   return 0;
 }

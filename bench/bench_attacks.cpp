@@ -20,6 +20,8 @@
 // noticing, while the active set drops them after a single forward.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <vector>
 
 #include "attacks/attack.h"
@@ -157,4 +159,15 @@ BENCHMARK_CAPTURE(BM_Ifgm, cifarnet, std::string("cifarnet"))
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the obs flags (--trace,
+// --manifest, --no-metrics) must be stripped from argv before
+// benchmark::Initialize rejects them as unknown.
+int main(int argc, char** argv) {
+  con::bench::BenchSetup setup = con::bench::strip_obs_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  con::bench::finish_run(setup, "bench_attacks");
+  return 0;
+}

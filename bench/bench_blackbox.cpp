@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Black-box attacks vs compressed deployments (%s) ==\n",
               net.c_str());
@@ -93,5 +94,6 @@ int main(int argc, char** argv) {
               nes_clean, nes_attacked, nes_probes, 2 * np.samples);
   bench::shape_check(nes_attacked < nes_clean,
                      "gradient-free NES attack degrades accuracy");
+  bench::finish_run(setup, "bench_blackbox");
   return 0;
 }

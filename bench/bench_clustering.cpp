@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Extension: weight-clustering transferability (%s) ==\n",
               net.c_str());
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
   bench::shape_check(points.back().full_to_comp <
                          study.baseline_accuracy() - 0.15,
                      "attacks transfer onto clustered models (8-bit)");
+  bench::finish_run(setup, "bench_clustering");
   return 0;
 }

@@ -8,12 +8,18 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/study.h"
 #include "io/checkpoint.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "tensor/tensor.h"
 #include "util/cli.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "util/threadpool.h"
 
@@ -23,18 +29,64 @@ struct BenchSetup {
   core::StudyConfig study;
   bool paper_scale = false;
   bool epochs_explicit = false;  // --epochs was given on the command line
+  // Observability flags (see DESIGN.md §6): --trace <path> enables span
+  // recording and exports a Chrome trace on finish_run(); --manifest writes
+  // artifacts/<name>_manifest.json; --no-metrics turns counter updates into
+  // a predicted branch.
+  std::string trace_path;
+  bool write_manifest = false;
+  obs::RunManifest run;
+  util::Timer run_timer;
 };
+
+// Parse only the observability flags (--trace <path>, --manifest,
+// --no-metrics) — the subset shared by every binary, including the
+// examples and google-benchmark runners that do not take the study sizing
+// flags.
+inline BenchSetup parse_obs_flags(util::CliFlags& flags) {
+  BenchSetup setup;
+  setup.trace_path = flags.get_string("trace", "");
+  setup.write_manifest = flags.get_bool("manifest", false);
+  // CliFlags parses `--no-metrics` as the negation of `--metrics`.
+  obs::set_metrics(flags.get_bool("metrics", true));
+  if (!setup.trace_path.empty()) obs::set_tracing(true);
+  obs::set_thread_name("main");
+  return setup;
+}
+
+// Record the resolved study configuration into the manifest's config
+// section.
+inline void record_study_config(BenchSetup& setup,
+                                const core::StudyConfig& cfg) {
+  setup.run.config.emplace_back("network", obs::Json(cfg.network));
+  setup.run.config.emplace_back(
+      "train_size", obs::Json(static_cast<std::int64_t>(cfg.train_size)));
+  setup.run.config.emplace_back(
+      "test_size", obs::Json(static_cast<std::int64_t>(cfg.test_size)));
+  setup.run.config.emplace_back(
+      "attack_size", obs::Json(static_cast<std::int64_t>(cfg.attack_size)));
+  setup.run.config.emplace_back(
+      "epochs", obs::Json(static_cast<std::int64_t>(cfg.baseline_epochs)));
+  setup.run.config.emplace_back(
+      "finetune_epochs",
+      obs::Json(static_cast<std::int64_t>(cfg.finetune.epochs)));
+  setup.run.config.emplace_back(
+      "batch_size", obs::Json(static_cast<std::int64_t>(cfg.batch_size)));
+  setup.run.config.emplace_back(
+      "seed", obs::Json(static_cast<std::int64_t>(cfg.seed)));
+}
 
 // Parse the common flags: --network, --train-size, --test-size,
 // --attack-size, --epochs, --finetune-epochs, --paper-scale, --seed,
 // --threads (0 = hardware concurrency; results are identical for any
-// value, only wall-clock changes).
+// value, only wall-clock changes), plus the observability flags --trace,
+// --manifest and --no-metrics.
 inline BenchSetup parse_common(util::CliFlags& flags,
                                const std::string& default_network =
                                    "lenet5-small") {
-  BenchSetup setup;
   util::ThreadPool::set_global_threads(
       static_cast<std::size_t>(flags.get_int("threads", 0)));
+  BenchSetup setup = parse_obs_flags(flags);
   setup.paper_scale = flags.get_bool("paper-scale", false);
   setup.epochs_explicit = flags.has("epochs");
   core::StudyConfig& cfg = setup.study;
@@ -61,6 +113,75 @@ inline BenchSetup parse_common(util::CliFlags& flags,
   cfg.finetune.epochs = static_cast<int>(
       flags.get_int("finetune-epochs", cfg.finetune.epochs));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  record_study_config(setup, cfg);
+  setup.run.config.emplace_back("paper_scale", obs::Json(setup.paper_scale));
+  return setup;
+}
+
+// Record the baseline checkpoint key a Study resolved to, so the manifest
+// pins down exactly which cached weights the run used (the key covers
+// network, seed, split sizes, epochs and batch size). Keyed per network:
+// multi-network benches construct one Study per member of their loop.
+inline void record_study(BenchSetup& setup, const core::Study& study) {
+  setup.run.config.emplace_back(
+      "baseline_cache_key." + study.config().network,
+      obs::Json(study.cache_path()));
+}
+
+// End-of-run hook: every bench/example calls this once, after its tables.
+// Writes the Chrome trace (--trace) and the JSON manifest (--manifest);
+// costs one metrics snapshot and nothing else when both are off.
+inline void finish_run(BenchSetup& setup, const std::string& name) {
+  setup.run.name = name;
+  setup.run.wall_time_s = setup.run_timer.seconds();
+  setup.run.threads = util::ThreadPool::global().size();
+  setup.run.extra_counters.emplace_back("tensor.buffer_allocations",
+                                        tensor::Tensor::buffer_allocations());
+  if (setup.write_manifest) {
+    const std::string path = obs::write_manifest(setup.run, io::artifacts_dir());
+    if (path.empty()) {
+      std::fprintf(stderr, "WARNING: failed to write manifest for %s\n",
+                   name.c_str());
+    } else {
+      std::printf("(manifest written to %s)\n", path.c_str());
+    }
+  }
+  if (!setup.trace_path.empty()) {
+    if (obs::write_chrome_trace(setup.trace_path)) {
+      std::printf("(chrome trace written to %s — load in ui.perfetto.dev)\n",
+                  setup.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "WARNING: failed to write trace to %s\n",
+                   setup.trace_path.c_str());
+    }
+  }
+}
+
+// For google-benchmark binaries: pull the obs flags (--trace <path>,
+// --trace=<path>, --manifest, --no-metrics) out of argv before
+// benchmark::Initialize rejects them as unknown, and apply them. Returns a
+// BenchSetup carrying only the observability state; pair with finish_run()
+// after benchmark::RunSpecifiedBenchmarks().
+inline BenchSetup strip_obs_flags(int& argc, char** argv) {
+  BenchSetup setup;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--manifest") {
+      setup.write_manifest = true;
+    } else if (arg == "--no-metrics") {
+      obs::set_metrics(false);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      setup.trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--trace" && i + 1 < argc) {
+      setup.trace_path = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (!setup.trace_path.empty()) obs::set_tracing(true);
+  obs::set_thread_name("main");
   return setup;
 }
 

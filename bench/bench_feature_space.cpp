@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Feature-space similarity vs transferability (%s) ==\n",
               net.c_str());
@@ -73,5 +74,6 @@ int main(int argc, char** argv) {
                      "prediction, §4.1)");
   bench::shape_check(ckas.front() > ckas.back(),
                      "heavier pruning diverges the feature space");
+  bench::finish_run(setup, "bench_feature_space");
   return 0;
 }

@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
   for (const std::string& net : networks) {
     core::StudyConfig cfg = bench::for_network(setup, net);
     core::Study study(cfg);
+    bench::record_study(setup, study);
     std::printf("\nnetwork %s: baseline accuracy %.3f\n", net.c_str(),
                 study.baseline_accuracy());
     auto family = core::build_pruned_family(study.baseline(),
@@ -129,5 +130,6 @@ int main(int argc, char** argv) {
                 one_shot);
     }
   }
+  bench::finish_run(setup, "bench_fig2_pruning");
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   nn::Sequential& model = study.baseline();
   const data::Dataset& probes = study.attack_set();
   const double clean =
@@ -83,5 +84,6 @@ int main(int argc, char** argv) {
     bench::shape_check(last_ifgsm <= first_ifgsm,
                        "more iterations never help the defender (IFGSM)");
   }
+  bench::finish_run(setup, "bench_fig3_epsilon");
   return 0;
 }

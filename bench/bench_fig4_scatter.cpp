@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   const double dense_acc = study.baseline_accuracy();
   std::printf("== Figure 4: %s base vs adversarial accuracy (pruning) ==\n",
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
     bench::shape_check(adv_at_preferred + 0.05 >= adv_at_dense,
                        "protective bump at the preferred density");
   }
+  bench::finish_run(setup, "bench_fig4_scatter");
   return 0;
 }

@@ -130,6 +130,7 @@ int main(int argc, char** argv) {
   for (const std::string& net : networks) {
     core::StudyConfig cfg = bench::for_network(setup, net);
     core::Study study(cfg);
+    bench::record_study(setup, study);
     std::printf("\nnetwork %s: baseline accuracy %.3f\n", net.c_str(),
                 study.baseline_accuracy());
     auto family = core::build_quantized_family(study.baseline(),
@@ -140,5 +141,6 @@ int main(int argc, char** argv) {
                 act_quant);
     }
   }
+  bench::finish_run(setup, "bench_fig5_quant");
   return 0;
 }

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   std::printf("== Figure 6: weight/activation CDFs of quantised %s ==\n",
               setup.study.network.c_str());
   std::printf("baseline accuracy %.3f\n", study.baseline_accuracy());
@@ -120,5 +121,6 @@ int main(int argc, char** argv) {
     bench::shape_check(r4.act_max <= r_hi.act_max + 1e-6f,
                        "4-bit activations are clipped to a smaller max");
   }
+  bench::finish_run(setup, "bench_fig6_cdf");
   return 0;
 }

@@ -4,6 +4,8 @@
 // performance regressions in the kernels the study spends its time in.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "attacks/attack.h"
 #include "compress/fixed_point.h"
 #include "compress/pruner.h"
@@ -262,4 +264,15 @@ BENCHMARK(BM_DeepFoolSingle);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the obs flags (--trace,
+// --manifest, --no-metrics) must be stripped from argv before
+// benchmark::Initialize rejects them as unknown.
+int main(int argc, char** argv) {
+  con::bench::BenchSetup setup = con::bench::strip_obs_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  con::bench::finish_run(setup, "bench_micro_ops");
+  return 0;
+}

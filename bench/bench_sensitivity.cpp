@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Per-layer compression sensitivity (%s) ==\n", net.c_str());
 
@@ -61,5 +62,6 @@ int main(int argc, char** argv) {
                      "every layer tolerates 50% single-layer pruning");
   bench::shape_check(worst_extreme < worst_mid,
                      "5% single-layer density is worse than 50%");
+  bench::finish_run(setup, "bench_sensitivity");
   return 0;
 }

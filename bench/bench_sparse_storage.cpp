@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(setup.study);
+  bench::record_study(setup, study);
   const std::string& net = setup.study.network;
   std::printf("== Sparse storage & kernels across pruning densities (%s) ==\n",
               net.c_str());
@@ -81,5 +82,6 @@ int main(int argc, char** argv) {
   std::printf(
       "note: the dense matmul also skips zeros (pruned-weight fast path), "
       "so\nthe sparse speedup understates a dense-blind baseline.\n");
+  bench::finish_run(setup, "bench_sparse_storage");
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <cstdlib>
 
 #include "attacks/params.h"
+#include "bench_common.h"
+#include "util/cli.h"
 #include "util/table.h"
 
 using namespace con;
@@ -21,7 +23,10 @@ void require(bool cond, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  bench::BenchSetup setup = bench::parse_obs_flags(flags);
+  flags.check_unused();
   std::printf("== Table 1: attack hyper-parameters ==\n");
   util::Table t({"network", "ifgsm_eps", "ifgsm_i", "ifgm_eps", "ifgm_i",
                  "deepfool_eps", "deepfool_i"});
@@ -64,5 +69,6 @@ int main() {
   require(c_df.epsilon == 0.01f && c_df.iterations == 3,
           "CifarNet DeepFool must be (0.01, 3)");
   std::printf("all Table 1 values verified against the paper\n");
+  bench::finish_run(setup, "bench_table1_params");
   return 0;
 }

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   for (const std::string& net : networks) {
     core::StudyConfig cfg = bench::for_network(setup, net);
     core::Study study(cfg);
+    bench::record_study(setup, study);
     const attacks::AttackParams params =
         attacks::paper_params(attacks::AttackKind::kDeepFool, net);
     core::CrossInitResult r = core::cross_init_transferability(
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
                        "CIFAR-class network transfers at least as much as "
                        "the MNIST-class network");
   }
+  bench::finish_run(setup, "bench_xinit_transfer");
   return 0;
 }

@@ -1,0 +1,29 @@
+# Runs one bench with --trace --manifest and validates both artifacts with
+# obs_validate. Driven by the trace-smoke target and the trace_smoke /
+# bench_smoke ctest entries so the exporters can't rot unnoticed.
+#
+# Usage:
+#   cmake -DBENCH=<exe> -DVALIDATOR=<obs_validate> -DOUT_DIR=<dir>
+#         -DNAME=<manifest name> -DARGS="<bench flags>" -P obs_smoke.cmake
+separate_arguments(bench_args UNIX_COMMAND "${ARGS}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# CON_ARTIFACTS_DIR keeps smoke checkpoints/manifests out of the source
+# tree's artifacts/ directory.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env CON_ARTIFACTS_DIR=${OUT_DIR}
+          ${BENCH} ${bench_args}
+          --trace ${OUT_DIR}/${NAME}_trace.json --manifest
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_smoke: ${BENCH} exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${VALIDATOR}
+          --trace ${OUT_DIR}/${NAME}_trace.json
+          --manifest ${OUT_DIR}/${NAME}_manifest.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_smoke: validation failed with ${rc}")
+endif()

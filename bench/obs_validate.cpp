@@ -1,0 +1,104 @@
+// Validates the JSON artifacts the observability subsystem emits, so the
+// trace-smoke / bench-smoke ctest hooks catch exporter rot:
+//
+//   obs_validate [--trace trace.json] [--manifest run_manifest.json]
+//
+// A trace must parse as strict JSON, contain a non-empty traceEvents array
+// with at least one complete ("X") span carrying the Chrome trace_event
+// envelope, and name every thread via "M" metadata. A manifest must carry
+// the keys downstream comparison tooling relies on: name, git, wall time,
+// threads, a config object and a non-empty metrics.counters object.
+// Exit 0 when everything named on the command line validates; 1 otherwise.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.h"
+#include "util/cli.h"
+
+namespace {
+
+using con::obs::Json;
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::runtime_error(what);
+}
+
+void validate_trace(const std::string& path) {
+  const Json doc = con::obs::parse_json(read_file(path));
+  const Json* events = doc.find("traceEvents");
+  require(events != nullptr && events->kind() == Json::Kind::kArray,
+          "missing traceEvents array");
+  std::size_t spans = 0, metadata = 0;
+  for (const Json& e : events->items()) {
+    const Json* ph = e.find("ph");
+    require(e.find("name") != nullptr && ph != nullptr &&
+                e.find("pid") != nullptr && e.find("tid") != nullptr,
+            "event missing name/ph/pid/tid");
+    if (ph->as_string() == "X") {
+      require(e.find("ts") != nullptr && e.find("dur") != nullptr,
+              "X event missing ts/dur");
+      require(e.find("dur")->as_double() >= 0.0, "negative span duration");
+      ++spans;
+    } else if (ph->as_string() == "M") {
+      ++metadata;
+    }
+  }
+  require(spans > 0, "no span (\"X\") events — tracing recorded nothing");
+  require(metadata > 0, "no thread_name (\"M\") metadata events");
+  std::printf("obs_validate: %s OK (%zu spans, %zu thread names)\n",
+              path.c_str(), spans, metadata);
+}
+
+void validate_manifest(const std::string& path) {
+  const Json doc = con::obs::parse_json(read_file(path));
+  for (const char* key : {"name", "timestamp_unix", "git", "wall_time_s",
+                          "threads", "config", "metrics"}) {
+    require(doc.find(key) != nullptr, std::string("missing key ") + key);
+  }
+  require(!doc.find("name")->as_string().empty(), "empty run name");
+  require(doc.find("threads")->as_int() >= 1, "threads < 1");
+  require(doc.find("config")->kind() == Json::Kind::kObject,
+          "config is not an object");
+  const Json* counters = doc.find("metrics")->find("counters");
+  require(counters != nullptr && counters->kind() == Json::Kind::kObject,
+          "missing metrics.counters object");
+  require(!counters->members().empty(), "metrics.counters is empty");
+  require(doc.find("metrics")->find("distributions") != nullptr,
+          "missing metrics.distributions");
+  std::printf("obs_validate: %s OK (run \"%s\", %zu counters)\n", path.c_str(),
+              doc.find("name")->as_string().c_str(),
+              counters->members().size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  con::util::CliFlags flags(argc, argv);
+  const std::string trace = flags.get_string("trace", "");
+  const std::string manifest = flags.get_string("manifest", "");
+  try {
+    flags.check_unused();
+    if (trace.empty() && manifest.empty()) {
+      throw std::runtime_error(
+          "usage: obs_validate [--trace f.json] [--manifest f.json]");
+    }
+    if (!trace.empty()) validate_trace(trace);
+    if (!manifest.empty()) validate_manifest(manifest);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs_validate: FAIL: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "core/study.h"
 #include "nn/trainer.h"
 #include "tensor/ops.h"
+#include "bench_common.h"
 #include "util/cli.h"
 #include "util/threadpool.h"
 #include "util/table.h"
@@ -45,6 +46,7 @@ void print_image_pair(const tensor::Tensor& clean, const tensor::Tensor& adv,
 
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
+  bench::BenchSetup obs_run = bench::parse_obs_flags(flags);
   util::ThreadPool::set_global_threads(
       static_cast<std::size_t>(flags.get_int("threads", 0)));
   core::StudyConfig cfg;
@@ -56,6 +58,8 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(cfg);
+  bench::record_study_config(obs_run, cfg);
+  bench::record_study(obs_run, study);
   nn::Sequential& model = study.baseline();
   const data::Dataset& probes = study.attack_set();
   const double clean_acc =
@@ -107,5 +111,6 @@ int main(int argc, char** argv) {
       }
     }
   }
+  bench::finish_run(obs_run, "attack_gallery");
   return 0;
 }

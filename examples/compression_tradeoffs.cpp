@@ -9,6 +9,7 @@
 #include "core/study.h"
 #include "core/sweeps.h"
 #include "nn/trainer.h"
+#include "bench_common.h"
 #include "util/cli.h"
 #include "util/threadpool.h"
 #include "util/table.h"
@@ -17,6 +18,7 @@ using namespace con;
 
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
+  bench::BenchSetup obs_run = bench::parse_obs_flags(flags);
   util::ThreadPool::set_global_threads(
       static_cast<std::size_t>(flags.get_int("threads", 0)));
   core::StudyConfig cfg;
@@ -31,6 +33,8 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(cfg);
+  bench::record_study_config(obs_run, cfg);
+  bench::record_study(obs_run, study);
   nn::Sequential& baseline = study.baseline();
   const double dense_acc = study.baseline_accuracy();
   const attacks::AttackParams params =
@@ -81,5 +85,6 @@ int main(int argc, char** argv) {
       "Verdict per the paper: compression buys efficiency, not security —\n"
       "expect only marginal robustness at extreme sparsity/bitwidths, and\n"
       "only against gradient-magnitude attacks.\n");
+  bench::finish_run(obs_run, "compression_tradeoffs");
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "nn/trainer.h"
 #include "sparse/huffman.h"
 #include "sparse/sparse_model.h"
+#include "bench_common.h"
 #include "util/cli.h"
 #include "util/threadpool.h"
 #include "util/table.h"
@@ -28,6 +29,7 @@ using namespace con;
 
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
+  bench::BenchSetup obs_run = bench::parse_obs_flags(flags);
   util::ThreadPool::set_global_threads(
       static_cast<std::size_t>(flags.get_int("threads", 0)));
   core::StudyConfig cfg;
@@ -42,6 +44,8 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(cfg);
+  bench::record_study_config(obs_run, cfg);
+  bench::record_study(obs_run, study);
   std::printf("== deployment report: %s ==\n", cfg.network.c_str());
   std::printf("baseline: %lld parameters, accuracy %.3f\n",
               static_cast<long long>(study.baseline().num_parameters()),
@@ -122,5 +126,6 @@ int main(int argc, char** argv) {
       "means samples crafted on this shipped model break the hidden cloud\n"
       "model too — compression saved %.1fx memory but bought no isolation.\n",
       static_cast<double>(total_dense) / std::max<std::size_t>(1, total_huff));
+  bench::finish_run(obs_run, "deployment_report");
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "io/checkpoint.h"
 #include "models/model_zoo.h"
 #include "nn/trainer.h"
+#include "bench_common.h"
 #include "util/cli.h"
 #include "util/threadpool.h"
 #include "util/table.h"
@@ -27,6 +28,7 @@ using namespace con;
 
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
+  bench::BenchSetup obs_run = bench::parse_obs_flags(flags);
   util::ThreadPool::set_global_threads(
       static_cast<std::size_t>(flags.get_int("threads", 0)));
   core::StudyConfig cfg;
@@ -38,6 +40,8 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(cfg);
+  bench::record_study_config(obs_run, cfg);
+  bench::record_study(obs_run, study);
 
   std::printf("== vendor side =====================================\n");
   nn::Sequential& cloud = study.baseline();
@@ -95,5 +99,6 @@ int main(int argc, char** argv) {
       "If adv_acc collapses for the cloud model and product B, one bought\n"
       "device compromised the vendor's whole model family — the paper's\n"
       "Heartbleed-for-classifiers warning.\n");
+  bench::finish_run(obs_run, "edge_deployment");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "core/sweeps.h"
 #include "core/transfer.h"
 #include "nn/trainer.h"
+#include "bench_common.h"
 #include "util/cli.h"
 #include "util/threadpool.h"
 #include "util/logging.h"
@@ -21,6 +22,7 @@ using namespace con;
 
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
+  bench::BenchSetup obs_run = bench::parse_obs_flags(flags);
   util::ThreadPool::set_global_threads(
       static_cast<std::size_t>(flags.get_int("threads", 0)));
   core::StudyConfig cfg;
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
 
   util::Timer timer;
   core::Study study(cfg);
+  bench::record_study_config(obs_run, cfg);
+  bench::record_study(obs_run, study);
   nn::Sequential& baseline = study.baseline();
   std::printf("baseline %s: %lld parameters, test accuracy %.3f (%.1fs)\n",
               baseline.name().c_str(),
@@ -71,5 +75,6 @@ int main(int argc, char** argv) {
       "Reading the table: low comp->full / full->comp accuracy means the\n"
       "adversarial samples transfer across the compression boundary —\n"
       "the paper's headline finding.\n");
+  bench::finish_run(obs_run, "quickstart");
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/study.h"
 #include "core/transfer.h"
 #include "nn/trainer.h"
+#include "bench_common.h"
 #include "util/cli.h"
 #include "util/threadpool.h"
 #include "util/table.h"
@@ -26,6 +27,7 @@ using namespace con;
 
 int main(int argc, char** argv) {
   util::CliFlags flags(argc, argv);
+  bench::BenchSetup obs_run = bench::parse_obs_flags(flags);
   util::ThreadPool::set_global_threads(
       static_cast<std::size_t>(flags.get_int("threads", 0)));
   core::StudyConfig cfg;
@@ -45,6 +47,8 @@ int main(int argc, char** argv) {
   flags.check_unused();
 
   core::Study study(cfg);
+  bench::record_study_config(obs_run, cfg);
+  bench::record_study(obs_run, study);
   std::printf("network   : %s (baseline accuracy %.3f)\n",
               cfg.network.c_str(), study.baseline_accuracy());
 
@@ -98,5 +102,6 @@ int main(int argc, char** argv) {
               "%.0f%%\n",
               stats.mean_l2, stats.mean_linf,
               100.0 * stats.mean_l0_fraction);
+  bench::finish_run(obs_run, "run_study");
   return 0;
 }

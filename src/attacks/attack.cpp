@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 #include "util/threadpool.h"
 
@@ -84,9 +86,13 @@ Tensor run_attack_batched(AttackKind kind, const nn::Sequential& model,
       static_cast<std::size_t>((n + kAttackChunk - 1) / kAttackChunk);
 
   Tensor result(images.shape());
+  obs::Span batch_span(attack_name(kind), "batched");
+  static obs::Counter& chunks = obs::counter("attack.chunks");
   util::parallel_for(0, num_chunks, [&](std::size_t c) {
     const Index lo = static_cast<Index>(c) * kAttackChunk;
     const Index hi = std::min(lo + kAttackChunk, n);
+    obs::Span chunk_span(attack_name(kind), "chunk");
+    chunks.add(1);
     // Each chunk reads its own rows of `images` and owns its own rows of
     // `result`; no cross-chunk writes, no chunk copies.
     run_attack_range(kind, model, images, lo, hi, labels, params, num_classes,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "attacks/gradient.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace con::attacks {
@@ -124,8 +125,13 @@ void deepfool_range(const nn::Sequential& model, const Tensor& images,
   std::vector<Index> keep;  // survivor positions in the forward batch
   std::vector<Index> keep2;
 
+  static obs::Counter& iters = obs::counter("attack.deepfool.iterations");
+  static obs::Distribution& active =
+      obs::dist("attack.deepfool.active_rows");
   int it = 0;
   while (!rows.empty() && it < params.iterations) {
+    iters.add(1);
+    active.record(static_cast<double>(rows.size()));
     // x_i = x0 + (1 + η) r, clamped — the iterate carries the overshoot,
     // as in the reference implementation.
     tensor::add_scaled_into(xi, x0, r, 1.0f + overshoot);

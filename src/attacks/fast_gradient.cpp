@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "attacks/gradient.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace con::attacks {
@@ -66,7 +67,9 @@ void fast_gradient_range(const nn::Sequential& model, const Tensor& images,
   Tensor grad;
   const Index n = adv.numel();
   const float eps = params.epsilon;
+  static obs::Counter& steps = obs::counter("attack.fast_gradient.steps");
   for (int it = 0; it < params.iterations; ++it) {
+    steps.add(1);
     grad = loss_input_gradient(model, adv, chunk_labels, tape);
     tensor::scale_inplace(grad, batch_scale);
     const float* g = grad.data();

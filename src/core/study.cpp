@@ -5,6 +5,8 @@
 #include "data/synth_digits.h"
 #include "data/synth_objects.h"
 #include "io/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "models/model_zoo.h"
 #include "nn/trainer.h"
 #include "util/logging.h"
@@ -42,10 +44,17 @@ Study::Study(StudyConfig config)
 }
 
 std::string Study::cache_path() const {
+  // The key names the full study configuration, not just the parameters
+  // that happen to shape today's training path: batch_size changes the
+  // optimisation schedule (its omission aliased distinct configs onto one
+  // checkpoint), and test_size is included so a checkpoint is only reused
+  // by runs evaluating against the same split sizes.
   return io::artifacts_dir() + "/" + config_.network + "_s" +
          std::to_string(config_.seed) + "_n" +
-         std::to_string(config_.train_size) + "_e" +
-         std::to_string(config_.baseline_epochs) + ".ckpt";
+         std::to_string(config_.train_size) + "_t" +
+         std::to_string(config_.test_size) + "_e" +
+         std::to_string(config_.baseline_epochs) + "_b" +
+         std::to_string(config_.batch_size) + ".ckpt";
 }
 
 nn::Sequential& Study::baseline() {
@@ -54,12 +63,17 @@ nn::Sequential& Study::baseline() {
   const std::string path = cache_path();
   if (config_.use_cache && io::file_exists(path)) {
     util::log_info("loading cached baseline %s", path.c_str());
+    static obs::Counter& hits = obs::counter("study.baseline_cache.hit");
+    hits.add(1);
     io::load_model_into(*baseline_, path);
     return *baseline_;
   }
   util::log_info("training baseline %s (%d epochs, %lld samples)",
                  config_.network.c_str(), config_.baseline_epochs,
                  static_cast<long long>(config_.train_size));
+  obs::Span span(config_.network, "train_baseline");
+  static obs::Counter& misses = obs::counter("study.baseline_cache.miss");
+  misses.add(1);
   nn::TrainConfig tc;
   tc.epochs = config_.baseline_epochs;
   tc.batch_size = config_.batch_size;

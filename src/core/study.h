@@ -50,9 +50,13 @@ class Study {
   // cached) — used by the §3.3 cross-initialisation experiment.
   nn::Sequential train_fresh_baseline(std::uint64_t init_seed);
 
- private:
+  // Checkpoint path for this configuration's baseline. The key encodes
+  // every input that shapes the trained weights — network, seed, train AND
+  // test split sizes, epochs, batch size — so two configs never alias the
+  // same checkpoint. Public so run manifests can record the exact key.
   std::string cache_path() const;
 
+ private:
   StudyConfig config_;
   data::TrainTestSplit split_;
   data::Dataset attack_set_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
 
@@ -50,9 +52,12 @@ std::vector<ScenarioPoint> sweep_scenarios(
       eval_set.num_classes());
   // One matrix cell per family member; each cell only reads the (shared,
   // immutable during execution) models and writes its own slot.
+  static obs::Counter& cells = obs::counter("sweep.cells");
   util::parallel_for(0, family.size(), [&](std::size_t i) {
+    obs::Span span(family[i].name(), "sweep_cell");
     points[i] = evaluate_scenarios(baseline, family[i], attack, params,
                                    eval_set, baseline_adv);
+    cells.add(1);
   });
   return points;
 }

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "tensor/gemm.h"
 #include "tensor/random.h"
 
@@ -45,6 +46,8 @@ Tensor Conv2d::forward(const Tensor& x, bool train, TapeSlot& slot) const {
                                 std::to_string(spec_.in_channels) +
                                 ", H, W], got " + x.shape().to_string());
   }
+  obs::Span span(name_, "fwd");
+  obs::ScopedTimer timer(fwd_time_.get(name_ + ".forward_s"));
   const Index n = x.dim(0);
   slot.geom = tensor::Conv2dGeometry{
       .in_channels = spec_.in_channels,
@@ -93,6 +96,8 @@ Tensor Conv2d::backward(const Tensor& grad_out, TapeSlot& slot) const {
     throw std::invalid_argument(name_ + ": bad grad_out shape " +
                                 grad_out.shape().to_string());
   }
+  obs::Span span(name_, "bwd");
+  obs::ScopedTimer timer(bwd_time_.get(name_ + ".backward_s"));
   // Gather the NCHW gradient into the [outC, N*P] layout of the forward
   // GEMM output.
   const Index total = n * plane;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
@@ -38,6 +39,8 @@ Tensor Linear::forward(const Tensor& x, bool train, TapeSlot& slot) const {
                                 std::to_string(in_features_) + "], got " +
                                 x.shape().to_string());
   }
+  obs::Span span(name_, "fwd");
+  obs::ScopedTimer timer(fwd_time_.get(name_ + ".forward_s"));
   slot.input = x;
   slot.packed = cache_.get(weight_, &pack_linear);
   // The optimizer reads grad_gate at step() time; only a training forward
@@ -60,6 +63,8 @@ Tensor Linear::backward(const Tensor& grad_out, TapeSlot& slot) const {
     throw std::invalid_argument(name_ + ": bad grad_out shape " +
                                 grad_out.shape().to_string());
   }
+  obs::Span span(name_, "bwd");
+  obs::ScopedTimer timer(bwd_time_.get(name_ + ".backward_s"));
   if (slot.accumulate_param_grads) {
     // dW[out, in] = grad_out[N, out]^T * x[N, in]
     Tensor dw = tensor::matmul_tn(grad_out, slot.input);

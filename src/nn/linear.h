@@ -3,6 +3,7 @@
 
 #include "nn/layer.h"
 #include "nn/packed_weights.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace con::nn {
@@ -34,6 +35,9 @@ class Linear : public Layer {
   // Packed effective-weight panels, rebuilt when weight_'s fingerprint
   // changes (internally mutable: packing is not logical layer state).
   PackedWeightsCache cache_;
+  // Per-layer wall-time distributions ("<name>.forward_s" / ".backward_s").
+  mutable obs::LazyDist fwd_time_;
+  mutable obs::LazyDist bwd_time_;
 };
 
 }  // namespace con::nn

@@ -1,5 +1,7 @@
 #include "nn/packed_weights.h"
 
+#include "obs/metrics.h"
+
 namespace con::nn {
 
 std::shared_ptr<const PackedWeights> PackedWeightsCache::get(
@@ -10,7 +12,15 @@ std::shared_ptr<const PackedWeights> PackedWeightsCache::get(
       current_->value_data == p.value.data() &&
       current_->mask_data == mask_data &&
       current_->transform == p.transform.get()) {
+    static obs::Counter& hits = obs::counter("packed_cache.hit");
+    hits.add(1);
     return current_;
+  }
+  static obs::Counter& misses = obs::counter("packed_cache.miss");
+  misses.add(1);
+  if (current_ != nullptr) {
+    static obs::Counter& repacks = obs::counter("packed_cache.repack");
+    repacks.add(1);
   }
   // Rebuild under the lock: redundant packing by racing threads would be
   // harmless but wasteful, and rebuilds are rare (weights are frozen for

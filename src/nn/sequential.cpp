@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace con::nn {
@@ -20,6 +22,9 @@ Tensor Sequential::forward(const Tensor& x, bool train,
   // batch into a working tensor — forward is called once per attack
   // iteration, so the head copy was a full-batch allocation per step.
   if (layers_.empty()) return x;
+  obs::Span span(name_, "forward");
+  static obs::Counter& calls = obs::counter("model.forward_calls");
+  calls.add(1);
   Tensor h = layers_[0]->forward(x, train, tape.slot(0));
   for (std::size_t i = 1; i < layers_.size(); ++i) {
     h = layers_[i]->forward(h, train, tape.slot(i));
@@ -34,6 +39,9 @@ Tensor Sequential::backward(const Tensor& grad_logits,
         "Sequential::backward: tape has no matching forward");
   }
   if (layers_.empty()) return grad_logits;
+  obs::Span span(name_, "backward");
+  static obs::Counter& calls = obs::counter("model.backward_calls");
+  calls.add(1);
   const std::size_t last = layers_.size() - 1;
   Tensor g = layers_[last]->backward(grad_logits, tape.slot(last));
   for (std::size_t i = last; i-- > 0;) {

@@ -1,0 +1,74 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace con::obs {
+
+const std::string& git_describe() {
+  static const std::string described = [] {
+    std::string out = "unknown";
+    std::FILE* p = ::popen("git describe --always --dirty 2>/dev/null", "r");
+    if (p != nullptr) {
+      char buf[128];
+      if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+        std::string line(buf);
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        if (!line.empty()) out = line;
+      }
+      ::pclose(p);
+    }
+    return out;
+  }();
+  return described;
+}
+
+Json manifest_json(const RunManifest& m) {
+  Json doc = Json::object();
+  doc.set("name", m.name);
+  doc.set("timestamp_unix",
+          static_cast<std::int64_t>(std::time(nullptr)));
+  doc.set("git", git_describe());
+  doc.set("wall_time_s", m.wall_time_s);
+  doc.set("threads", static_cast<std::int64_t>(m.threads));
+
+  Json config = Json::object();
+  for (const auto& [key, value] : m.config) config.set(key, value);
+  doc.set("config", std::move(config));
+
+  const MetricsSnapshot snap = snapshot_metrics();
+  Json counters = Json::object();
+  for (const auto& [name, value] : snap.counters) counters.set(name, value);
+  for (const auto& [name, value] : m.extra_counters) counters.set(name, value);
+  Json dists = Json::object();
+  for (const auto& d : snap.distributions) {
+    Json entry = Json::object();
+    entry.set("count", d.count);
+    entry.set("sum", d.sum);
+    entry.set("min", d.min);
+    entry.set("max", d.max);
+    dists.set(d.name, std::move(entry));
+  }
+  Json metrics = Json::object();
+  metrics.set("counters", std::move(counters));
+  metrics.set("distributions", std::move(dists));
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+std::string write_manifest(const RunManifest& m, const std::string& dir) {
+  const std::string path = dir + "/" + m.name + "_manifest.json";
+  const std::string body = manifest_json(m).dump(/*indent=*/2);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return "";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok ? path : "";
+}
+
+}  // namespace con::obs

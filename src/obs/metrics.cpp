@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace con::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics{true};
+}  // namespace detail
+
+void set_metrics(bool enabled) {
+  detail::g_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+// CAS loops instead of std::atomic<double>::fetch_add so the same code
+// serves min/max and stays portable across libstdc++ versions.
+void atomic_add(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Distribution::Distribution()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void Distribution::record(double x) {
+  if (!metrics_enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+double Distribution::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+double Distribution::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Distribution::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Distribution& d) {
+  if (!metrics_enabled()) return;
+  dist_ = &d;
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (dist_ == nullptr) return;
+  dist_->record(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+}
+
+Distribution& LazyDist::get(const std::string& name) {
+  Distribution* d = cached_.load(std::memory_order_acquire);
+  if (d == nullptr) {
+    // Racing resolvers agree: the registry hands every thread the same
+    // entry for a given name.
+    d = &MetricsRegistry::instance().distribution(name);
+    cached_.store(d, std::memory_order_release);
+  }
+  return *d;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Distribution>> dists;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();  // leaked: usable during exit
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Distribution& MetricsRegistry::distribution(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.dists[name];
+  if (slot == nullptr) slot = std::make_unique<Distribution>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  MetricsSnapshot snap;
+  snap.counters.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.distributions.reserve(im.dists.size());
+  for (const auto& [name, d] : im.dists) {
+    snap.distributions.push_back(
+        {name, d->count(), d->sum(), d->min(), d->max()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, d] : im.dists) d->reset();
+}
+
+}  // namespace con::obs

@@ -1,0 +1,148 @@
+// Process-wide named counters and distributions.
+//
+// Call sites cache a reference once and then pay one relaxed atomic RMW per
+// update (plus a relaxed enabled-load — `--no-metrics` turns recording into
+// a branch):
+//
+//   static obs::Counter& c = obs::counter("gemm.dispatch.blocked");
+//   c.add(1);
+//
+// Counters are monotonic u64 totals; distributions accumulate
+// count/sum/min/max of double observations (timings, active-set sizes).
+// Registry entries are created on first use and never removed, so cached
+// references stay valid for the process lifetime; reset_metrics() zeroes
+// values in place for before/after measurements.
+//
+// Determinism: counters incremented per unit of work (per GEMM call, per
+// attack iteration, per cache miss) total the same for any --threads value,
+// because the work decomposition never depends on the thread count (DESIGN
+// §5). Distributions of integer-valued observations share the property
+// (double sums of small integers are exact in any order); timing
+// distributions obviously do not, and the manifest comparison tooling only
+// compares counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace con::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics;
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+void set_metrics(bool enabled);
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    if (metrics_enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Distribution {
+ public:
+  Distribution();
+
+  void record(double x);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min/max of recorded values; 0.0 when nothing was recorded.
+  double min() const;
+  double max() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-infinity sentinels until the first observation; the accessors
+  // translate the empty state to 0.0.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// Scoped wall-time observation: records seconds into `d` on destruction.
+// Costs nothing but the enabled check when metrics are off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Distribution& d);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Distribution* dist_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+// Lazily-resolved distribution handle for per-instance metric names (e.g. a
+// layer's "<name>.forward_s"). Copyable: copies reset the cached pointer,
+// and since registry entries are keyed by name, a clone resolving the same
+// name lands on the same distribution.
+class LazyDist {
+ public:
+  LazyDist() = default;
+  LazyDist(const LazyDist&) {}
+  LazyDist& operator=(const LazyDist&) { return *this; }
+
+  Distribution& get(const std::string& name);
+
+ private:
+  std::atomic<Distribution*> cached_{nullptr};
+};
+
+struct MetricsSnapshot {
+  struct DistValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  // Sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<DistValue> distributions;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Stable references, created on first use. Safe from any thread.
+  Counter& counter(const std::string& name);
+  Distribution& distribution(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  // Zero every registered value in place (entries and cached references
+  // survive).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Convenience forwarders.
+inline Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+inline Distribution& dist(const std::string& name) {
+  return MetricsRegistry::instance().distribution(name);
+}
+inline MetricsSnapshot snapshot_metrics() {
+  return MetricsRegistry::instance().snapshot();
+}
+inline void reset_metrics() { MetricsRegistry::instance().reset(); }
+
+}  // namespace con::obs

@@ -4,11 +4,27 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/threadpool.h"
 
 namespace con::tensor::gemm {
 
 namespace {
+
+// Dispatch counters: which kernel path served each matmul call, plus the
+// theoretical flop count (2·M·N·K per call, independent of zero-skip).
+// References are resolved once; increments are single relaxed RMWs.
+void count_gemm(Index m, Index n, Index k) {
+  static obs::Counter& flops = obs::counter("gemm.flops");
+  flops.add(static_cast<std::uint64_t>(2) * static_cast<std::uint64_t>(m) *
+            static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k));
+}
+
+void count_reference_dispatch() {
+  static obs::Counter& c = obs::counter("gemm.dispatch.reference");
+  c.add(1);
+}
 
 void check_rank2(const Tensor& t, const char* op) {
   if (t.rank() != 2) {
@@ -209,9 +225,13 @@ void gemm_blocked(const PackedMatrix& a, const BSource& bsrc, Index n,
   if (m == 0 || n == 0) return;
   if (std::is_same_v<Acc, float> && bsrc.packed == nullptr && bsrc.k_major &&
       a.nnz * 100 <= m * depth * kSparseAxpyDensityPct) {
+    static obs::Counter& axpy_calls = obs::counter("gemm.dispatch.sparse_axpy");
+    axpy_calls.add(1);
     sparse_axpy(a, bsrc.raw, bsrc.ld, n, c);
     return;
   }
+  static obs::Counter& blocked_calls = obs::counter("gemm.dispatch.blocked");
+  blocked_calls.add(1);
   const Index npanels = (n + kNC - 1) / kNC;
   const Index na_strips = a.num_strips();
   const float* adata = a.data.data();
@@ -320,6 +340,8 @@ PackedMatrix pack_colmajor(const Tensor& m, Index strip) {
 Tensor matmul_nn(const PackedMatrix& a, const Tensor& b) {
   check_rank2(b, "matmul_nn");
   check_inner(b.dim(0), a.depth, "matmul_nn");
+  obs::Span span("gemm.nn");
+  count_gemm(a.rows, b.dim(1), a.depth);
   Tensor c({a.rows, b.dim(1)});
   BSource bs{.raw = b.data(), .ld = b.dim(1), .k_major = true};
   gemm_blocked<float, static_cast<int>(kStripA)>(a, bs, b.dim(1), c.data());
@@ -329,6 +351,8 @@ Tensor matmul_nn(const PackedMatrix& a, const Tensor& b) {
 Tensor matmul_nn(const Tensor& a, const PackedMatrix& b) {
   check_rank2(a, "matmul_nn");
   check_inner(a.dim(1), b.depth, "matmul_nn");
+  obs::Span span("gemm.nn");
+  count_gemm(a.dim(0), b.rows, b.depth);
   PackedMatrix pa = pack_rowmajor(a, kStripA);
   Tensor c({a.dim(0), b.rows});
   BSource bs{.packed = &b};
@@ -345,7 +369,12 @@ Tensor matmul_nn(const Tensor& a, const Tensor& b) {
                                 a.shape().to_string() + " x " +
                                 b.shape().to_string());
   }
-  if (m * n * k <= kSmallGemmFlops) return reference_nn(a, b);
+  obs::Span span("gemm.nn");
+  count_gemm(m, n, k);
+  if (m * n * k <= kSmallGemmFlops) {
+    count_reference_dispatch();
+    return reference_nn(a, b);
+  }
   PackedMatrix pa = pack_rowmajor(a, kStripA);
   Tensor c({m, n});
   BSource bs{.raw = b.data(), .ld = n, .k_major = true};
@@ -358,6 +387,8 @@ Tensor matmul_nn(const Tensor& a, const Tensor& b) {
 Tensor matmul_tn(const PackedMatrix& a, const Tensor& b) {
   check_rank2(b, "matmul_tn");
   check_inner(b.dim(0), a.depth, "matmul_tn");
+  obs::Span span("gemm.tn");
+  count_gemm(a.rows, b.dim(1), a.depth);
   Tensor c({a.rows, b.dim(1)});
   BSource bs{.raw = b.data(), .ld = b.dim(1), .k_major = true};
   gemm_blocked<float, static_cast<int>(kStripA)>(a, bs, b.dim(1), c.data());
@@ -371,7 +402,12 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   if (b.dim(0) != k) {
     throw std::invalid_argument("matmul_tn: inner dims mismatch");
   }
-  if (m * n * k <= kSmallGemmFlops) return reference_tn(a, b);
+  obs::Span span("gemm.tn");
+  count_gemm(m, n, k);
+  if (m * n * k <= kSmallGemmFlops) {
+    count_reference_dispatch();
+    return reference_tn(a, b);
+  }
   PackedMatrix pa = pack_colmajor(a, kStripA);
   Tensor c({m, n});
   BSource bs{.raw = b.data(), .ld = n, .k_major = true};
@@ -384,6 +420,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 Tensor matmul_nt(const Tensor& a, const PackedMatrix& b) {
   check_rank2(a, "matmul_nt");
   check_inner(a.dim(1), b.depth, "matmul_nt");
+  obs::Span span("gemm.nt");
+  count_gemm(a.dim(0), b.rows, b.depth);
   PackedMatrix pa = pack_rowmajor(a, kStripANt);
   Tensor c({a.dim(0), b.rows});
   BSource bs{.packed = &b};
@@ -398,7 +436,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   if (b.dim(1) != k) {
     throw std::invalid_argument("matmul_nt: inner dims mismatch");
   }
-  if (m * n * k <= kSmallGemmFlops) return reference_nt(a, b);
+  obs::Span span("gemm.nt");
+  count_gemm(m, n, k);
+  if (m * n * k <= kSmallGemmFlops) {
+    count_reference_dispatch();
+    return reference_nt(a, b);
+  }
   PackedMatrix pa = pack_rowmajor(a, kStripANt);
   Tensor c({m, n});
   BSource bs{.raw = b.data(), .ld = k, .k_major = false};

@@ -5,11 +5,19 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "tensor/gemm.h"
 
 namespace con::tensor {
 
 namespace {
+
+// Bytes materialised into im2col scratch buffers — the dominant transient
+// memory cost of convolution, surfaced in run manifests.
+void count_im2col_bytes(Index elements) {
+  static obs::Counter& bytes = obs::counter("im2col.bytes");
+  bytes.add(static_cast<std::uint64_t>(elements) * sizeof(float));
+}
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   if (a.shape() != b.shape()) {
@@ -308,6 +316,7 @@ Tensor im2col(const Tensor& image, const Conv2dGeometry& g) {
     throw std::invalid_argument("im2col: non-positive output size");
   }
   Tensor cols({g.in_channels * g.kernel_h * g.kernel_w, oh * ow});
+  count_im2col_bytes(cols.numel());
   im2col_image(image.data(), cols.data(), oh * ow, g);
   return cols;
 }
@@ -342,6 +351,7 @@ Tensor im2col_batch(const Tensor& batch, const Conv2dGeometry& g) {
   const Index rows = g.in_channels * g.kernel_h * g.kernel_w;
   const Index cols_per_row = n * plane;
   Tensor cols({rows, cols_per_row});
+  count_im2col_bytes(cols.numel());
   const Index image_stride = g.in_channels * g.in_h * g.in_w;
   for (Index i = 0; i < n; ++i) {
     im2col_image(batch.data() + i * image_stride, cols.data() + i * plane,

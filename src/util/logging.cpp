@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/obs.h"
+
 namespace con::util {
 
 LogLevel& log_level() {
@@ -21,9 +23,13 @@ void log(LogLevel level, std::string_view msg) {
     case LogLevel::kError: tag = "E"; break;
     case LogLevel::kOff: return;
   }
+  // Elapsed time on the trace clock plus the obs thread id, so a log line
+  // can be located inside a --trace export and vice versa.
+  const double elapsed = obs::elapsed_seconds();
+  const int tid = obs::this_thread_id();
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%s] %.*s\n", tag, static_cast<int>(msg.size()),
-               msg.data());
+  std::fprintf(stderr, "[%s %10.4f t%02d] %.*s\n", tag, elapsed, tid,
+               static_cast<int>(msg.size()), msg.data());
 }
 
 }  // namespace con::util

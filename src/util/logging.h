@@ -1,10 +1,15 @@
 // Minimal leveled logging with compile-time-free runtime configuration.
+//
+// Every line carries the trace clock (obs::elapsed_seconds) and the obs
+// thread id, so log output correlates 1:1 with span timestamps in a
+// --trace export.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 namespace con::util {
 
@@ -17,10 +22,28 @@ void log(LogLevel level, std::string_view msg);
 // printf-style convenience wrappers.
 template <typename... Args>
 void logf(LogLevel level, const char* fmt, Args... args) {
+  // Passing a non-trivially-copyable object (std::string is the classic
+  // accident) through C varargs is undefined behaviour that compiles
+  // silently; reject it here. Pass std::string via .c_str().
+  static_assert((std::is_trivially_copyable_v<Args> && ...),
+                "logf: format arguments must be trivially copyable "
+                "(pass std::string via .c_str())");
   if (level < log_level()) return;
   char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  log(level, buf);
+  const int needed = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (needed < 0) {
+    log(level, "(logf: format error)");
+    return;
+  }
+  std::size_t len = static_cast<std::size_t>(needed);
+  if (len >= sizeof(buf)) {
+    // Mark silent truncation: overwrite the tail with a UTF-8 ellipsis.
+    buf[sizeof(buf) - 4] = '\xE2';
+    buf[sizeof(buf) - 3] = '\x80';
+    buf[sizeof(buf) - 2] = '\xA6';
+    len = sizeof(buf) - 1;
+  }
+  log(level, std::string_view(buf, len));
 }
 
 template <typename... Args>

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace con::util {
 
 namespace {
@@ -36,7 +38,14 @@ std::size_t consume_global_size() {
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Register the worker's trace ring up front under a stable name, so
+      // pool threads show up labelled in exports even before their first
+      // span — and their rings outlive the pool (obs keeps them), so no
+      // flush is needed at shutdown.
+      obs::set_thread_name("pool-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -1,0 +1,400 @@
+// Tests for the observability subsystem: spans, metrics, Chrome-trace
+// export, JSON round-trips and run manifests.
+//
+// Built as its OWN test binary (con_obs_tests): it overrides global
+// operator new/delete to count heap allocations, which must not leak into
+// the main test suite. The counting override forwards to malloc/free and
+// is exercised by the allocation-guard tests below — the contract is that
+// span recording and counter updates never allocate once a thread's ring
+// exists, and cost only a relaxed load + branch when tracing is off.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+// GCC can't see that the operator new below forwards to malloc, so it
+// flags the free() in operator delete as mismatched; the pairing is fine.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using con::obs::Json;
+
+// Every X event in the trace for the calling thread, in ring order.
+std::vector<const Json*> my_span_events(const Json& doc) {
+  const int tid = con::obs::this_thread_id();
+  std::vector<const Json*> out;
+  for (const Json& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() == "X" &&
+        e.find("tid")->as_int() == tid) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    con::obs::set_tracing(true);
+    con::obs::clear_trace();
+  }
+  void TearDown() override { con::obs::set_tracing(false); }
+};
+
+TEST_F(ObsTraceTest, NestedSpansRecordDepthAndContainment) {
+  {
+    con::obs::Span outer("outer");
+    {
+      con::obs::Span mid(std::string("model"), "forward");
+      con::obs::Span inner("inner");
+    }
+  }
+  const Json doc = con::obs::parse_json(con::obs::chrome_trace_json());
+  const auto spans = my_span_events(doc);
+  ASSERT_EQ(spans.size(), 3u);
+  // Events are recorded at span END, so innermost comes first.
+  EXPECT_EQ(spans[0]->find("name")->as_string(), "inner");
+  EXPECT_EQ(spans[1]->find("name")->as_string(), "model.forward");
+  EXPECT_EQ(spans[2]->find("name")->as_string(), "outer");
+  EXPECT_EQ(spans[0]->find("args")->find("depth")->as_int(), 2);
+  EXPECT_EQ(spans[1]->find("args")->find("depth")->as_int(), 1);
+  EXPECT_EQ(spans[2]->find("args")->find("depth")->as_int(), 0);
+  // Interval containment: child [ts, ts+dur] inside parent [ts, ts+dur].
+  for (int child = 0; child < 2; ++child) {
+    const double cts = spans[child]->find("ts")->as_double();
+    const double cend = cts + spans[child]->find("dur")->as_double();
+    const double pts = spans[child + 1]->find("ts")->as_double();
+    const double pend = pts + spans[child + 1]->find("dur")->as_double();
+    EXPECT_GE(cts, pts);
+    EXPECT_LE(cend, pend);
+  }
+}
+
+TEST_F(ObsTraceTest, TraceIsWellFormedAndCarriesThreadNames) {
+  con::obs::set_thread_name("obs-test-main");
+  { con::obs::Span s("solo"); }
+  const std::string text = con::obs::chrome_trace_json();
+  const Json doc = con::obs::parse_json(text);  // throws on malformed JSON
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool named = false;
+  for (const Json& e : events->items()) {
+    // Every event, X or M, carries the full Chrome trace_event envelope.
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (e.find("ph")->as_string() == "M" &&
+        e.find("tid")->as_int() == con::obs::this_thread_id()) {
+      EXPECT_EQ(e.find("args")->find("name")->as_string(), "obs-test-main");
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST_F(ObsTraceTest, LongSpanNamesAreTruncatedNotCorrupted) {
+  const std::string longname(200, 'x');
+  { con::obs::Span s(longname.c_str()); }
+  const Json doc = con::obs::parse_json(con::obs::chrome_trace_json());
+  const auto spans = my_span_events(doc);
+  ASSERT_EQ(spans.size(), 1u);
+  const std::string& recorded = spans[0]->find("name")->as_string();
+  EXPECT_EQ(recorded.size(), con::obs::kSpanNameCap - 1);
+  EXPECT_EQ(recorded, longname.substr(0, con::obs::kSpanNameCap - 1));
+}
+
+TEST_F(ObsTraceTest, FullRingDropsInsteadOfGrowing) {
+  const std::size_t before = con::obs::trace_event_count();
+  for (std::size_t i = 0; i < con::obs::kRingCapacity + 5; ++i) {
+    con::obs::Span s("spin");
+  }
+  EXPECT_EQ(con::obs::trace_event_count() - before, con::obs::kRingCapacity);
+  EXPECT_GE(con::obs::trace_dropped_count(), 5u);
+  con::obs::clear_trace();
+  EXPECT_EQ(con::obs::trace_event_count(), 0u);
+  EXPECT_EQ(con::obs::trace_dropped_count(), 0u);
+}
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  con::obs::set_tracing(false);
+  { con::obs::Span s("ghost"); }
+  EXPECT_EQ(con::obs::trace_event_count(), 0u);
+}
+
+// ---- allocation guards ------------------------------------------------------
+
+TEST(ObsOverhead, SpansAllocateNothingWhenTracingOff) {
+  con::obs::set_tracing(false);
+  con::obs::this_thread_id();  // ensure the thread's ring exists
+  const std::string base = "layer-name-beyond-sso-length-for-realism";
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    con::obs::Span a("gemm.nn");
+    con::obs::Span b(base, "forward");
+  }
+  EXPECT_EQ(allocation_count() - before, 0u);
+}
+
+TEST(ObsOverhead, SpansAllocateNothingWhenTracingOn) {
+  con::obs::set_tracing(true);
+  con::obs::clear_trace();
+  { con::obs::Span warm("warm"); }  // ring + first-touch done
+  const std::string base = "layer-name-beyond-sso-length-for-realism";
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    con::obs::Span a("gemm.nn");
+    con::obs::Span b(base, "forward");
+  }
+  EXPECT_EQ(allocation_count() - before, 0u);
+  con::obs::set_tracing(false);
+  con::obs::clear_trace();
+}
+
+TEST(ObsOverhead, CounterAndDistributionUpdatesAllocateNothing) {
+  con::obs::Counter& c = con::obs::counter("obs_test.alloc_guard");
+  con::obs::Distribution& d = con::obs::dist("obs_test.alloc_guard_dist");
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    c.add(1);
+    d.record(static_cast<double>(i));
+  }
+  EXPECT_EQ(allocation_count() - before, 0u);
+}
+
+// ---- metrics ----------------------------------------------------------------
+
+TEST(ObsMetrics, CountersAccumulateAndReset) {
+  con::obs::reset_metrics();
+  con::obs::Counter& c = con::obs::counter("obs_test.basic");
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&con::obs::counter("obs_test.basic"), &c);
+  con::obs::reset_metrics();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, DisablingMetricsTurnsUpdatesIntoNoops) {
+  con::obs::reset_metrics();
+  con::obs::Counter& c = con::obs::counter("obs_test.gated");
+  con::obs::Distribution& d = con::obs::dist("obs_test.gated_dist");
+  con::obs::set_metrics(false);
+  c.add(5);
+  d.record(1.0);
+  con::obs::set_metrics(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(ObsMetrics, DistributionTracksCountSumMinMax) {
+  con::obs::reset_metrics();
+  con::obs::Distribution& d = con::obs::dist("obs_test.dist");
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.min(), 0.0);  // empty state reads as zero
+  EXPECT_EQ(d.max(), 0.0);
+  d.record(4.0);
+  d.record(-2.0);
+  d.record(7.0);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_EQ(d.sum(), 9.0);
+  EXPECT_EQ(d.min(), -2.0);
+  EXPECT_EQ(d.max(), 7.0);
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsOneObservation) {
+  con::obs::reset_metrics();
+  con::obs::Distribution& d = con::obs::dist("obs_test.timer");
+  { con::obs::ScopedTimer t(d); }
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_GE(d.max(), 0.0);
+}
+
+TEST(ObsMetrics, SnapshotIsSortedByName) {
+  con::obs::reset_metrics();
+  con::obs::counter("obs_test.zzz").add(1);
+  con::obs::counter("obs_test.aaa").add(2);
+  const con::obs::MetricsSnapshot snap = con::obs::snapshot_metrics();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+// Counters incremented per unit of work must total the same no matter how
+// the pool interleaves the work.
+TEST(ObsMetrics, ParallelForCountsAreExact) {
+  con::obs::reset_metrics();
+  con::obs::Counter& c = con::obs::counter("obs_test.parallel");
+  con::obs::Distribution& d = con::obs::dist("obs_test.parallel_dist");
+  const std::size_t n = 10000;
+  con::util::parallel_for(0, n, [&](std::size_t i) {
+    c.add(1);
+    d.record(static_cast<double>(i % 7));  // small ints: exact in any order
+  });
+  EXPECT_EQ(c.value(), n);
+  EXPECT_EQ(d.count(), n);
+  double expect_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) expect_sum += static_cast<double>(i % 7);
+  EXPECT_EQ(d.sum(), expect_sum);
+  EXPECT_EQ(d.min(), 0.0);
+  EXPECT_EQ(d.max(), 6.0);
+}
+
+TEST(ObsMetrics, LazyDistResolvesOnceAndSurvivesCopy) {
+  con::obs::reset_metrics();
+  con::obs::LazyDist lazy;
+  lazy.get("obs_test.lazy").record(1.0);
+  con::obs::LazyDist copy = lazy;  // copy resets the cached pointer
+  copy.get("obs_test.lazy").record(2.0);
+  EXPECT_EQ(con::obs::dist("obs_test.lazy").count(), 2u);
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+TEST(ObsJson, RoundTripsScalarsExactly) {
+  Json doc = Json::object();
+  doc.set("i", std::int64_t{-9007199254740993});  // not double-representable
+  doc.set("d", 0.1);
+  doc.set("b", true);
+  doc.set("n", nullptr);
+  doc.set("s", "quote \" backslash \\ newline \n tab \t");
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc.set("a", std::move(arr));
+  const Json back = con::obs::parse_json(doc.dump());
+  EXPECT_EQ(back.find("i")->as_int(), -9007199254740993LL);
+  EXPECT_EQ(back.find("d")->as_double(), 0.1);
+  EXPECT_TRUE(back.find("b")->as_bool());
+  EXPECT_TRUE(back.find("n")->is_null());
+  EXPECT_EQ(back.find("s")->as_string(),
+            "quote \" backslash \\ newline \n tab \t");
+  EXPECT_EQ(back.find("a")->items()[0].as_int(), 1);
+  EXPECT_EQ(back.find("a")->items()[1].as_string(), "two");
+}
+
+TEST(ObsJson, PrettyPrintParsesBack) {
+  Json doc = Json::object();
+  Json inner = Json::object();
+  inner.set("k", 1);
+  doc.set("outer", std::move(inner));
+  const Json back = con::obs::parse_json(doc.dump(2));
+  EXPECT_EQ(back.find("outer")->find("k")->as_int(), 1);
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(con::obs::parse_json("{"), std::runtime_error);
+  EXPECT_THROW(con::obs::parse_json("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(con::obs::parse_json("[1, 2] trailing"), std::runtime_error);
+  EXPECT_THROW(con::obs::parse_json(""), std::runtime_error);
+  EXPECT_THROW(con::obs::parse_json("nul"), std::runtime_error);
+}
+
+// ---- manifests --------------------------------------------------------------
+
+TEST(ObsManifest, WritesAndParsesBack) {
+  con::obs::reset_metrics();
+  con::obs::counter("obs_test.manifest_counter").add(42);
+  con::obs::dist("obs_test.manifest_dist").record(1.5);
+
+  con::obs::RunManifest m;
+  m.name = "obs_test_run";
+  m.wall_time_s = 1.25;
+  m.threads = 4;
+  m.config.emplace_back("network", Json("lenet5-small"));
+  m.config.emplace_back("seed", Json(42));
+  m.extra_counters.emplace_back("tensor.buffer_allocations",
+                                std::uint64_t{12345});
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  const std::string path = con::obs::write_manifest(m, dir);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("obs_test_run_manifest.json"), std::string::npos);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const Json doc = con::obs::parse_json(text);
+  EXPECT_EQ(doc.find("name")->as_string(), "obs_test_run");
+  EXPECT_EQ(doc.find("wall_time_s")->as_double(), 1.25);
+  EXPECT_EQ(doc.find("threads")->as_int(), 4);
+  EXPECT_EQ(doc.find("config")->find("network")->as_string(), "lenet5-small");
+  EXPECT_EQ(doc.find("config")->find("seed")->as_int(), 42);
+  const Json* counters = doc.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("obs_test.manifest_counter")->as_int(), 42);
+  EXPECT_EQ(counters->find("tensor.buffer_allocations")->as_int(), 12345);
+  const Json* dists = doc.find("metrics")->find("distributions");
+  ASSERT_NE(dists, nullptr);
+  const Json* d = dists->find("obs_test.manifest_dist");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->find("count")->as_int(), 1);
+  EXPECT_EQ(d->find("sum")->as_double(), 1.5);
+}
+
+// ---- logging satellites -----------------------------------------------------
+
+TEST(ObsLogging, LinesCarryElapsedTimeAndThreadId) {
+  ::testing::internal::CaptureStderr();
+  con::util::log_info("hello %d", 7);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // "[I <elapsed> tNN] hello 7"
+  EXPECT_EQ(out.rfind("[I ", 0), 0u);
+  EXPECT_NE(out.find(" t"), std::string::npos);
+  EXPECT_NE(out.find("] hello 7"), std::string::npos);
+}
+
+TEST(ObsLogging, TruncatedLinesAreMarkedWithEllipsis) {
+  const std::string big(2000, 'y');
+  ::testing::internal::CaptureStderr();
+  con::util::log_info("%s", big.c_str());
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("\xE2\x80\xA6"), std::string::npos);
+  EXPECT_LT(out.size(), 1200u);  // 1023 payload + prefix, not 2000
+}
+
+}  // namespace
