@@ -63,7 +63,9 @@ Tensor pgd(const nn::Sequential& model, const Tensor& images,
   }
   const float* orig = images.data();
   nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+  // conlint:hotpath begin
   for (int it = 0; it < params.iterations; ++it) {
+    // conlint:allow(hot-path-alloc): per-iteration gradient buffer is produced by the model's backward pass
     Tensor grad = per_sample_loss_gradient(model, adv, labels, tape);
     const float* g = grad.data();
     float* a = adv.data();
@@ -80,6 +82,7 @@ Tensor pgd(const nn::Sequential& model, const Tensor& images,
       a[i] = std::min(1.0f, std::max(0.0f, v));
     }
   }
+  // conlint:hotpath end
   return adv;
 }
 
@@ -98,7 +101,9 @@ Tensor mi_fgsm(const nn::Sequential& model, const Tensor& images,
   Tensor momentum(images.shape());
   const float* orig = images.data();
   nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+  // conlint:hotpath begin
   for (int it = 0; it < params.iterations; ++it) {
+    // conlint:allow(hot-path-alloc): per-iteration gradient buffer is produced by the model's backward pass
     Tensor grad = per_sample_loss_gradient(model, adv, labels, tape);
     // Normalise each sample's gradient by its L1 norm before accumulation
     // (the MI-FGSM update rule).
@@ -125,6 +130,7 @@ Tensor mi_fgsm(const nn::Sequential& model, const Tensor& images,
       a[i] = std::min(1.0f, std::max(0.0f, v));
     }
   }
+  // conlint:hotpath end
   return adv;
 }
 
@@ -138,7 +144,9 @@ Tensor targeted_ifgsm(const nn::Sequential& model, const Tensor& images,
   const Index n = images.numel();
   Tensor adv = images;
   nn::ForwardTape tape(/*accumulate_param_grads=*/false);
+  // conlint:hotpath begin
   for (int it = 0; it < params.iterations; ++it) {
+    // conlint:allow(hot-path-alloc): per-iteration gradient buffer is produced by the model's backward pass
     Tensor grad = per_sample_loss_gradient(model, adv, target_labels, tape);
     const float* g = grad.data();
     // In-place update: a[i] is read before it is written, so the ε-ball
@@ -155,6 +163,7 @@ Tensor targeted_ifgsm(const nn::Sequential& model, const Tensor& images,
       a[i] = std::min(1.0f, std::max(0.0f, v));
     }
   }
+  // conlint:hotpath end
   return adv;
 }
 
@@ -198,14 +207,18 @@ Tensor jsma(const nn::Sequential& model, const Tensor& images,
     }
 
     std::vector<bool> used(static_cast<std::size_t>(x.numel()), false);
+    // conlint:hotpath begin
     for (int picked = 0; picked < params.max_pixels; ++picked) {
       // The tape already holds the forward of the current x (from the
       // initial forward or the post-update check below).
+      // conlint:allow(hot-path-alloc): resize fires once per sample (seed shape is fixed across pixels)
       if (seed.shape() != logits.shape()) seed.resize(logits.shape());
       seed.at({0, target}) = 1.0f;
+      // conlint:allow(hot-path-alloc): per-iteration gradient buffer is produced by the model's backward pass
       Tensor grad_t = model.backward(seed, tape);
       seed.at({0, target}) = 0.0f;
       seed.at({0, y}) = 1.0f;
+      // conlint:allow(hot-path-alloc): per-iteration gradient buffer is produced by the model's backward pass
       Tensor grad_y = model.backward(seed, tape);
       seed.at({0, y}) = 0.0f;
       // Saliency: pixels whose increase helps the target and hurts the
@@ -245,6 +258,7 @@ Tensor jsma(const nn::Sequential& model, const Tensor& images,
       logits = model.forward(x, false, tape);
       if (tensor::argmax_row(logits, 0) == target) break;
     }
+    // conlint:hotpath end
     tensor::set_batch(result, s, x.reshaped(sample.shape()));
   }
   return result;

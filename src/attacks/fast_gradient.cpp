@@ -68,6 +68,7 @@ void fast_gradient_range(const nn::Sequential& model, const Tensor& images,
   const Index n = adv.numel();
   const float eps = params.epsilon;
   static obs::Counter& steps = obs::counter("attack.fast_gradient.steps");
+  // conlint:hotpath begin
   for (int it = 0; it < params.iterations; ++it) {
     steps.add(1);
     grad = loss_input_gradient(model, adv, chunk_labels, tape);
@@ -93,6 +94,7 @@ void fast_gradient_range(const nn::Sequential& model, const Tensor& images,
       x[i] = v;
     }
   }
+  // conlint:hotpath end
 }
 
 Tensor fgm(const nn::Sequential& model, const Tensor& images,

@@ -49,7 +49,10 @@ DnsPruner::DnsPruner(nn::Sequential& model, DnsConfig config)
   }
   for (nn::Parameter* p : model_->parameters()) {
     if (!p->compressible) continue;
-    if (!p->has_mask()) p->mask = Tensor(p->value.shape(), 1.0f);
+    if (!p->has_mask()) {
+      p->mask = Tensor(p->value.shape(), 1.0f);
+      p->bump_version();
+    }
     pruned_params_.push_back(p);
   }
   if (pruned_params_.empty()) {

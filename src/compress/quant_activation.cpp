@@ -100,7 +100,12 @@ nn::Sequential strip_quantization(const nn::Sequential& model) {
     if (dynamic_cast<const QuantActivation*>(&layer) != nullptr) continue;
     out.add(layer.clone());
   }
-  for (nn::Parameter* p : out.parameters()) p->transform.reset();
+  for (nn::Parameter* p : out.parameters()) {
+    p->transform.reset();
+    // Without the bump a layer that already packed its quantized panels
+    // would keep serving them after the transform is gone.
+    p->bump_version();
+  }
   return out;
 }
 

@@ -52,8 +52,10 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train, TapeSlot& slot) const {
         }
       }
       var[c] = static_cast<float>(vacc / per_channel);
+      // conlint:allow(layer-reentrancy): running-stat update only in train mode, which is single-threaded by contract
       running_mean_[c] =
           (1.0f - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      // conlint:allow(layer-reentrancy): running-stat update only in train mode, which is single-threaded by contract
       running_var_[c] =
           (1.0f - momentum_) * running_var_[c] + momentum_ * var[c];
     }

@@ -35,8 +35,8 @@ class BatchNorm2d : public Layer {
   // Running statistics are logical model state but are only written by
   // train-mode forwards, which are single-threaded by contract; `mutable`
   // lets eval-mode forward stay const and thread-safe.
-  mutable Tensor running_mean_;
-  mutable Tensor running_var_;
+  mutable Tensor running_mean_;  // conlint:allow(layer-reentrancy): train-mode-only state, see comment above
+  mutable Tensor running_var_;  // conlint:allow(layer-reentrancy): train-mode-only state, see comment above
 };
 
 }  // namespace con::nn

@@ -36,8 +36,8 @@ class Linear : public Layer {
   // changes (internally mutable: packing is not logical layer state).
   PackedWeightsCache cache_;
   // Per-layer wall-time distributions ("<name>.forward_s" / ".backward_s").
-  mutable obs::LazyDist fwd_time_;
-  mutable obs::LazyDist bwd_time_;
+  mutable obs::LazyDist fwd_time_;  // conlint:allow(layer-reentrancy): LazyDist is internally synchronized telemetry, not layer state
+  mutable obs::LazyDist bwd_time_;  // conlint:allow(layer-reentrancy): LazyDist is internally synchronized telemetry, not layer state
 };
 
 }  // namespace con::nn

@@ -61,7 +61,7 @@ class PackedWeightsCache {
 
   // Returns the cached snapshot if the fingerprint still matches `p`,
   // otherwise rebuilds via `build` and caches the result.
-  std::shared_ptr<const PackedWeights> get(const Parameter& p,
+  [[nodiscard]] std::shared_ptr<const PackedWeights> get(const Parameter& p,
                                            BuildFn build) const;
 
  private:

@@ -42,6 +42,7 @@ class Dropout : public Layer {
  private:
   double p_;
   std::string name_;
+  // conlint:allow(layer-reentrancy): dropout draws only in train-mode forwards, which are single-threaded by contract
   mutable con::util::Rng rng_;
 };
 

@@ -92,7 +92,15 @@ double elapsed_seconds() {
 
 int this_thread_id() { return this_ring().tid; }
 
-void set_thread_name(const std::string& name) { this_ring().thread_name = name; }
+void set_thread_name(const std::string& name) {
+  ThreadRing& ring = this_ring();
+  // Exporters read the name from another thread under the registry lock, and
+  // a pool worker that never picks up a chunk has no other synchronization
+  // edge with the exporting thread — so the write must take the same lock.
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ring.thread_name = name;
+}
 
 void Span::begin(const char* name, const std::string* base) {
   copy_name(name_, name, base);

@@ -72,6 +72,7 @@ void build_skip_lists(PackedMatrix& p) {
 // listed k are visited, and rows whose A value is zero are skipped too —
 // every elided term has a zero factor. Writes the mv×nv valid corner of
 // the tile to C.
+// conlint:hotpath begin
 template <int MR, int NR, typename Acc>
 void micro_kernel(Index depth, const float* __restrict ap,
                   const float* __restrict bp,
@@ -113,6 +114,7 @@ void micro_kernel(Index depth, const float* __restrict ap,
     }
   }
 }
+// conlint:hotpath end
 
 // The right operand of a GEMM call: either a pre-packed matrix (cached
 // weight panels) or raw storage packed panel-by-panel inside each task.
@@ -190,6 +192,7 @@ constexpr Index kSparseAxpyDensityPct = 25;
 // streaming sweeps (the prefetch-friendly pattern of the scalar loops).
 // Parallel over C rows — every element has exactly one owner, so the
 // output does not depend on the thread count.
+// conlint:hotpath begin
 void sparse_axpy(const PackedMatrix& a, const float* b, Index ldb, Index n,
                  float* c) {
   util::parallel_for(0, static_cast<std::size_t>(a.rows), [&](std::size_t r) {
@@ -212,6 +215,7 @@ void sparse_axpy(const PackedMatrix& a, const float* b, Index ldb, Index n,
     }
   });
 }
+// conlint:hotpath end
 
 // Drives a full C[M,N] product from a packed left operand and a BSource.
 // Parallel over kNC-column panels: each task owns a disjoint column range

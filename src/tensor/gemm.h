@@ -80,32 +80,32 @@ struct PackedMatrix {
 };
 
 // Pack a logical [rows, depth] operand stored row-major (m.dim(0) = rows).
-PackedMatrix pack_rowmajor(const Tensor& m, Index strip);
+[[nodiscard]] PackedMatrix pack_rowmajor(const Tensor& m, Index strip);
 // Pack a logical [rows, depth] operand stored as its transpose
 // (m.dim(0) = depth, m.dim(1) = rows).
-PackedMatrix pack_colmajor(const Tensor& m, Index strip);
+[[nodiscard]] PackedMatrix pack_colmajor(const Tensor& m, Index strip);
 
 // C[M,N] = A[M,K] · B[K,N]. Packed forms: A = pack_rowmajor(a, kStripA),
 // B = pack_colmajor(b, kStripB). Float accumulators.
-Tensor matmul_nn(const Tensor& a, const Tensor& b);
-Tensor matmul_nn(const PackedMatrix& a, const Tensor& b);
-Tensor matmul_nn(const Tensor& a, const PackedMatrix& b);
+[[nodiscard]] Tensor matmul_nn(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nn(const PackedMatrix& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nn(const Tensor& a, const PackedMatrix& b);
 
 // C[M,N] = A[K,M]ᵀ · B[K,N]. Packed A = pack_colmajor(a, kStripA).
 // Float accumulators.
-Tensor matmul_tn(const Tensor& a, const Tensor& b);
-Tensor matmul_tn(const PackedMatrix& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_tn(const PackedMatrix& a, const Tensor& b);
 
 // C[M,N] = A[M,K] · B[N,K]ᵀ. Packed B = pack_rowmajor(b, kStripB).
 // Double accumulators (dot-product-shaped reduction; DESIGN.md §5).
-Tensor matmul_nt(const Tensor& a, const Tensor& b);
-Tensor matmul_nt(const Tensor& a, const PackedMatrix& b);
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const PackedMatrix& b);
 
 // The pre-blocking scalar loops, kept as the correctness oracle for
 // tests/test_gemm.cpp and the before/after baseline in bench_micro_ops.
 // The blocked kernels above reproduce their output bit-for-bit.
-Tensor reference_nn(const Tensor& a, const Tensor& b);
-Tensor reference_tn(const Tensor& a, const Tensor& b);
-Tensor reference_nt(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor reference_nn(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor reference_tn(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor reference_nt(const Tensor& a, const Tensor& b);
 
 }  // namespace con::tensor::gemm

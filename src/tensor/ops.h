@@ -10,11 +10,11 @@
 namespace con::tensor {
 
 // ---- elementwise ----------------------------------------------------------
-Tensor add(const Tensor& a, const Tensor& b);
-Tensor sub(const Tensor& a, const Tensor& b);
-Tensor mul(const Tensor& a, const Tensor& b);  // Hadamard product
-Tensor scale(const Tensor& a, float s);
-Tensor add_scaled(const Tensor& a, const Tensor& b, float s);  // a + s*b
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);  // Hadamard product
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+[[nodiscard]] Tensor add_scaled(const Tensor& a, const Tensor& b, float s);  // a + s*b
 
 void add_inplace(Tensor& dst, const Tensor& src);
 void sub_inplace(Tensor& dst, const Tensor& src);
@@ -28,35 +28,35 @@ void add_scaled_inplace(Tensor& dst, const Tensor& src, float s);
 void add_scaled_into(Tensor& dst, const Tensor& a, const Tensor& b, float s);
 
 // Elementwise sign(): -1, 0 or +1.
-Tensor sign(const Tensor& a);
+[[nodiscard]] Tensor sign(const Tensor& a);
 // Elementwise clamp to [lo, hi].
-Tensor clamp(const Tensor& a, float lo, float hi);
+[[nodiscard]] Tensor clamp(const Tensor& a, float lo, float hi);
 void clamp_inplace(Tensor& a, float lo, float hi);
 
 // ---- reductions -----------------------------------------------------------
-float sum(const Tensor& a);
-float mean(const Tensor& a);
-float min_value(const Tensor& a);
-float max_value(const Tensor& a);
-float l2_norm(const Tensor& a);
-float linf_norm(const Tensor& a);
+[[nodiscard]] float sum(const Tensor& a);
+[[nodiscard]] float mean(const Tensor& a);
+[[nodiscard]] float min_value(const Tensor& a);
+[[nodiscard]] float max_value(const Tensor& a);
+[[nodiscard]] float l2_norm(const Tensor& a);
+[[nodiscard]] float linf_norm(const Tensor& a);
 // Fraction of exactly-zero elements (used for sparsity accounting).
-double zero_fraction(const Tensor& a);
+[[nodiscard]] double zero_fraction(const Tensor& a);
 
 // Index of the maximum element of a rank-1 tensor or of row `row` of a
 // rank-2 tensor.
-Index argmax(const Tensor& a);
-Index argmax_row(const Tensor& a, Index row);
+[[nodiscard]] Index argmax(const Tensor& a);
+[[nodiscard]] Index argmax_row(const Tensor& a, Index row);
 
 // ---- linear algebra -------------------------------------------------------
 // C[M,N] = A[M,K] * B[K,N].
-Tensor matmul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 // C[M,N] = A[K,M]^T * B[K,N].
-Tensor matmul_tn(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
 // C[M,N] = A[M,K] * B[N,K]^T.
-Tensor matmul_nt(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
 // Rank-2 transpose.
-Tensor transpose(const Tensor& a);
+[[nodiscard]] Tensor transpose(const Tensor& a);
 
 // ---- convolution support ---------------------------------------------------
 // im2col for NCHW tensors: input [N,C,H,W] -> columns
@@ -74,9 +74,9 @@ struct Conv2dGeometry {
 };
 
 // Extract patches of a single image [C,H,W] into [C*kh*kw, out_h*out_w].
-Tensor im2col(const Tensor& image, const Conv2dGeometry& g);
+[[nodiscard]] Tensor im2col(const Tensor& image, const Conv2dGeometry& g);
 // Scatter-add the column gradient back into an image gradient [C,H,W].
-Tensor col2im(const Tensor& columns, const Conv2dGeometry& g);
+[[nodiscard]] Tensor col2im(const Tensor& columns, const Conv2dGeometry& g);
 
 // Batched variants: the whole batch becomes ONE column matrix so a conv
 // layer is a single GEMM instead of N small ones. Sample i occupies the
@@ -84,18 +84,18 @@ Tensor col2im(const Tensor& columns, const Conv2dGeometry& g);
 // block the layout matches im2col, so per-column results are bit-identical
 // to the per-sample path.
 // [N,C,H,W] -> [C*kh*kw, N*out_h*out_w].
-Tensor im2col_batch(const Tensor& batch, const Conv2dGeometry& g);
+[[nodiscard]] Tensor im2col_batch(const Tensor& batch, const Conv2dGeometry& g);
 // [C*kh*kw, N*out_h*out_w] -> [N,C,H,W] (scatter-add).
-Tensor col2im_batch(const Tensor& columns, Index batch_size,
+[[nodiscard]] Tensor col2im_batch(const Tensor& columns, Index batch_size,
                     const Conv2dGeometry& g);
 
 // ---- batched slicing -------------------------------------------------------
 // Extract sample `n` of a batch tensor [N, ...] as a tensor of shape [...].
-Tensor slice_batch(const Tensor& batch, Index n);
+[[nodiscard]] Tensor slice_batch(const Tensor& batch, Index n);
 // Write `sample` into position `n` of `batch`.
 void set_batch(Tensor& batch, Index n, const Tensor& sample);
 // Stack K same-shape tensors into [K, ...].
-Tensor stack(const std::vector<Tensor>& samples);
+[[nodiscard]] Tensor stack(const std::vector<Tensor>& samples);
 
 // ---- batch gather / scatter / compaction -----------------------------------
 // Row-range and index-set operations over the leading (batch) dimension.
@@ -104,13 +104,13 @@ Tensor stack(const std::vector<Tensor>& samples);
 // result rows directly, with no intermediate chunk tensors.
 
 // Copy rows [lo, hi) of `batch` into a fresh [hi-lo, ...] tensor.
-Tensor copy_rows(const Tensor& batch, Index lo, Index hi);
+[[nodiscard]] Tensor copy_rows(const Tensor& batch, Index lo, Index hi);
 // Write `src` ([M, ...], same trailing dims as `batch`) into rows
 // [lo, lo+M) of `batch`.
 void write_rows(Tensor& batch, Index lo, const Tensor& src);
 // Gather `batch` row rows[j] into row j of a fresh [rows.size(), ...]
 // tensor. Indices may repeat and appear in any order.
-Tensor gather_rows(const Tensor& batch, const std::vector<Index>& rows);
+[[nodiscard]] Tensor gather_rows(const Tensor& batch, const std::vector<Index>& rows);
 // Stable in-place compaction: `batch` row keep[j] moves to row j and the
 // batch dimension shrinks to keep.size(). `keep` must be strictly
 // ascending. Storage is retained, so a live set can shrink to nothing

@@ -58,8 +58,8 @@ class Tensor {
   Tensor& operator=(Tensor&&) noexcept = default;
   ~Tensor() = default;
 
-  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
-  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  [[nodiscard]] static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
 
   const Shape& shape() const { return shape_; }
   Index rank() const { return shape_.rank(); }
@@ -81,7 +81,7 @@ class Tensor {
 
   // Returns a tensor sharing no storage with this one, with the same data
   // but a different shape. numel must match.
-  Tensor reshaped(Shape new_shape) const;
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
 
   // Re-shape this tensor to `new_shape`, keeping the existing storage when
   // its capacity allows (shrinking never reallocates). Contents are reset
@@ -100,7 +100,7 @@ class Tensor {
   // constructions, copies, and copy-assignments/resizes that outgrow the
   // destination's capacity. Monotonic; read it before/after a region to
   // bound its allocation behaviour (see the attack-loop regression tests).
-  static std::uint64_t buffer_allocations();
+  [[nodiscard]] static std::uint64_t buffer_allocations();
 
   std::string to_string(Index max_elems = 32) const;
 

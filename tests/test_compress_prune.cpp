@@ -45,6 +45,7 @@ TEST(DnsPruner, PrunesSmallestMagnitudes) {
   for (Index i = 0; i < 100; ++i) {
     w->value[i] = (i % 2 ? 1.0f : -1.0f) * static_cast<float>(i + 1);
   }
+  w->bump_version();
   DnsPruner pruner(m, DnsConfig{.target_density = 0.5});
   // the 50 smallest magnitudes (indices 0..49) must be masked
   for (Index i = 0; i < 50; ++i) EXPECT_EQ(w->mask[i], 0.0f) << i;
@@ -69,6 +70,7 @@ TEST(DnsPruner, RecoveryRestoresGrownWeights) {
   ASSERT_EQ(w->mask[0], 0.0f);
   // weight 0 grows past everything; next update must restore it (DNS)
   w->value[0] = 100.0f;
+  w->bump_version();
   pruner.update_masks();
   EXPECT_EQ(w->mask[0], 1.0f);
 }
@@ -84,6 +86,7 @@ TEST(DnsPruner, OneShotNeverRecovers) {
                                 .allow_recovery = false});
   ASSERT_EQ(w->mask[0], 0.0f);
   w->value[0] = 100.0f;
+  w->bump_version();
   pruner.update_masks();
   EXPECT_EQ(w->mask[0], 0.0f);  // Han-style: pruned stays pruned
 }
@@ -99,11 +102,13 @@ TEST(DnsPruner, HysteresisKeepsBandStable) {
   // α ≈ 0.50; put weight 10 (pruned) at 1.05·α — inside [α, 1.2α].
   ASSERT_EQ(w->mask[10], 0.0f);
   w->value[10] = 0.50f * 1.05f;
+  w->bump_version();
   pruner.update_masks();
   EXPECT_EQ(w->mask[10], 0.0f);
   // ...and a kept weight in the band stays kept.
   ASSERT_EQ(w->mask[90], 1.0f);
   w->value[90] = 0.50f * 1.05f;
+  w->bump_version();
   pruner.update_masks();
   EXPECT_EQ(w->mask[90], 1.0f);
 }

@@ -182,6 +182,7 @@ TEST_F(ConcurrencyTest, SweepScenariosMatchesSerialEvaluationCellForCell) {
     if (!p->compressible) continue;
     p->mask = Tensor(p->value.shape(), 1.0f);
     for (Index i = 0; i < p->value.numel() / 4; ++i) p->mask[i] = 0.0f;
+    p->bump_version();
     break;
   }
   const data::Dataset eval_set = split_->test.take(48);

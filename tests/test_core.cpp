@@ -72,6 +72,7 @@ TEST(CdfTest, QuantisedWeightsShowClipping) {
   // widen some weights beyond the 4-bit range so clipping has an effect
   nn::Parameter* w = base.parameters()[0];
   for (tensor::Index i = 0; i < 10; ++i) w->value[i] = 2.0f;
+  w->bump_version();
   nn::Sequential q = compress::quantize_model(
       base, compress::QuantizeOptions{
                 .format = compress::FixedPointFormat::paper_format(4)});

@@ -206,6 +206,7 @@ TEST(SgdTest, MomentumAcceleratesConstantGradient) {
   auto& fc = m.emplace<Linear>(2, 2, rng, "fc");
   Parameter& w = fc.weight();
   w.value.fill(0.0f);
+  w.bump_version();
   Sgd sgd({&w}, SgdConfig{.learning_rate = 1.0f, .momentum = 0.5f});
   w.grad.fill(1.0f);
   sgd.step();

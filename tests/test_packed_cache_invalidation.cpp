@@ -1,0 +1,192 @@
+// Regression tests for the Parameter-version / packed-weights contract:
+// every in-place compression transform (pruner mask refresh, transform
+// attach/strip, checkpoint load, optimizer step) must bump the parameter
+// version so the GEMM layers repack their weight panels instead of serving
+// stale ones. Each test drives a real forward (which packs), applies the
+// transform, drives another forward, and asserts both that the repack
+// counter advanced and that the outputs actually reflect the new weights.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "compress/fixed_point.h"
+#include "compress/pruner.h"
+#include "compress/quant_activation.h"
+#include "io/checkpoint.h"
+#include "models/model_zoo.h"
+#include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "test_helpers.h"
+
+namespace con {
+namespace {
+
+using con::testing::random_batch;
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::uint64_t repacks() {
+  return obs::counter("packed_cache.repack").value();
+}
+
+bool outputs_differ(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return true;
+  for (Index i = 0; i < a.numel(); ++i) {
+    if (a[i] != b[i]) return true;
+  }
+  return false;
+}
+
+nn::Sequential small_model(std::uint64_t seed) {
+  return models::make_lenet5_small(seed);
+}
+
+TEST(PackedCacheInvalidation, PrunerAttachAndUpdateMasksRepack) {
+  nn::Sequential m = small_model(11);
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 7);
+  const Tensor y0 = m.forward(x, false);  // packs every GEMM layer
+
+  const std::uint64_t before_attach = repacks();
+  compress::DnsPruner pruner(m, compress::DnsConfig{.target_density = 0.4});
+  const Tensor y1 = m.forward(x, false);
+  EXPECT_GT(repacks(), before_attach)
+      << "mask attach must invalidate the packed panels";
+  EXPECT_TRUE(outputs_differ(y0, y1))
+      << "pruning 60% of the weights must change the output";
+
+  // Grow a masked weight so the next mask refresh flips its gate, then
+  // verify the refresh repacks and the output reflects the regrown weight.
+  nn::Parameter* w = nullptr;
+  Index masked = -1;
+  for (nn::Parameter* p : m.parameters()) {
+    if (!p->has_mask()) continue;
+    for (Index i = 0; i < p->mask.numel(); ++i) {
+      if (p->mask[i] == 0.0f) {
+        w = p;
+        masked = i;
+        break;
+      }
+    }
+    if (w != nullptr) break;
+  }
+  ASSERT_NE(w, nullptr);
+  w->value[masked] = 1e3f;
+  w->bump_version();
+  pruner.update_masks();
+  ASSERT_EQ(w->mask[masked], 1.0f);
+
+  const std::uint64_t before_update = repacks();
+  const Tensor y2 = m.forward(x, false);
+  EXPECT_GT(repacks(), before_update)
+      << "update_masks must invalidate the packed panels";
+  EXPECT_TRUE(outputs_differ(y1, y2));
+}
+
+TEST(PackedCacheInvalidation, TransformAttachInPlaceRepacks) {
+  nn::Sequential m = small_model(12);
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 8);
+  const Tensor y0 = m.forward(x, false);
+
+  // Attach a coarse fixed-point weight transform in place, following the
+  // bump contract, exactly like the sensitivity scan does.
+  const auto fmt = compress::FixedPointFormat::paper_format(3);
+  for (nn::Parameter* p : m.parameters()) {
+    if (!p->compressible) continue;
+    p->transform =
+        std::make_shared<compress::FixedPointWeightTransform>(fmt);
+    p->bump_version();
+  }
+  const std::uint64_t before = repacks();
+  const Tensor y1 = m.forward(x, false);
+  EXPECT_GT(repacks(), before);
+  EXPECT_TRUE(outputs_differ(y0, y1))
+      << "3-bit weights must change the output";
+
+  // Strip the transforms again (the strip_quantization pattern): panels
+  // must be rebuilt from the raw weights and the output must return to the
+  // float baseline.
+  for (nn::Parameter* p : m.parameters()) {
+    if (!p->transform) continue;
+    p->transform.reset();
+    p->bump_version();
+  }
+  const std::uint64_t before_strip = repacks();
+  const Tensor y2 = m.forward(x, false);
+  EXPECT_GT(repacks(), before_strip);
+  EXPECT_FALSE(outputs_differ(y0, y2))
+      << "stripping the transform must restore the float forward bit-exactly";
+}
+
+TEST(PackedCacheInvalidation, StripQuantizationModelForwardMatchesBaseline) {
+  nn::Sequential base = small_model(13);
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 9);
+  const Tensor y_base = base.forward(x, false);
+
+  nn::Sequential q = compress::quantize_model(
+      base, compress::QuantizeOptions{
+                .format = compress::FixedPointFormat::paper_format(4)});
+  const Tensor y_q = q.forward(x, false);  // packs the quantized panels
+  EXPECT_TRUE(outputs_differ(y_base, y_q));
+
+  nn::Sequential stripped = compress::strip_quantization(q);
+  const Tensor y_s = stripped.forward(x, false);
+  EXPECT_FALSE(outputs_differ(y_base, y_s))
+      << "strip_quantization must drop the quantized panels with the "
+         "transforms";
+}
+
+TEST(PackedCacheInvalidation, CheckpointLoadRepacks) {
+  const std::string path =
+      ::testing::TempDir() + "/packed_cache_ckpt_test.conm";
+  nn::Sequential donor = small_model(14);
+  io::save_model(donor, path);
+
+  nn::Sequential m = small_model(15);
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 10);
+  const Tensor y0 = m.forward(x, false);
+  const Tensor y_donor = donor.forward(x, false);
+
+  const std::uint64_t before = repacks();
+  io::load_model_into(m, path);
+  const Tensor y1 = m.forward(x, false);
+  EXPECT_GT(repacks(), before)
+      << "checkpoint load must invalidate the packed panels";
+  EXPECT_TRUE(outputs_differ(y0, y1));
+  EXPECT_FALSE(outputs_differ(y_donor, y1))
+      << "after the load the model must compute with the donor's weights";
+  std::remove(path.c_str());
+}
+
+TEST(PackedCacheInvalidation, OptimizerStepRepacks) {
+  nn::Sequential m = small_model(16);
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 11);
+  const Tensor y0 = m.forward(x, false);
+
+  for (nn::Parameter* p : m.parameters()) p->grad.fill(0.5f);
+  nn::Sgd sgd(m.parameters(), nn::SgdConfig{.learning_rate = 0.1f});
+  sgd.step();
+
+  const std::uint64_t before = repacks();
+  const Tensor y1 = m.forward(x, false);
+  EXPECT_GT(repacks(), before)
+      << "an optimizer step must invalidate the packed panels";
+  EXPECT_TRUE(outputs_differ(y0, y1));
+}
+
+TEST(PackedCacheInvalidation, UnchangedParameterDoesNotRepack) {
+  nn::Sequential m = small_model(17);
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 12);
+  (void)m.forward(x, false);  // cold pack
+
+  const std::uint64_t before = repacks();
+  (void)m.forward(x, false);
+  (void)m.forward(x, false);
+  EXPECT_EQ(repacks(), before)
+      << "repeated forwards against frozen weights must reuse the panels";
+}
+
+}  // namespace
+}  // namespace con

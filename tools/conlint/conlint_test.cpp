@@ -1,0 +1,324 @@
+// Fixture tests for the conlint rule engine: each rule gets at least one
+// violating snippet and one conforming snippet, plus coverage for the
+// suppression/directive machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+using conlint::Diagnostic;
+using conlint::FileLint;
+using conlint::ProjectIndex;
+
+FileLint run(const std::string& path, const std::string& source,
+             const ProjectIndex* index = nullptr) {
+  static const ProjectIndex empty;
+  return conlint::lint_source(path, source, index ? *index : empty);
+}
+
+int count_rule(const FileLint& fl, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fl.diagnostics.begin(), fl.diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// ---- lexer-level behaviour --------------------------------------------------
+
+TEST(ConlintLexer, TokenizesAndTracksLines) {
+  auto lx = conlint::lex("int a = 1;\nfloat b;\n");
+  ASSERT_GE(lx.tokens.size(), 5u);
+  EXPECT_EQ(lx.tokens[0].text, "int");
+  EXPECT_EQ(lx.tokens[0].line, 1);
+  EXPECT_EQ(lx.tokens[5].text, "float");
+  EXPECT_EQ(lx.tokens[5].line, 2);
+}
+
+TEST(ConlintLexer, IgnoresCodeInStringsAndComments) {
+  auto fl = run("src/x.cpp",
+                "const char* s = \"rand() time(nullptr)\";\n"
+                "// rand() in a comment\n"
+                "/* std::random_device in a block comment */\n");
+  EXPECT_EQ(count_rule(fl, "determinism"), 0);
+}
+
+TEST(ConlintLexer, RawStringsDoNotLeakTokens) {
+  auto fl = run("src/x.cpp",
+                "const char* s = R\"(std::random_device rd; rand();)\";\n");
+  EXPECT_EQ(count_rule(fl, "determinism"), 0);
+}
+
+TEST(ConlintLexer, UnbalancedHotpathIsADirectiveError) {
+  auto fl = run("src/x.cpp", "// conlint:hotpath begin\nint a = 0;\n");
+  EXPECT_EQ(count_rule(fl, "directive"), 1);
+  auto fl2 = run("src/x.cpp", "int a = 0;\n// conlint:hotpath end\n");
+  EXPECT_EQ(count_rule(fl2, "directive"), 1);
+}
+
+// ---- param-version ----------------------------------------------------------
+
+TEST(ParamVersion, FlagsAssignmentWithoutBump) {
+  auto fl = run("src/compress/x.cpp",
+                "void strip(nn::Parameter& p) {\n"
+                "  p.transform.reset();\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 1);
+  EXPECT_EQ(fl.diagnostics[0].line, 2);
+}
+
+TEST(ParamVersion, AcceptsAssignmentWithBumpInSameBody) {
+  auto fl = run("src/compress/x.cpp",
+                "void strip(nn::Parameter& p) {\n"
+                "  p.transform.reset();\n"
+                "  p.bump_version();\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 0);
+}
+
+TEST(ParamVersion, FlagsMaskAssignmentAndElementWrites) {
+  auto fl = run("src/compress/x.cpp",
+                "void a(nn::Parameter* p) { p->mask = Tensor(); }\n"
+                "void b(nn::Parameter& p) { p.value[0] = 1.0f; }\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 2);
+}
+
+TEST(ParamVersion, BumpInOtherFunctionDoesNotCount) {
+  auto fl = run("src/compress/x.cpp",
+                "void a(nn::Parameter& p) { p.value = Tensor(); }\n"
+                "void b(nn::Parameter& p) { p.bump_version(); }\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 1);
+}
+
+TEST(ParamVersion, ConstParameterReadsAreFine) {
+  auto fl = run("src/nn/x.cpp",
+                "float peek(const nn::Parameter& p) {\n"
+                "  return p.value[0] + (p.mask ? 1.0f : 0.0f);\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 0);
+}
+
+TEST(ParamVersion, MutatorMethodsAreFlagged) {
+  auto fl = run("src/compress/x.cpp",
+                "void z(nn::Parameter& p) { p.value.fill(0.0f); }\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 1);
+}
+
+// ---- layer-reentrancy -------------------------------------------------------
+
+ProjectIndex make_layer_index() {
+  ProjectIndex idx;
+  idx.index_source("class Layer { };\n"
+                   "class Linear : public Layer { };\n"
+                   "class FancyLinear : public Linear { };\n");
+  return idx;
+}
+
+TEST(LayerReentrancy, FlagsMutableMemberInDerivedClass) {
+  ProjectIndex idx = make_layer_index();
+  auto fl = run("src/nn/x.h",
+                "#pragma once\n"
+                "class Linear : public Layer {\n"
+                "  mutable Tensor scratch_;\n"
+                "};\n",
+                &idx);
+  EXPECT_EQ(count_rule(fl, "layer-reentrancy"), 1);
+}
+
+TEST(LayerReentrancy, TransitiveDerivationIsRecognized) {
+  ProjectIndex idx = make_layer_index();
+  auto fl = run("src/nn/x.h",
+                "#pragma once\n"
+                "class FancyLinear : public Linear {\n"
+                "  mutable int calls_;\n"
+                "};\n",
+                &idx);
+  EXPECT_EQ(count_rule(fl, "layer-reentrancy"), 1);
+}
+
+TEST(LayerReentrancy, NonLayerClassMayUseMutable) {
+  ProjectIndex idx = make_layer_index();
+  auto fl = run("src/obs/x.h",
+                "#pragma once\n"
+                "class Registry {\n"
+                "  mutable std::mutex mu_;\n"
+                "};\n",
+                &idx);
+  EXPECT_EQ(count_rule(fl, "layer-reentrancy"), 0);
+}
+
+TEST(LayerReentrancy, FlagsMemberMutationInForward) {
+  ProjectIndex idx = make_layer_index();
+  auto fl = run("src/nn/x.cpp",
+                "Tensor Linear::forward(const Tensor& x, bool train,\n"
+                "                       TapeSlot& slot) const {\n"
+                "  calls_ += 1;\n"
+                "  return x;\n"
+                "}\n",
+                &idx);
+  EXPECT_EQ(count_rule(fl, "layer-reentrancy"), 1);
+}
+
+TEST(LayerReentrancy, ReadsAndLocalsInForwardAreFine) {
+  ProjectIndex idx = make_layer_index();
+  auto fl = run("src/nn/x.cpp",
+                "Tensor Linear::forward(const Tensor& x, bool train,\n"
+                "                       TapeSlot& slot) const {\n"
+                "  float w = weight_.value[0];\n"
+                "  slot.saved = x;\n"
+                "  Tensor out = x;\n"
+                "  return out;\n"
+                "}\n",
+                &idx);
+  EXPECT_EQ(count_rule(fl, "layer-reentrancy"), 0);
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(Determinism, FlagsBannedSources) {
+  auto fl = run("src/attacks/x.cpp",
+                "int a() { return rand(); }\n"
+                "unsigned b() { std::random_device rd; return rd(); }\n"
+                "long c() { return time(nullptr); }\n"
+                "auto d() { return std::chrono::steady_clock::now(); }\n"
+                "int e() { std::mt19937 gen; return (int)gen(); }\n");
+  EXPECT_EQ(count_rule(fl, "determinism"), 5);
+}
+
+TEST(Determinism, SeededEngineAndExemptPathsAreFine) {
+  auto fl = run("src/attacks/x.cpp",
+                "int f(unsigned long seed) {\n"
+                "  std::mt19937 gen(seed);\n"
+                "  return (int)gen();\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "determinism"), 0);
+
+  auto fl2 = run("src/util/timer.cpp",
+                 "double g() { return std::chrono::steady_clock::now()\n"
+                 "    .time_since_epoch().count(); }\n");
+  EXPECT_EQ(count_rule(fl2, "determinism"), 0);
+
+  auto fl3 = run("src/obs/span.cpp",
+                 "auto h() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_EQ(count_rule(fl3, "determinism"), 0);
+}
+
+TEST(Determinism, MemberNamedNowOrRandIsFine) {
+  auto fl = run("src/core/x.cpp",
+                "double f(const Clock& c) { return c.now(); }\n"
+                "float g(const Rng& r) { return r.rand(); }\n");
+  EXPECT_EQ(count_rule(fl, "determinism"), 0);
+}
+
+// ---- hot-path-alloc ---------------------------------------------------------
+
+TEST(HotPathAlloc, FlagsAllocationsInsideRegion) {
+  auto fl = run("src/attacks/x.cpp",
+                "void f(std::vector<int>& v) {\n"
+                "  // conlint:hotpath begin\n"
+                "  for (int i = 0; i < 8; ++i) {\n"
+                "    v.push_back(i);\n"
+                "    Tensor t(shape);\n"
+                "    auto* p = new float[4];\n"
+                "    std::vector<float> tmp;\n"
+                "    std::function<void()> cb;\n"
+                "  }\n"
+                "  // conlint:hotpath end\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "hot-path-alloc"), 5);
+}
+
+TEST(HotPathAlloc, OutsideRegionIsFine) {
+  auto fl = run("src/attacks/x.cpp",
+                "void f(std::vector<int>& v) {\n"
+                "  v.push_back(1);\n"
+                "  Tensor t(shape);\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "hot-path-alloc"), 0);
+}
+
+TEST(HotPathAlloc, TensorReferencesAreNotConstructions) {
+  auto fl = run("src/attacks/x.cpp",
+                "// conlint:hotpath begin\n"
+                "void f(const Tensor& x, Tensor* out) {\n"
+                "  const Tensor& y = x;\n"
+                "}\n"
+                "// conlint:hotpath end\n");
+  EXPECT_EQ(count_rule(fl, "hot-path-alloc"), 0);
+}
+
+// ---- include-hygiene --------------------------------------------------------
+
+TEST(IncludeHygiene, FlagsUsingNamespaceInHeader) {
+  auto fl = run("src/nn/x.h",
+                "#pragma once\n"
+                "using namespace std;\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 1);
+}
+
+TEST(IncludeHygiene, FlagsMissingPragmaOnce) {
+  auto fl = run("src/nn/x.h", "int f();\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 1);
+}
+
+TEST(IncludeHygiene, CppFilesMayUseUsingNamespace) {
+  auto fl = run("src/nn/x.cpp", "using namespace con;\nint f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 0);
+}
+
+// ---- suppression machinery --------------------------------------------------
+
+TEST(Suppression, AllowWithReasonSuppressesSameAndNextLine) {
+  auto fl = run("src/compress/x.cpp",
+                "void a(nn::Parameter& p) {\n"
+                "  p.transform.reset();  // conlint:allow(param-version): "
+                "caller bumps after the batch of edits\n"
+                "}\n"
+                "void b(nn::Parameter& p) {\n"
+                "  // conlint:allow(param-version): caller bumps\n"
+                "  p.mask = Tensor();\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 0);
+  EXPECT_EQ(fl.suppressed.size(), 2u);
+}
+
+TEST(Suppression, AllowWithoutReasonIsADirectiveError) {
+  auto fl = run("src/compress/x.cpp",
+                "void a(nn::Parameter& p) {\n"
+                "  p.transform.reset();  // conlint:allow(param-version)\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "directive"), 1);
+  // And the underlying finding is NOT suppressed.
+  EXPECT_EQ(count_rule(fl, "param-version"), 1);
+}
+
+TEST(Suppression, AllowForWrongRuleDoesNotSuppress) {
+  auto fl = run("src/compress/x.cpp",
+                "void a(nn::Parameter& p) {\n"
+                "  p.transform.reset();  // conlint:allow(determinism): wrong\n"
+                "}\n");
+  EXPECT_EQ(count_rule(fl, "param-version"), 1);
+}
+
+TEST(Suppression, UnknownRuleNameIsADirectiveError) {
+  auto fl = run("src/x.cpp",
+                "int a;  // conlint:allow(no-such-rule): why not\n");
+  EXPECT_EQ(count_rule(fl, "directive"), 1);
+}
+
+// ---- project index ----------------------------------------------------------
+
+TEST(ProjectIndexTest, DerivedFromIsTransitiveAndCrossFile) {
+  ProjectIndex idx;
+  idx.index_source("class Layer { };\nclass A : public Layer { };\n");
+  idx.index_source("class B : public A { };\nclass C : public Other { };\n");
+  auto derived = idx.derived_from("Layer");
+  EXPECT_TRUE(derived.count("Layer"));
+  EXPECT_TRUE(derived.count("A"));
+  EXPECT_TRUE(derived.count("B"));
+  EXPECT_FALSE(derived.count("C"));
+}
+
+}  // namespace

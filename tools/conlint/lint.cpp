@@ -1,0 +1,763 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace conlint {
+
+namespace {
+
+using Toks = std::vector<Token>;
+
+bool is_ident(const Toks& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokKind::kIdent && t[i].text == text;
+}
+
+bool is_punct(const Toks& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == text;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Matching-delimiter search. `open`/`close` are single-char punct ("(",
+// ")"). Returns the index of the matching delimiter, or npos.
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+std::size_t match_forward(const Toks& t, std::size_t i, const char* open,
+                          const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (is_punct(t, j, open)) ++depth;
+    else if (is_punct(t, j, close) && --depth == 0) return j;
+  }
+  return npos;
+}
+
+std::size_t match_backward(const Toks& t, std::size_t i, const char* open,
+                           const char* close) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (is_punct(t, j, close)) ++depth;
+    else if (is_punct(t, j, open) && --depth == 0) return j;
+  }
+  return npos;
+}
+
+// ---- function/class segmentation -------------------------------------------
+
+struct FunctionInfo {
+  std::string name;
+  std::string class_name;  // enclosing class or X:: qualifier; "" for free
+  std::size_t open = 0;    // index of the body '{'
+  std::size_t close = 0;   // index of the matching '}'
+};
+
+struct ClassRange {
+  std::string name;
+  std::size_t open = 0;
+  std::size_t close = 0;
+};
+
+enum class BraceKind { kFunction, kClass, kNamespace, kOther };
+
+// Walks backwards from the body '{' of a suspected function definition
+// through a constructor member-initialiser list, if one is present, until
+// the constructor's parameter-list ')'. `j` points at the token before the
+// '{'. Returns the index of the ')' closing the parameter list, or npos if
+// the shape is not an init list ending in ')'.
+std::size_t skip_init_list_backward(const Toks& t, std::size_t j) {
+  while (true) {
+    // Expect the tail of a member initialiser: name(...) or name{...}.
+    std::size_t g;
+    if (is_punct(t, j, ")")) {
+      g = match_backward(t, j, "(", ")");
+    } else if (is_punct(t, j, "}")) {
+      g = match_backward(t, j, "{", "}");
+    } else {
+      return npos;
+    }
+    if (g == npos || g == 0) return npos;
+    std::size_t name = g - 1;
+    if (name >= t.size() || t[name].kind != TokKind::kIdent) return npos;
+    if (name == 0) return npos;
+    std::size_t before = name - 1;
+    // Template arguments in the member type? Not a member init we produce.
+    if (is_punct(t, before, ",")) {
+      j = before - 1;
+      continue;  // previous initialiser in the list
+    }
+    if (is_punct(t, before, ":")) {
+      // Start of the init list; before it must sit the ctor's ')'.
+      if (before == 0) return npos;
+      std::size_t p = before - 1;
+      // noexcept / attribute gap between ')' and ':' is possible; skip
+      // simple qualifier idents.
+      while (p > 0 && t[p].kind == TokKind::kIdent) --p;
+      if (!is_punct(t, p, ")")) return npos;
+      return p;
+    }
+    return npos;
+  }
+}
+
+// Classifies the '{' at token index `i` (known not to be inside a function
+// body). On kFunction, fills `fn` (close index left 0). On kClass, fills
+// `class_name`.
+BraceKind classify_brace(const Toks& t, std::size_t i, FunctionInfo* fn,
+                         std::string* class_name) {
+  // Scan the statement backwards for class/struct/namespace first: their
+  // heads are unambiguous.
+  for (std::size_t j = i; j-- > 0;) {
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::kPunct &&
+        (tok.text == ";" || tok.text == "{" || tok.text == "}" ||
+         tok.text == ")")) {
+      break;
+    }
+    if (tok.kind == TokKind::kIdent &&
+        (tok.text == "class" || tok.text == "struct" ||
+         tok.text == "union" || tok.text == "enum")) {
+      if (tok.text == "enum" || tok.text == "union") return BraceKind::kOther;
+      // name = first ident after the keyword (skips attributes poorly, but
+      // the codebase does not attribute class heads).
+      if (j + 1 < t.size() && t[j + 1].kind == TokKind::kIdent) {
+        *class_name = t[j + 1].text;
+        return BraceKind::kClass;
+      }
+      return BraceKind::kOther;
+    }
+    if (tok.kind == TokKind::kIdent && tok.text == "namespace") {
+      return BraceKind::kNamespace;
+    }
+  }
+
+  // Function shape: ')' [qualifiers|trailing-return] '{', or a constructor
+  // with ')' ':' init-list '{'.
+  if (i == 0) return BraceKind::kOther;
+  std::size_t j = i - 1;
+  // Skip qualifiers and trailing-return-type tokens between ')' and '{'.
+  bool saw_arrow = false;
+  while (j > 0) {
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::kIdent &&
+        (tok.text == "const" || tok.text == "noexcept" ||
+         tok.text == "override" || tok.text == "final" ||
+         tok.text == "mutable")) {
+      --j;
+      continue;
+    }
+    if (is_punct(t, j, "->")) {
+      saw_arrow = true;
+      --j;
+      continue;
+    }
+    // Trailing return type tokens are only skippable once we know an arrow
+    // is coming further left; tentatively skip and validate below.
+    if (tok.kind == TokKind::kIdent || is_punct(t, j, "::") ||
+        is_punct(t, j, "<") || is_punct(t, j, ">") || is_punct(t, j, "&") ||
+        is_punct(t, j, "*")) {
+      // Look further left for '->' before a ')' shows up.
+      std::size_t k = j;
+      bool arrow = false;
+      while (k > 0) {
+        if (is_punct(t, k, "->")) { arrow = true; break; }
+        if (is_punct(t, k, ")") || is_punct(t, k, ";") ||
+            is_punct(t, k, "{") || is_punct(t, k, "}")) {
+          break;
+        }
+        --k;
+      }
+      if (!arrow && !saw_arrow) return BraceKind::kOther;
+      --j;
+      continue;
+    }
+    break;
+  }
+  std::size_t close = npos;
+  if (is_punct(t, j, ")")) {
+    close = j;
+  } else if (is_punct(t, j, "}") || is_punct(t, j, ")")) {
+    close = skip_init_list_backward(t, j);
+  } else if (is_punct(t, j, ":") || is_punct(t, j, ",")) {
+    return BraceKind::kOther;
+  }
+  if (close == npos && is_punct(t, j, "}")) {
+    close = skip_init_list_backward(t, j);
+  }
+  if (close == npos) return BraceKind::kOther;
+
+  // `close` closes either the parameter list or a member initialiser; a
+  // member initialiser is followed (leftwards) by ident then ':'/','.
+  std::size_t open = match_backward(t, close, "(", ")");
+  if (open == npos || open == 0) return BraceKind::kOther;
+  std::size_t name = open - 1;
+  if (t[name].kind != TokKind::kIdent) {
+    // operator overloads: `operator` + punct before '('.
+    if (t[name].kind == TokKind::kPunct && name > 0 &&
+        is_ident(t, name - 1, "operator")) {
+      fn->name = "operator" + t[name].text;
+      fn->class_name.clear();
+      fn->open = i;
+      return BraceKind::kFunction;
+    }
+    return BraceKind::kOther;
+  }
+  // A member initialiser name would be preceded by ':' or ','; walk to the
+  // constructor's parameter list in that case.
+  if (name > 0 && (is_punct(t, name - 1, ":") || is_punct(t, name - 1, ","))) {
+    std::size_t ctor_close = skip_init_list_backward(t, j);
+    if (ctor_close == npos) return BraceKind::kOther;
+    open = match_backward(t, ctor_close, "(", ")");
+    if (open == npos || open == 0) return BraceKind::kOther;
+    name = open - 1;
+    if (t[name].kind != TokKind::kIdent) return BraceKind::kOther;
+  }
+  const std::string& n = t[name].text;
+  if (n == "if" || n == "for" || n == "while" || n == "switch" ||
+      n == "catch" || n == "return" || n == "sizeof" || n == "alignof" ||
+      n == "decltype" || n == "noexcept") {
+    return BraceKind::kOther;
+  }
+  fn->name = n;
+  fn->class_name.clear();
+  // X::name qualifier (out-of-line member definition).
+  if (name >= 2 && is_punct(t, name - 1, "::") &&
+      t[name - 2].kind == TokKind::kIdent) {
+    fn->class_name = t[name - 2].text;
+  }
+  fn->open = i;
+  return BraceKind::kFunction;
+}
+
+struct Segmentation {
+  std::vector<FunctionInfo> functions;
+  std::vector<ClassRange> classes;
+};
+
+Segmentation segment(const Toks& t) {
+  Segmentation out;
+  struct Scope {
+    BraceKind kind;
+    std::size_t fn_index = 0;     // into out.functions
+    std::size_t class_index = 0;  // into out.classes
+  };
+  std::vector<Scope> stack;
+  auto inside_function = [&] {
+    for (const Scope& s : stack) {
+      if (s.kind == BraceKind::kFunction) return true;
+    }
+    return false;
+  };
+  std::vector<std::string> class_stack;  // enclosing class names
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_punct(t, i, "{")) {
+      if (inside_function()) {
+        stack.push_back({BraceKind::kOther});
+        continue;
+      }
+      FunctionInfo fn;
+      std::string cls;
+      BraceKind kind = classify_brace(t, i, &fn, &cls);
+      Scope scope{kind};
+      if (kind == BraceKind::kFunction) {
+        if (fn.class_name.empty() && !class_stack.empty()) {
+          fn.class_name = class_stack.back();
+        }
+        scope.fn_index = out.functions.size();
+        out.functions.push_back(fn);
+      } else if (kind == BraceKind::kClass) {
+        scope.class_index = out.classes.size();
+        out.classes.push_back(ClassRange{cls, i, 0});
+        class_stack.push_back(cls);
+      }
+      stack.push_back(scope);
+      continue;
+    }
+    if (is_punct(t, i, "}")) {
+      if (stack.empty()) continue;
+      Scope s = stack.back();
+      stack.pop_back();
+      if (s.kind == BraceKind::kFunction) {
+        out.functions[s.fn_index].close = i;
+      } else if (s.kind == BraceKind::kClass) {
+        out.classes[s.class_index].close = i;
+        class_stack.pop_back();
+      }
+    }
+  }
+  // Unterminated scopes (lexer never fails, so just close at EOF).
+  for (FunctionInfo& f : out.functions) {
+    if (f.close == 0) f.close = t.size() - 1;
+  }
+  for (ClassRange& c : out.classes) {
+    if (c.close == 0) c.close = t.size() - 1;
+  }
+  return out;
+}
+
+// ---- rule helpers -----------------------------------------------------------
+
+struct Sink {
+  const std::string* file;
+  std::map<int, std::set<std::string>> allows;  // line -> rules allowed
+  std::set<int> used_allow_lines;
+  std::vector<Diagnostic>* active;
+  std::vector<Diagnostic>* suppressed;
+
+  void report(int line, const std::string& rule, std::string message) {
+    Diagnostic d{*file, line, rule, std::move(message)};
+    for (int l : {line, line - 1}) {
+      auto it = allows.find(l);
+      if (it != allows.end() && it->second.count(rule) != 0) {
+        used_allow_lines.insert(l);
+        suppressed->push_back(std::move(d));
+        return;
+      }
+    }
+    active->push_back(std::move(d));
+  }
+};
+
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---- param-version ----------------------------------------------------------
+
+// Identifiers declared with (non-const) Parameter type anywhere in the
+// file, e.g. `Parameter& p`, `nn::Parameter* p`, member `Parameter weight_;`
+// or a range-for over Parameter*.
+std::set<std::string> collect_parameter_vars(const Toks& t) {
+  std::set<std::string> vars;
+  std::set<std::string> const_vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i, "Parameter")) continue;
+    // const-ness: look left past namespace qualifiers.
+    bool is_const = false;
+    {
+      std::size_t j = i;
+      while (j >= 2 && is_punct(t, j - 1, "::") &&
+             t[j - 2].kind == TokKind::kIdent) {
+        j -= 2;
+      }
+      if (j >= 1 && is_ident(t, j - 1, "const")) is_const = true;
+    }
+    std::size_t j = i + 1;
+    while (is_punct(t, j, "*") || is_punct(t, j, "&")) ++j;
+    if (j >= t.size() || t[j].kind != TokKind::kIdent) continue;
+    // `Parameter name(` is a function declaration/ctor call, not a var.
+    if (is_punct(t, j + 1, "(")) continue;
+    (is_const ? const_vars : vars).insert(t[j].text);
+  }
+  // A name that is ever bound non-const is tracked (the const binding of
+  // the same name cannot be the one mutated through).
+  for (const std::string& v : const_vars) {
+    (void)v;  // const-only names are simply not tracked
+  }
+  return vars;
+}
+
+const std::set<std::string>& tensor_mutators() {
+  static const std::set<std::string> m = {"fill", "zero", "resize",
+                                          "shrink_rows", "reset", "swap"};
+  return m;
+}
+
+// True if the statement containing token `i` (scanning back to the nearest
+// ';', '{' or '}') declares a const binding or is a return statement — in
+// which case `.data()` access is a read.
+bool statement_reads_only(const Toks& t, std::size_t i) {
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (t[j].kind == TokKind::kPunct &&
+        (t[j].text == ";" || t[j].text == "{" || t[j].text == "}")) {
+      return false;
+    }
+    if (t[j].kind == TokKind::kIdent &&
+        (t[j].text == "const" || t[j].text == "return")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_param_version(const Toks& t, const Segmentation& seg, Sink& sink) {
+  std::set<std::string> vars = collect_parameter_vars(t);
+  if (vars.empty()) return;
+  for (const FunctionInfo& fn : seg.functions) {
+    // First sweep: does this function bump at all?
+    bool bumps = false;
+    for (std::size_t i = fn.open; i <= fn.close; ++i) {
+      if (is_ident(t, i, "bump_version")) {
+        bumps = true;
+        break;
+      }
+    }
+    if (bumps) continue;
+    for (std::size_t i = fn.open; i + 2 <= fn.close; ++i) {
+      if (t[i].kind != TokKind::kIdent || vars.count(t[i].text) == 0) continue;
+      if (!(is_punct(t, i + 1, ".") || is_punct(t, i + 1, "->"))) continue;
+      const std::size_t f = i + 2;
+      if (!(is_ident(t, f, "value") || is_ident(t, f, "mask") ||
+            is_ident(t, f, "transform"))) {
+        continue;
+      }
+      std::size_t j = f + 1;
+      bool mutation = false;
+      std::string what = t[i].text + (t[i + 1].text == "." ? "." : "->") +
+                         t[f].text;
+      if (is_punct(t, j, "=")) {
+        mutation = true;
+      } else if (is_punct(t, j, "[")) {
+        std::size_t close = match_forward(t, j, "[", "]");
+        if (close != npos &&
+            (is_punct(t, close + 1, "=") || is_punct(t, close + 1, "+=") ||
+             is_punct(t, close + 1, "-=") || is_punct(t, close + 1, "*=") ||
+             is_punct(t, close + 1, "/="))) {
+          mutation = true;
+        }
+      } else if (is_punct(t, j, ".") && j + 1 <= fn.close &&
+                 t[j + 1].kind == TokKind::kIdent) {
+        const std::string& m = t[j + 1].text;
+        if (tensor_mutators().count(m) != 0) {
+          mutation = true;
+        } else if (m == "data" && !statement_reads_only(t, i)) {
+          mutation = true;
+          what += ".data() bound to a mutable pointer";
+        }
+      }
+      // First argument of an *_inplace op is written.
+      if (!mutation && i >= 2 && is_punct(t, i - 1, "(") &&
+          t[i - 2].kind == TokKind::kIdent &&
+          ends_with(t[i - 2].text, "_inplace")) {
+        mutation = true;
+        what = t[i - 2].text + "(" + what + ", ...)";
+      }
+      if (!mutation) continue;
+      sink.report(
+          t[i].line, "param-version",
+          "write to Parameter storage (" + what + ") in '" + fn.name +
+              "' without bump_version() in the same function body; stale "
+              "packed-weight panels would serve the old effective weights "
+              "(nn/packed_weights.h)");
+    }
+  }
+}
+
+// ---- layer-reentrancy -------------------------------------------------------
+
+void rule_layer_reentrancy(const Toks& t, const Segmentation& seg,
+                           const std::set<std::string>& layer_classes,
+                           Sink& sink) {
+  // `mutable` members anywhere in a Layer-derived class body.
+  for (const ClassRange& c : seg.classes) {
+    if (layer_classes.count(c.name) == 0) continue;
+    for (std::size_t i = c.open + 1; i < c.close; ++i) {
+      if (is_ident(t, i, "mutable")) {
+        sink.report(t[i].line, "layer-reentrancy",
+                    "mutable member in Layer-derived class '" + c.name +
+                        "': forward/backward are const and run concurrently "
+                        "on shared models (nn/layer.h contract)");
+      }
+    }
+  }
+  // Direct member mutation inside forward/backward bodies.
+  static const std::set<std::string> container_mutators = {
+      "fill",       "zero",  "resize", "shrink_rows",  "push_back",
+      "emplace_back", "clear", "reset",  "insert",       "erase"};
+  for (const FunctionInfo& fn : seg.functions) {
+    if (fn.name != "forward" && fn.name != "backward") continue;
+    if (layer_classes.count(fn.class_name) == 0) continue;
+    for (std::size_t i = fn.open + 1; i < fn.close; ++i) {
+      if (t[i].kind != TokKind::kIdent || !ends_with(t[i].text, "_")) continue;
+      // Member access chains (x.y_) are someone else's member.
+      if (i > fn.open + 1 &&
+          (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"))) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      bool mutation = false;
+      if (is_punct(t, j, "=") || is_punct(t, j, "+=") ||
+          is_punct(t, j, "-=") || is_punct(t, j, "*=") ||
+          is_punct(t, j, "/=") || is_punct(t, j, "++") ||
+          is_punct(t, j, "--")) {
+        mutation = true;
+      } else if (is_punct(t, j, "[")) {
+        std::size_t close = match_forward(t, j, "[", "]");
+        if (close != npos &&
+            (is_punct(t, close + 1, "=") || is_punct(t, close + 1, "+=") ||
+             is_punct(t, close + 1, "-=") || is_punct(t, close + 1, "*=") ||
+             is_punct(t, close + 1, "/="))) {
+          mutation = true;
+        }
+      } else if ((is_punct(t, j, ".") || is_punct(t, j, "->")) &&
+                 t[j + 1].kind == TokKind::kIdent &&
+                 container_mutators.count(t[j + 1].text) != 0) {
+        mutation = true;
+      }
+      if (!mutation) continue;
+      sink.report(t[i].line, "layer-reentrancy",
+                  "member '" + t[i].text + "' mutated in " + fn.class_name +
+                      "::" + fn.name +
+                      "; forward/backward must keep per-call state in the "
+                      "caller's TapeSlot (nn/layer.h contract)");
+    }
+  }
+}
+
+// ---- determinism ------------------------------------------------------------
+
+void rule_determinism(const Toks& t, Sink& sink) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    const bool member_access =
+        i > 0 && (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"));
+    if ((s == "rand" || s == "srand") && is_punct(t, i + 1, "(") &&
+        !member_access) {
+      sink.report(t[i].line, "determinism",
+                  s + "() draws from global hidden state; use a named "
+                      "util::Rng stream derived from the experiment seed");
+      continue;
+    }
+    if (s == "random_device" && !member_access) {
+      sink.report(t[i].line, "determinism",
+                  "std::random_device is non-deterministic; derive seeds "
+                  "from the experiment seed (util/rng.h)");
+      continue;
+    }
+    if (s == "time" && !member_access && is_punct(t, i + 1, "(") &&
+        (is_ident(t, i + 2, "nullptr") || is_ident(t, i + 2, "NULL") ||
+         (t.size() > i + 2 && t[i + 2].kind == TokKind::kNumber &&
+          t[i + 2].text == "0")) &&
+        is_punct(t, i + 3, ")")) {
+      sink.report(t[i].line, "determinism",
+                  "time(nullptr) makes runs irreproducible; thread a "
+                  "timestamp in from the caller if one is needed");
+      continue;
+    }
+    if (s == "now" && i > 0 && is_punct(t, i - 1, "::") &&
+        is_punct(t, i + 1, "(")) {
+      sink.report(t[i].line, "determinism",
+                  "clock ::now() outside src/obs//src/util/; results must "
+                  "not depend on wall time (use obs spans or util::Timer "
+                  "for measurement)");
+      continue;
+    }
+    if (s == "mt19937" || s == "mt19937_64") {
+      // In a template argument or nested-name position: not a construction.
+      if (is_punct(t, i + 1, "::") || is_punct(t, i + 1, ">") ||
+          is_punct(t, i + 1, ",")) {
+        continue;
+      }
+      bool unseeded = false;
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].kind == TokKind::kIdent) {
+        // declaration: `mt19937 gen;` / `mt19937 gen(seed);`
+        std::size_t k = j + 1;
+        if (is_punct(t, k, ";") || is_punct(t, k, ",") ||
+            is_punct(t, k, ")")) {
+          unseeded = true;
+        } else if (is_punct(t, k, "(") || is_punct(t, k, "{")) {
+          unseeded = is_punct(t, k + 1, k < t.size() && t[k].text == "("
+                                            ? ")"
+                                            : "}");
+        }
+      } else if (is_punct(t, j, "(") || is_punct(t, j, "{")) {
+        // temporary: `mt19937{}` / `mt19937()`
+        unseeded =
+            is_punct(t, j + 1, t[j].text == "(" ? ")" : "}");
+      }
+      if (unseeded) {
+        sink.report(t[i].line, "determinism",
+                    "std::" + s +
+                        " constructed without an explicit seed expression; "
+                        "seed it from the experiment seed (util/rng.h)");
+      }
+    }
+  }
+}
+
+// ---- hot-path-alloc ---------------------------------------------------------
+
+void rule_hot_path_alloc(const Toks& t, const LexResult& lx, Sink& sink) {
+  if (lx.hotpaths.empty()) return;
+  auto in_hotpath = [&](int line) {
+    for (const HotpathRegion& r : lx.hotpaths) {
+      if (line >= r.begin_line && (r.end_line == 0 || line <= r.end_line)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !in_hotpath(t[i].line)) continue;
+    const std::string& s = t[i].text;
+    const bool member_access =
+        i > 0 && (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"));
+    if (s == "new" && !member_access) {
+      sink.report(t[i].line, "hot-path-alloc",
+                  "operator new inside a conlint:hotpath region");
+      continue;
+    }
+    if (s == "vector" && is_punct(t, i + 1, "<") && !member_access) {
+      sink.report(t[i].line, "hot-path-alloc",
+                  "std::vector constructed inside a conlint:hotpath region");
+      continue;
+    }
+    if ((s == "resize" || s == "push_back" || s == "emplace_back" ||
+         s == "reserve") &&
+        member_access && is_punct(t, i + 1, "(")) {
+      sink.report(t[i].line, "hot-path-alloc",
+                  "." + s + "() may allocate inside a conlint:hotpath region");
+      continue;
+    }
+    if (s == "Tensor" && !member_access && !is_punct(t, i + 1, "::") &&
+        !is_punct(t, i + 1, "&") && !is_punct(t, i + 1, "*") &&
+        !is_punct(t, i + 1, ">") && !is_punct(t, i + 1, ",") &&
+        !is_punct(t, i + 1, ")") && !is_punct(t, i + 1, ";")) {
+      sink.report(t[i].line, "hot-path-alloc",
+                  "Tensor constructed inside a conlint:hotpath region "
+                  "(hoist the buffer out of the loop and reuse it)");
+      continue;
+    }
+    if (s == "function" && i > 0 && is_punct(t, i - 1, "::") &&
+        is_punct(t, i + 1, "<")) {
+      sink.report(t[i].line, "hot-path-alloc",
+                  "std::function inside a conlint:hotpath region may "
+                  "heap-allocate its captures; use a template parameter or "
+                  "function_ref-style callable");
+      continue;
+    }
+  }
+}
+
+// ---- include-hygiene --------------------------------------------------------
+
+void rule_include_hygiene(const Toks& t, const LexResult& lx, bool is_header,
+                          Sink& sink) {
+  if (!is_header) return;
+  if (!lx.has_pragma_once) {
+    sink.report(1, "include-hygiene", "header is missing #pragma once");
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (is_ident(t, i, "using") && is_ident(t, i + 1, "namespace")) {
+      sink.report(t[i].line, "include-hygiene",
+                  "using-directive in a header leaks into every includer; "
+                  "use explicit qualification or scoped aliases");
+    }
+  }
+}
+
+}  // namespace
+
+// ---- ProjectIndex -----------------------------------------------------------
+
+void ProjectIndex::index_source(const std::string& source) {
+  LexResult lx = lex(source);
+  const Toks& t = lx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(is_ident(t, i, "class") || is_ident(t, i, "struct"))) continue;
+    if (t[i + 1].kind != TokKind::kIdent) continue;
+    const std::string name = t[i + 1].text;
+    std::size_t j = i + 2;
+    if (is_ident(t, j, "final")) ++j;
+    if (!is_punct(t, j, ":")) continue;
+    // Parse the base list up to '{'.
+    std::vector<std::string> bases;
+    std::string last_ident;
+    for (++j; j < t.size(); ++j) {
+      if (is_punct(t, j, "{")) break;
+      if (is_punct(t, j, ";")) break;  // forward-decl-ish; no body
+      if (t[j].kind == TokKind::kIdent) {
+        if (t[j].text == "public" || t[j].text == "protected" ||
+            t[j].text == "private" || t[j].text == "virtual") {
+          continue;
+        }
+        last_ident = t[j].text;  // last component of a qualified name wins
+      } else if (is_punct(t, j, ",")) {
+        if (!last_ident.empty()) bases.push_back(last_ident);
+        last_ident.clear();
+      }
+    }
+    if (!last_ident.empty()) bases.push_back(last_ident);
+    if (!bases.empty() && is_punct(t, j, "{")) {
+      auto& entry = bases_[name];
+      entry.insert(entry.end(), bases.begin(), bases.end());
+    }
+  }
+}
+
+std::set<std::string> ProjectIndex::derived_from(
+    const std::string& root) const {
+  std::set<std::string> out{root};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, bases] : bases_) {
+      if (out.count(name) != 0) continue;
+      for (const std::string& b : bases) {
+        if (out.count(b) != 0) {
+          out.insert(name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---- entry point ------------------------------------------------------------
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> names = {
+      "param-version", "layer-reentrancy", "determinism", "hot-path-alloc",
+      "include-hygiene"};
+  return names;
+}
+
+FileLint lint_source(const std::string& path, const std::string& source,
+                     const ProjectIndex& index) {
+  FileLint out;
+  LexResult lx = lex(source);
+
+  Sink sink;
+  sink.file = &path;
+  sink.active = &out.diagnostics;
+  sink.suppressed = &out.suppressed;
+  for (const Allow& a : lx.allows) {
+    bool known = false;
+    for (const std::string& r : rule_names()) known = known || r == a.rule;
+    if (!known) {
+      out.diagnostics.push_back(
+          {path, a.line, "directive",
+           "conlint:allow names unknown rule '" + a.rule + "'"});
+      continue;
+    }
+    sink.allows[a.line].insert(a.rule);
+  }
+  for (const DirectiveError& e : lx.directive_errors) {
+    out.diagnostics.push_back({path, e.line, "directive", e.message});
+  }
+
+  Segmentation seg = segment(lx.tokens);
+  const bool is_header = ends_with(path, ".h") || ends_with(path, ".hpp");
+  const bool determinism_exempt =
+      path_contains(path, "src/obs/") || path_contains(path, "src/util/");
+
+  rule_param_version(lx.tokens, seg, sink);
+  rule_layer_reentrancy(lx.tokens, seg, index.derived_from("Layer"), sink);
+  if (!determinism_exempt) rule_determinism(lx.tokens, sink);
+  rule_hot_path_alloc(lx.tokens, lx, sink);
+  rule_include_hygiene(lx.tokens, lx, is_header, sink);
+
+  std::sort(out.diagnostics.begin(), out.diagnostics.end());
+  std::sort(out.suppressed.begin(), out.suppressed.end());
+  return out;
+}
+
+}  // namespace conlint

@@ -1,0 +1,78 @@
+// conlint rule engine: project-invariant checks over token streams.
+//
+// Rules (DESIGN.md §7 documents the invariant behind each):
+//   param-version    — writes to Parameter value/mask/transform storage must
+//                      be paired with bump_version() in the same function
+//                      body, or the packed-weight cache serves stale panels.
+//   layer-reentrancy — Layer-derived classes: no `mutable` members, and no
+//                      direct member mutation inside forward/backward
+//                      (both run concurrently on shared models).
+//   determinism      — no unseeded/wall-clock randomness outside src/obs/
+//                      and src/util/ (the study's bit-reproducibility
+//                      contract).
+//   hot-path-alloc   — no allocation inside `// conlint:hotpath begin/end`
+//                      regions (iterative attack loops, GEMM micro-kernels).
+//   include-hygiene  — headers carry #pragma once and never `using
+//                      namespace` (self-containment is enforced separately
+//                      by the generated per-header TU build targets).
+//   directive        — malformed conlint directives; never suppressible.
+//
+// Every rule except `directive` is suppressible with
+//   // conlint:allow(<rule>): <reason>
+// on the offending line or the line directly above it. The reason string is
+// mandatory: an exception without a recorded justification is itself a
+// diagnostic.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace conlint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+// Cross-file knowledge collected in a first pass: the class hierarchy, so
+// rules can recognise Layer subclasses whose methods are defined in another
+// file than the class.
+class ProjectIndex {
+ public:
+  // Records `class X : public Y, Z` edges found in `source`.
+  void index_source(const std::string& source);
+
+  // Classes transitively deriving from `root` (the root itself included).
+  std::set<std::string> derived_from(const std::string& root) const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> bases_;
+};
+
+struct FileLint {
+  std::vector<Diagnostic> diagnostics;  // active findings
+  std::vector<Diagnostic> suppressed;   // findings matched by an allow
+};
+
+// All suppressible rule names (for allow() validation and --json).
+const std::vector<std::string>& rule_names();
+
+// Lints one file. `path` decides header-ness (include-hygiene) and the
+// determinism exemption (src/obs/, src/util/); use repo-relative paths so
+// diagnostics are stable across checkouts.
+FileLint lint_source(const std::string& path, const std::string& source,
+                     const ProjectIndex& index);
+
+}  // namespace conlint

@@ -1,0 +1,187 @@
+// conlint CLI: lints the project trees (src/, tests/, bench/, examples/)
+// against the invariants in lint.h.
+//
+// Usage:
+//   conlint --root <repo-root> [--json] [--manifest-dir <dir>] [file...]
+//
+// With explicit file arguments only those files are linted (still using the
+// whole-project class index from --root). Exit status: 0 clean, 1 findings,
+// 2 usage or I/O error.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char* const kTrees[] = {"src", "tests", "bench", "examples"};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string relative_to(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  return (ec || rel.empty()) ? p.generic_string() : rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::string manifest_dir;
+  std::vector<std::string> explicit_files;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--root" && a + 1 < argc) {
+      root = argv[++a];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--manifest-dir" && a + 1 < argc) {
+      manifest_dir = argv[++a];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: conlint --root <repo-root> [--json] "
+                   "[--manifest-dir <dir>] [file...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "conlint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  const fs::path root_path(root);
+  if (!fs::exists(root_path / "src")) {
+    std::cerr << "conlint: '" << root
+              << "' does not look like the repo root (no src/)\n";
+    return 2;
+  }
+
+  // Collect the files to lint.
+  std::vector<fs::path> files;
+  if (!explicit_files.empty()) {
+    for (const std::string& f : explicit_files) files.emplace_back(f);
+  } else {
+    for (const char* tree : kTrees) {
+      const fs::path dir = root_path / tree;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());
+  }
+
+  // Pass 1: the project-wide class index always covers all trees, so a
+  // Layer subclass is recognised even when linting a single file.
+  conlint::ProjectIndex index;
+  {
+    std::vector<fs::path> index_files;
+    for (const char* tree : kTrees) {
+      const fs::path dir = root_path / tree;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          index_files.push_back(entry.path());
+        }
+      }
+    }
+    for (const fs::path& p : index_files) {
+      std::string source;
+      if (read_file(p, source)) index.index_source(source);
+    }
+  }
+
+  // Pass 2: per-file rules.
+  std::vector<conlint::Diagnostic> diagnostics;
+  std::size_t suppressed_count = 0;
+  for (const fs::path& p : files) {
+    std::string source;
+    if (!read_file(p, source)) {
+      std::cerr << "conlint: cannot read '" << p.string() << "'\n";
+      return 2;
+    }
+    conlint::FileLint fl =
+        conlint::lint_source(relative_to(p, root_path), source, index);
+    diagnostics.insert(diagnostics.end(), fl.diagnostics.begin(),
+                       fl.diagnostics.end());
+    suppressed_count += fl.suppressed.size();
+  }
+  std::sort(diagnostics.begin(), diagnostics.end());
+
+  if (json) {
+    con::obs::Json doc = con::obs::Json::object();
+    doc.set("tool", "conlint");
+    doc.set("root", root);
+    doc.set("files_linted", static_cast<std::int64_t>(files.size()));
+    doc.set("suppressed", static_cast<std::int64_t>(suppressed_count));
+    con::obs::Json rules = con::obs::Json::array();
+    for (const std::string& r : conlint::rule_names()) rules.push_back(r);
+    doc.set("rules", std::move(rules));
+    con::obs::Json diags = con::obs::Json::array();
+    for (const conlint::Diagnostic& d : diagnostics) {
+      con::obs::Json j = con::obs::Json::object();
+      j.set("file", d.file);
+      j.set("line", d.line);
+      j.set("rule", d.rule);
+      j.set("message", d.message);
+      diags.push_back(std::move(j));
+    }
+    doc.set("diagnostics", std::move(diags));
+    std::cout << doc.dump(2) << "\n";
+  } else {
+    for (const conlint::Diagnostic& d : diagnostics) {
+      std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+                << d.message << "\n";
+    }
+    std::cout << "conlint: " << files.size() << " files, "
+              << diagnostics.size() << " diagnostic"
+              << (diagnostics.size() == 1 ? "" : "s") << ", "
+              << suppressed_count << " suppressed\n";
+  }
+
+  if (!manifest_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(manifest_dir, ec);  // best effort; write reports
+    con::obs::RunManifest m;
+    m.name = "conlint";
+    m.config.emplace_back("root", con::obs::Json(root));
+    m.config.emplace_back(
+        "files_linted", con::obs::Json(static_cast<std::int64_t>(files.size())));
+    m.extra_counters.emplace_back("conlint.diagnostics", diagnostics.size());
+    m.extra_counters.emplace_back("conlint.suppressed", suppressed_count);
+    if (con::obs::write_manifest(m, manifest_dir).empty()) {
+      std::cerr << "conlint: cannot write manifest to '" << manifest_dir
+                << "'\n";
+      return 2;
+    }
+  }
+
+  return diagnostics.empty() ? 0 : 1;
+}
