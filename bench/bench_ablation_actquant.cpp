@@ -33,19 +33,13 @@ int main(int argc, char** argv) {
       attacks::paper_params(attacks::AttackKind::kIfgsm, net);
 
   auto both_family = core::build_quantized_family(
-      study.baseline(), study.train_set(), bitwidths, setup.study.finetune,
-      /*quantize_activations=*/true);
+      study, bitwidths, /*quantize_activations=*/true);
   auto weights_family = core::build_quantized_family(
-      study.baseline(), study.train_set(), bitwidths, setup.study.finetune,
-      /*quantize_activations=*/false);
-  auto both_points =
-      core::sweep_scenarios(study.baseline(), both_family,
-                            attacks::AttackKind::kIfgsm, params,
-                            study.attack_set());
-  auto weights_points =
-      core::sweep_scenarios(study.baseline(), weights_family,
-                            attacks::AttackKind::kIfgsm, params,
-                            study.attack_set());
+      study, bitwidths, /*quantize_activations=*/false);
+  auto both_points = core::sweep_scenarios(study, both_family,
+                                           attacks::AttackKind::kIfgsm, params);
+  auto weights_points = core::sweep_scenarios(
+      study, weights_family, attacks::AttackKind::kIfgsm, params);
 
   util::Table t({"bitwidth", "variant", "base_acc", "comp_to_comp",
                  "full_to_comp", "comp_to_full"});

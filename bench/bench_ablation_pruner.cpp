@@ -35,20 +35,14 @@ int main(int argc, char** argv) {
   const attacks::AttackParams params =
       attacks::paper_params(attacks::AttackKind::kIfgsm, net);
 
-  auto dns_family = core::build_pruned_family(
-      study.baseline(), study.train_set(), densities, setup.study.finetune,
-      /*one_shot=*/false);
-  auto oneshot_family = core::build_pruned_family(
-      study.baseline(), study.train_set(), densities, setup.study.finetune,
-      /*one_shot=*/true);
-  auto dns_points =
-      core::sweep_scenarios(study.baseline(), dns_family,
-                            attacks::AttackKind::kIfgsm, params,
-                            study.attack_set());
-  auto oneshot_points =
-      core::sweep_scenarios(study.baseline(), oneshot_family,
-                            attacks::AttackKind::kIfgsm, params,
-                            study.attack_set());
+  auto dns_family =
+      core::build_pruned_family(study, densities, /*one_shot=*/false);
+  auto oneshot_family =
+      core::build_pruned_family(study, densities, /*one_shot=*/true);
+  auto dns_points = core::sweep_scenarios(study, dns_family,
+                                          attacks::AttackKind::kIfgsm, params);
+  auto oneshot_points = core::sweep_scenarios(
+      study, oneshot_family, attacks::AttackKind::kIfgsm, params);
 
   util::Table t({"density", "dns_clean_acc", "oneshot_clean_acc",
                  "dns_full_to_comp", "oneshot_full_to_comp"});

@@ -35,8 +35,7 @@ int main(int argc, char** argv) {
               net.c_str());
   std::printf("baseline accuracy %.3f\n", study.baseline_accuracy());
 
-  nn::Sequential pruned = compress::make_pruned_model(
-      study.baseline(), study.train_set(), 0.3, setup.study.finetune);
+  nn::Sequential pruned = study.pruned_variant(0.3).model;
 
   const data::Dataset& probes = study.attack_set();
   const attacks::AttackParams params = attacks::paper_params(

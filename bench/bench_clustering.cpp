@@ -11,8 +11,7 @@
 
 #include "attacks/params.h"
 #include "bench_common.h"
-#include "compress/clustering.h"
-#include "core/transfer.h"
+#include "core/sweeps.h"
 #include "sparse/sparse_model.h"
 
 using namespace con;
@@ -37,10 +36,9 @@ int main(int argc, char** argv) {
   std::vector<core::ScenarioPoint> points;
   const std::vector<int> bit_grid = {2, 4, 6, 8};
   for (int bits : bit_grid) {
-    nn::Sequential clustered = compress::cluster_model(study.baseline(), bits);
-    core::ScenarioPoint p = core::evaluate_scenarios(
-        study.baseline(), clustered, attacks::AttackKind::kIfgsm, params,
-        study.attack_set());
+    core::ModelArtifact clustered = study.clustered_variant(bits);
+    core::ScenarioPoint p = core::evaluate_scenarios_stored(
+        study, clustered, attacks::AttackKind::kIfgsm, params);
     points.push_back(p);
     t.add_row({std::to_string(bits), util::format_double(p.base_accuracy, 3),
                util::format_double(p.comp_to_comp, 3),

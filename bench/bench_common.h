@@ -3,8 +3,9 @@
 // Every bench accepts the same sizing flags so the default `for b in
 // build/bench/*` loop finishes in minutes on one CPU core (small model
 // variants, reduced grids) while `--network lenet5 --paper-scale` runs the
-// full configuration. Baselines are cached under artifacts/ and shared
-// across benches via core::Study.
+// full configuration. Trained baselines, compressed variants and transfer
+// cells live in the content-addressed artifact store (--store DIR,
+// default <artifacts>/store) and are shared across benches via core::Study.
 #pragma once
 
 #include <cstdio>
@@ -113,19 +114,29 @@ inline BenchSetup parse_common(util::CliFlags& flags,
   cfg.finetune.epochs = static_cast<int>(
       flags.get_int("finetune-epochs", cfg.finetune.epochs));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  // --store DIR points the run at a shared artifact store; unset, the
+  // study resolves $CON_STORE_DIR or <artifacts>/store.
+  cfg.store_dir = flags.get_string("store", "");
+  cfg.use_store = flags.get_bool("use-store", true);
   record_study_config(setup, cfg);
   setup.run.config.emplace_back("paper_scale", obs::Json(setup.paper_scale));
   return setup;
 }
 
-// Record the baseline checkpoint key a Study resolved to, so the manifest
-// pins down exactly which cached weights the run used (the key covers
-// network, seed, split sizes, epochs and batch size). Keyed per network:
+// Record the store identity of the baseline a Study resolved to, so the
+// manifest pins down exactly which artifacts the run used: the derivation
+// hash covers the full input closure (network, seed, sizes, epochs, batch
+// size, dataset content and initial weights). Keyed per network:
 // multi-network benches construct one Study per member of their loop.
-inline void record_study(BenchSetup& setup, const core::Study& study) {
+// Realises the baseline if it has not been yet.
+inline void record_study(BenchSetup& setup, core::Study& study) {
   setup.run.config.emplace_back(
-      "baseline_cache_key." + study.config().network,
-      obs::Json(study.cache_path()));
+      "baseline_drv." + study.config().network,
+      obs::Json(study.baseline_drv_hash().hex()));
+  if (const store::Store* s = study.store()) {
+    setup.run.config.emplace_back("store_root." + study.config().network,
+                                  obs::Json(s->root()));
+  }
 }
 
 // End-of-run hook: every bench/example calls this once, after its tables.
@@ -135,6 +146,13 @@ inline void finish_run(BenchSetup& setup, const std::string& name) {
   setup.run.name = name;
   setup.run.wall_time_s = setup.run_timer.seconds();
   setup.run.threads = util::ThreadPool::global().size();
+  // Ensure the store counters exist in every manifest (value 0 when the
+  // binary never touched a store) so tools/obs_validate can require the
+  // section unconditionally.
+  obs::counter("store.hit").add(0);
+  obs::counter("store.miss").add(0);
+  obs::counter("store.evict").add(0);
+  obs::counter("store.gc_bytes").add(0);
   setup.run.extra_counters.emplace_back("tensor.buffer_allocations",
                                         tensor::Tensor::buffer_allocations());
   if (setup.write_manifest) {

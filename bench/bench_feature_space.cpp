@@ -30,13 +30,11 @@ int main(int argc, char** argv) {
   std::printf("dense baseline accuracy %.3f\n", study.baseline_accuracy());
 
   const std::vector<double> densities = {0.8, 0.4, 0.2, 0.1, 0.03};
-  auto family = core::build_pruned_family(study.baseline(), study.train_set(),
-                                          densities, setup.study.finetune);
+  auto family = core::build_pruned_family(study, densities);
   const attacks::AttackParams params =
       attacks::paper_params(attacks::AttackKind::kIfgsm, net);
-  auto points = core::sweep_scenarios(study.baseline(), family,
-                                      attacks::AttackKind::kIfgsm, params,
-                                      study.attack_set());
+  auto points = core::sweep_scenarios(study, family,
+                                      attacks::AttackKind::kIfgsm, params);
 
   const tensor::Tensor probe = study.attack_set().take(24).images;
   util::Table t({"density", "mean_cka", "comp_to_full_adv_acc",
@@ -44,7 +42,7 @@ int main(int argc, char** argv) {
   std::vector<double> ckas, strengths;
   for (std::size_t i = 0; i < densities.size(); ++i) {
     const double cka =
-        core::mean_feature_similarity(study.baseline(), family[i], probe);
+        core::mean_feature_similarity(study.baseline(), family[i].model, probe);
     // transfer strength: how far below clean accuracy the attack drags the
     // baseline (1 = total transfer, 0 = none)
     const double strength =

@@ -31,11 +31,10 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 void run_panel(core::Study& study, attacks::AttackKind attack,
                const std::vector<double>& densities,
-               std::vector<nn::Sequential>& family, bool one_shot) {
+               const std::vector<core::ModelArtifact>& family, bool one_shot) {
   const std::string net = study.config().network;
   const attacks::AttackParams params = attacks::paper_params(attack, net);
-  auto points = core::sweep_scenarios(study.baseline(), family, attack,
-                                      params, study.attack_set());
+  auto points = core::sweep_scenarios(study, family, attack, params);
 
   util::Table t({"density", "base_acc", "comp_to_comp", "full_to_comp",
                  "comp_to_full"});
@@ -122,9 +121,7 @@ int main(int argc, char** argv) {
     bench::record_study(setup, study);
     std::printf("\nnetwork %s: baseline accuracy %.3f\n", net.c_str(),
                 study.baseline_accuracy());
-    auto family = core::build_pruned_family(study.baseline(),
-                                            study.train_set(), densities,
-                                            cfg.finetune, one_shot);
+    auto family = core::build_pruned_family(study, densities, one_shot);
     for (const std::string& a : split_csv(attack_list)) {
       run_panel(study, attacks::attack_from_name(a), densities, family,
                 one_shot);

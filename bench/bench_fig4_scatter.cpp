@@ -31,14 +31,12 @@ int main(int argc, char** argv) {
   const std::vector<double> densities = setup.paper_scale
       ? std::vector<double>{1.0, 0.8, 0.6, 0.4, 0.3, 0.2, 0.1, 0.05}
       : std::vector<double>{1.0, 0.6, 0.3, 0.15, 0.05};
-  auto family = core::build_pruned_family(study.baseline(), study.train_set(),
-                                          densities, setup.study.finetune);
+  auto family = core::build_pruned_family(study, densities);
 
   for (attacks::AttackKind kind :
        {attacks::AttackKind::kIfgsm, attacks::AttackKind::kDeepFool}) {
     const attacks::AttackParams params = attacks::paper_params(kind, net);
-    auto points = core::sweep_scenarios(study.baseline(), family, kind,
-                                        params, study.attack_set());
+    auto points = core::sweep_scenarios(study, family, kind, params);
     util::Table t({"density", "base_acc(x)", "adv_acc_full_to_comp(y)"});
     std::vector<double> base_accs;
     for (std::size_t i = 0; i < densities.size(); ++i) {

@@ -54,8 +54,7 @@ int main(int argc, char** argv) {
   };
   std::vector<ModelCdfs> results;
   for (int bits : bitwidths) {
-    nn::Sequential q = compress::make_quantized_model(
-        study.baseline(), study.train_set(), bits, setup.study.finetune);
+    nn::Sequential q = study.quantized_variant(bits).model;
     std::vector<float> w = core::gather_effective_weights(q);
     std::vector<float> a = core::gather_activations(q, probe.images);
     ModelCdfs r{.bits = bits,

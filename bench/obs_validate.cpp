@@ -7,7 +7,12 @@
 // with at least one complete ("X") span carrying the Chrome trace_event
 // envelope, and name every thread via "M" metadata. A manifest must carry
 // the keys downstream comparison tooling relies on: name, git, wall time,
-// threads, a config object and a non-empty metrics.counters object.
+// threads, a config object and a non-empty metrics.counters object —
+// including the artifact-store section (store.hit / store.miss /
+// store.evict / store.gc_bytes), which bench::finish_run guarantees in
+// every manifest. With --expect-store-hits-only the manifest must describe
+// a fully warm run: store.miss == 0 and store.hit > 0 (the assertion the
+// store_smoke ctest makes about its second pass).
 // Exit 0 when everything named on the command line validates; 1 otherwise.
 #include <cstdio>
 #include <stdexcept>
@@ -61,7 +66,7 @@ void validate_trace(const std::string& path) {
               path.c_str(), spans, metadata);
 }
 
-void validate_manifest(const std::string& path) {
+void validate_manifest(const std::string& path, bool expect_store_hits_only) {
   const Json doc = con::obs::parse_json(read_file(path));
   for (const char* key : {"name", "timestamp_unix", "git", "wall_time_s",
                           "threads", "config", "metrics"}) {
@@ -75,6 +80,17 @@ void validate_manifest(const std::string& path) {
   require(counters != nullptr && counters->kind() == Json::Kind::kObject,
           "missing metrics.counters object");
   require(!counters->members().empty(), "metrics.counters is empty");
+  for (const char* key :
+       {"store.hit", "store.miss", "store.evict", "store.gc_bytes"}) {
+    require(counters->find(key) != nullptr,
+            std::string("missing artifact-store counter ") + key);
+  }
+  if (expect_store_hits_only) {
+    require(counters->find("store.miss")->as_int() == 0,
+            "store.miss != 0 — a warm run rebuilt artifacts");
+    require(counters->find("store.hit")->as_int() > 0,
+            "store.hit == 0 — a warm run never touched the store");
+  }
   require(doc.find("metrics")->find("distributions") != nullptr,
           "missing metrics.distributions");
   std::printf("obs_validate: %s OK (run \"%s\", %zu counters)\n", path.c_str(),
@@ -88,14 +104,16 @@ int main(int argc, char** argv) {
   con::util::CliFlags flags(argc, argv);
   const std::string trace = flags.get_string("trace", "");
   const std::string manifest = flags.get_string("manifest", "");
+  const bool hits_only = flags.get_bool("expect-store-hits-only", false);
   try {
     flags.check_unused();
     if (trace.empty() && manifest.empty()) {
       throw std::runtime_error(
-          "usage: obs_validate [--trace f.json] [--manifest f.json]");
+          "usage: obs_validate [--trace f.json] [--manifest f.json] "
+          "[--expect-store-hits-only]");
     }
     if (!trace.empty()) validate_trace(trace);
-    if (!manifest.empty()) validate_manifest(manifest);
+    if (!manifest.empty()) validate_manifest(manifest, hits_only);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "obs_validate: FAIL: %s\n", e.what());
     return 1;

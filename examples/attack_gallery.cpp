@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   cfg.test_size = flags.get_int("test-size", 300);
   cfg.attack_size = flags.get_int("samples", 60);
   cfg.baseline_epochs = static_cast<int>(flags.get_int("epochs", 6));
+  cfg.store_dir = flags.get_string("store", "");
   flags.check_unused();
 
   core::Study study(cfg);

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   cfg.attack_size = flags.get_int("attack-size", 80);
   cfg.baseline_epochs = static_cast<int>(flags.get_int("epochs", 6));
   cfg.finetune.epochs = static_cast<int>(flags.get_int("finetune-epochs", 2));
+  cfg.store_dir = flags.get_string("store", "");
   const attacks::AttackKind attack =
       attacks::attack_from_name(flags.get_string("attack", "ifgsm"));
   flags.check_unused();
@@ -35,7 +36,6 @@ int main(int argc, char** argv) {
   core::Study study(cfg);
   bench::record_study_config(obs_run, cfg);
   bench::record_study(obs_run, study);
-  nn::Sequential& baseline = study.baseline();
   const double dense_acc = study.baseline_accuracy();
   const attacks::AttackParams params =
       attacks::paper_params(attack, cfg.network);
@@ -46,10 +46,8 @@ int main(int argc, char** argv) {
 
   // --- pruning frontier ---
   const std::vector<double> densities = {0.8, 0.5, 0.3, 0.15, 0.05};
-  auto pruned = core::build_pruned_family(baseline, study.train_set(),
-                                          densities, cfg.finetune);
-  auto ppoints = core::sweep_scenarios(baseline, pruned, attack, params,
-                                       study.attack_set());
+  auto pruned = core::build_pruned_family(study, densities);
+  auto ppoints = core::sweep_scenarios(study, pruned, attack, params);
   util::Table pt({"density", "clean_acc", "self_attack_acc",
                   "survives_from_cloud", "leaks_to_cloud"});
   std::vector<double> base_accs;
@@ -67,10 +65,8 @@ int main(int argc, char** argv) {
 
   // --- quantisation frontier ---
   const std::vector<int> bits = {16, 8, 4};
-  auto quant = core::build_quantized_family(baseline, study.train_set(), bits,
-                                            cfg.finetune);
-  auto qpoints = core::sweep_scenarios(baseline, quant, attack, params,
-                                       study.attack_set());
+  auto quant = core::build_quantized_family(study, bits);
+  auto qpoints = core::sweep_scenarios(study, quant, attack, params);
   util::Table qt({"bitwidth", "clean_acc", "self_attack_acc",
                   "survives_from_cloud", "leaks_to_cloud"});
   for (std::size_t i = 0; i < bits.size(); ++i) {

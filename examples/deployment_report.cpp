@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   const double density = flags.get_double("density", 0.3);
   const int codebook_bits =
       static_cast<int>(flags.get_int("codebook-bits", 5));
+  cfg.store_dir = flags.get_string("store", "");
   flags.check_unused();
 
   core::Study study(cfg);
@@ -51,9 +52,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(study.baseline().num_parameters()),
               study.baseline_accuracy());
 
-  // Stage 1+2: prune and cluster.
-  nn::Sequential pruned = compress::make_pruned_model(
-      study.baseline(), study.train_set(), density, cfg.finetune);
+  // Stage 1+2: prune (through the store) and cluster the pruned weights.
+  nn::Sequential pruned = study.pruned_variant(density).model;
   nn::Sequential shipped = compress::cluster_model(pruned, codebook_bits);
   const double shipped_acc = nn::evaluate_accuracy(
       shipped, study.test_set().images, study.test_set().labels);

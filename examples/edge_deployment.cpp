@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   cfg.test_size = flags.get_int("test-size", 300);
   cfg.attack_size = flags.get_int("attack-size", 100);
   cfg.baseline_epochs = static_cast<int>(flags.get_int("epochs", 6));
+  cfg.store_dir = flags.get_string("store", "");
   flags.check_unused();
 
   core::Study study(cfg);
@@ -48,11 +49,8 @@ int main(int argc, char** argv) {
   std::printf("cloud model trained: accuracy %.3f\n",
               study.baseline_accuracy());
 
-  compress::FineTuneConfig ft{.epochs = 2, .batch_size = 32};
-  nn::Sequential product_a =
-      compress::make_pruned_model(cloud, study.train_set(), 0.3, ft);
-  nn::Sequential product_b =
-      compress::make_quantized_model(cloud, study.train_set(), 8, ft);
+  nn::Sequential product_a = study.pruned_variant(0.3).model;
+  nn::Sequential product_b = study.quantized_variant(8).model;
 
   const std::string ship_path = io::artifacts_dir() + "/edge_product_a.ckpt";
   io::save_model(product_a, ship_path);

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   cfg.attack_size = flags.get_int("attack-size", 100);
   cfg.baseline_epochs = static_cast<int>(flags.get_int("epochs", 6));
   cfg.finetune.epochs = static_cast<int>(flags.get_int("finetune-epochs", 2));
+  cfg.store_dir = flags.get_string("store", "");
   flags.check_unused();
 
   util::Timer timer;
@@ -44,15 +45,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(baseline.num_parameters()),
               study.baseline_accuracy(), timer.seconds());
 
-  // A pruned variant at 40% density and a 4-bit quantised variant.
+  // A pruned variant at 40% density and a 4-bit quantised variant. Both go
+  // through the artifact store: the first run trains and populates it, a
+  // re-run (same flags, same --store) loads everything back.
   timer.reset();
-  nn::Sequential pruned = compress::make_pruned_model(
-      baseline, study.train_set(), 0.4, cfg.finetune);
-  nn::Sequential quantized = compress::make_quantized_model(
-      baseline, study.train_set(), 4, cfg.finetune);
-  std::printf("compressed variants built in %.1fs: %s (density %.2f), %s\n",
-              timer.seconds(), pruned.name().c_str(), pruned.density(),
-              quantized.name().c_str());
+  core::ModelArtifact pruned = study.pruned_variant(0.4);
+  core::ModelArtifact quantized = study.quantized_variant(4);
+  std::printf("compressed variants ready in %.1fs: %s (density %.2f), %s\n",
+              timer.seconds(), pruned.model.name().c_str(),
+              pruned.model.density(), quantized.model.name().c_str());
 
   const attacks::AttackKind attack = attacks::AttackKind::kIfgsm;
   const attacks::AttackParams params =
@@ -60,10 +61,11 @@ int main(int argc, char** argv) {
 
   util::Table table({"model", "base_acc", "comp->comp", "full->comp",
                      "comp->full"});
-  for (nn::Sequential* compressed : {&pruned, &quantized}) {
-    core::ScenarioPoint p = core::evaluate_scenarios(
-        baseline, *compressed, attack, params, study.attack_set());
-    table.add_row({compressed->name(), util::format_double(p.base_accuracy),
+  for (core::ModelArtifact* compressed : {&pruned, &quantized}) {
+    core::ScenarioPoint p =
+        core::evaluate_scenarios_stored(study, *compressed, attack, params);
+    table.add_row({compressed->model.name(),
+                   util::format_double(p.base_accuracy),
                    util::format_double(p.comp_to_comp),
                    util::format_double(p.full_to_comp),
                    util::format_double(p.comp_to_full)});

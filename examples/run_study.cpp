@@ -13,10 +13,8 @@
 #include <string>
 
 #include "attacks/attack.h"
-#include "compress/clustering.h"
-#include "compress/finetune.h"
 #include "core/study.h"
-#include "core/transfer.h"
+#include "core/sweeps.h"
 #include "nn/trainer.h"
 #include "bench_common.h"
 #include "util/cli.h"
@@ -39,6 +37,8 @@ int main(int argc, char** argv) {
       "epochs", cfg.network.rfind("cifarnet", 0) == 0 ? 16 : 6));
   cfg.finetune.epochs = static_cast<int>(flags.get_int("finetune-epochs", 2));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.store_dir = flags.get_string("store", "");
+  cfg.use_store = flags.get_bool("use-store", true);
 
   const std::string compress_kind = flags.get_string("compress", "prune");
   const double level = flags.get_double(
@@ -52,21 +52,17 @@ int main(int argc, char** argv) {
   std::printf("network   : %s (baseline accuracy %.3f)\n",
               cfg.network.c_str(), study.baseline_accuracy());
 
-  nn::Sequential compressed("unset");
+  core::ModelArtifact compressed{nn::Sequential("unset"), store::Hash{}};
   if (compress_kind == "prune") {
-    compressed = compress::make_pruned_model(
-        study.baseline(), study.train_set(), level, cfg.finetune);
+    compressed = study.pruned_variant(level);
     std::printf("compress  : pruned to density %.2f (achieved %.3f)\n", level,
-                compressed.density());
+                compressed.model.density());
   } else if (compress_kind == "quant") {
-    compressed = compress::make_quantized_model(
-        study.baseline(), study.train_set(), static_cast<int>(level),
-        cfg.finetune);
+    compressed = study.quantized_variant(static_cast<int>(level));
     std::printf("compress  : %d-bit fixed point, weights + activations\n",
                 static_cast<int>(level));
   } else if (compress_kind == "cluster") {
-    compressed = compress::cluster_model(study.baseline(),
-                                         static_cast<int>(level));
+    compressed = study.clustered_variant(static_cast<int>(level));
     std::printf("compress  : %d-bit weight-clustering codebook\n",
                 static_cast<int>(level));
   } else {
@@ -82,8 +78,8 @@ int main(int argc, char** argv) {
   std::printf("attack    : %s (eps %.3g, %d iterations)\n\n",
               attack_name.c_str(), params.epsilon, params.iterations);
 
-  core::ScenarioPoint p = core::evaluate_scenarios(
-      study.baseline(), compressed, attack, params, study.attack_set());
+  core::ScenarioPoint p =
+      core::evaluate_scenarios_stored(study, compressed, attack, params);
 
   util::Table t({"measurement", "accuracy"});
   t.add_row({"compressed model, clean", util::format_double(p.base_accuracy, 3)});
@@ -94,7 +90,7 @@ int main(int argc, char** argv) {
 
   // Perturbation statistics, the paper's sanity check on attack strength.
   tensor::Tensor adv = attacks::run_attack(
-      attack, compressed, study.attack_set().images,
+      attack, compressed.model, study.attack_set().images,
       study.attack_set().labels, params);
   attacks::PerturbationStats stats =
       attacks::perturbation_stats(study.attack_set().images, adv);

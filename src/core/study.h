@@ -1,17 +1,22 @@
 // Study: the experiment workspace tying datasets, baseline training and
-// artifact caching together. Benches and examples construct a Study, which
-// loads the trained baseline from artifacts/ when available and trains it
-// (then saves) otherwise — training once per configuration keeps the whole
-// bench suite tractable on a CPU host.
+// the content-addressed artifact store together. Benches and examples
+// construct a Study; trained baselines, compressed variants and
+// adversarial batches are realised as store derivations (src/store/,
+// core/artifacts.h), so anything already built — by this run, an earlier
+// run, or another binary sharing the store — is loaded instead of
+// recomputed, and a config change rebuilds exactly the artifacts whose
+// input closure changed.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "attacks/params.h"
 #include "compress/finetune.h"
 #include "data/dataset.h"
 #include "nn/sequential.h"
+#include "store/store.h"
 
 namespace con::core {
 
@@ -27,7 +32,20 @@ struct StudyConfig {
   int batch_size = 32;
   compress::FineTuneConfig finetune{.epochs = 2, .batch_size = 32};
   std::uint64_t seed = 42;
-  bool use_cache = true;
+  // Artifact store root (--store DIR on every bench/example). Empty
+  // resolves to $CON_STORE_DIR, else <artifacts>/store.
+  std::string store_dir;
+  // When false the study runs storeless: everything recomputes, nothing
+  // persists (property tests that must observe fresh training set this).
+  bool use_store = true;
+};
+
+// A model together with the hash of the derivation that produced it — the
+// handle downstream derivations (transfer cells) use as their input edge.
+// `drv` is the zero hash when the model was built storeless.
+struct ModelArtifact {
+  nn::Sequential model;
+  store::Hash drv;
 };
 
 class Study {
@@ -39,28 +57,52 @@ class Study {
   const data::Dataset& test_set() const { return split_.test; }
   const data::Dataset& attack_set() const { return attack_set_; }
 
-  // The trained dense float32 baseline. Trains on first access (or loads
-  // the cached checkpoint) and memoizes.
+  // The trained dense float32 baseline. Realised through the store on
+  // first access (training only on a store miss) and memoized in-process.
   nn::Sequential& baseline();
 
   // Clean test accuracy of the baseline.
   double baseline_accuracy();
 
   // Train a fresh baseline with a different initialisation seed (not
-  // cached) — used by the §3.3 cross-initialisation experiment.
+  // stored) — used by the §3.3 cross-initialisation experiment.
   nn::Sequential train_fresh_baseline(std::uint64_t init_seed);
 
-  // Checkpoint path for this configuration's baseline. The key encodes
-  // every input that shapes the trained weights — network, seed, train AND
-  // test split sizes, epochs, batch size — so two configs never alias the
-  // same checkpoint. Public so run manifests can record the exact key.
-  std::string cache_path() const;
+  // The artifact store backing this study; nullptr when use_store=false.
+  store::Store* store();
+
+  // Content hash of the train/test splits (computed once, lazily). Part of
+  // every derivation closure: regenerating the data regenerates the grid.
+  const store::Hash& dataset_hash();
+
+  // Hash of the baseline's derivation — the input edge every downstream
+  // artifact hangs off. Realises the baseline if needed.
+  const store::Hash& baseline_drv_hash();
+
+  // Store-backed compressed variants. On a hit the checkpoint is loaded
+  // (bit-identical to a recompute — tests/test_packed_cache_invalidation
+  // pins the round-trip); on a miss the variant is built, fine-tuned and
+  // inserted. Storeless studies always build.
+  ModelArtifact pruned_variant(double density, bool one_shot = false);
+  ModelArtifact quantized_variant(int bits, bool quantize_activations = true);
+  ModelArtifact clustered_variant(int bits);
+
+  // The scenario-2 batch: adversarial samples crafted against the baseline
+  // over attack_set(). Shared by every member of a compression family, so
+  // it is a first-class derivation rather than a per-sweep recompute.
+  tensor::Tensor baseline_adversarial(attacks::AttackKind attack,
+                                      const attacks::AttackParams& params);
 
  private:
+  void train_model(nn::Sequential& model, std::uint64_t shuffle_seed);
+
   StudyConfig config_;
   data::TrainTestSplit split_;
   data::Dataset attack_set_;
+  std::optional<store::Store> store_;
   std::optional<nn::Sequential> baseline_;
+  std::optional<store::Hash> dataset_hash_;
+  std::optional<store::Hash> baseline_drv_;
 };
 
 }  // namespace con::core

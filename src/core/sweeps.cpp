@@ -1,8 +1,10 @@
 #include "core/sweeps.h"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 
+#include "core/artifacts.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "util/logging.h"
@@ -59,6 +61,124 @@ std::vector<ScenarioPoint> sweep_scenarios(
                                    eval_set, baseline_adv);
     cells.add(1);
   });
+  return points;
+}
+
+std::vector<ModelArtifact> build_pruned_family(
+    Study& study, const std::vector<double>& densities, bool one_shot) {
+  std::vector<ModelArtifact> family;
+  family.reserve(densities.size());
+  for (double d : densities) {
+    family.push_back(study.pruned_variant(d, one_shot));
+  }
+  return family;
+}
+
+std::vector<ModelArtifact> build_quantized_family(
+    Study& study, const std::vector<int>& bitwidths,
+    bool quantize_activations) {
+  std::vector<ModelArtifact> family;
+  family.reserve(bitwidths.size());
+  for (int bits : bitwidths) {
+    family.push_back(study.quantized_variant(bits, quantize_activations));
+  }
+  return family;
+}
+
+namespace {
+
+// One cell through the store. Callers must have warmed the study's lazy
+// state (baseline, hashes, adversarial batch) before invoking this from
+// worker threads: the getters below then only read memoized values.
+ScenarioPoint stored_cell(Study& study, const ModelArtifact& variant,
+                          attacks::AttackKind attack,
+                          const attacks::AttackParams& params,
+                          const tensor::Tensor& baseline_adv,
+                          store::Hash* cell_hash) {
+  store::Store* s = study.store();
+  if (s == nullptr || variant.drv.is_zero()) {
+    return evaluate_scenarios(study.baseline(), variant.model, attack, params,
+                              study.attack_set(), baseline_adv);
+  }
+  const store::Derivation drv = transfer_cell_derivation(
+      study.baseline_drv_hash(), variant.drv, study.dataset_hash(),
+      study.config().attack_size, attack, params, variant.model.name());
+  std::optional<ScenarioPoint> point;
+  const std::string path = s->realise(drv, [&](const std::string& tmp) {
+    point = evaluate_scenarios(study.baseline(), variant.model, attack, params,
+                               study.attack_set(), baseline_adv);
+    save_scenario_point(*point, tmp);
+  });
+  if (!point) point = load_scenario_point(path);
+  if (cell_hash != nullptr) *cell_hash = drv.hash();
+  return *point;
+}
+
+}  // namespace
+
+ScenarioPoint evaluate_scenarios_stored(Study& study,
+                                        const ModelArtifact& variant,
+                                        attacks::AttackKind attack,
+                                        const attacks::AttackParams& params) {
+  const tensor::Tensor baseline_adv = study.baseline_adversarial(attack, params);
+  return stored_cell(study, variant, attack, params, baseline_adv, nullptr);
+}
+
+std::vector<ScenarioPoint> sweep_scenarios(
+    Study& study, const std::vector<ModelArtifact>& family,
+    attacks::AttackKind attack, const attacks::AttackParams& params) {
+  std::vector<ScenarioPoint> points(family.size());
+  if (family.empty()) return points;
+  // Warm all lazily-memoized study state on this thread; worker threads
+  // below only read it.
+  const tensor::Tensor baseline_adv =
+      study.baseline_adversarial(attack, params);
+  study.dataset_hash();
+  study.baseline_drv_hash();
+  std::vector<store::Hash> cell_hashes(family.size());
+  static obs::Counter& cells = obs::counter("sweep.cells");
+  util::parallel_for(0, family.size(), [&](std::size_t i) {
+    obs::Span span(family[i].model.name(), "sweep_cell");
+    points[i] =
+        stored_cell(study, family[i], attack, params, baseline_adv,
+                    &cell_hashes[i]);
+    cells.add(1);
+  });
+
+  store::Store* s = study.store();
+  bool all_stored = s != nullptr;
+  for (const store::Hash& h : cell_hashes) {
+    all_stored = all_stored && !h.is_zero();
+  }
+  if (all_stored) {
+    // The sweep index is a tiny text artifact whose inputs are every cell
+    // (and, transitively via the cells' own provenance, the variants and
+    // baseline) plus the shared adversarial batch. Rooting it keeps the
+    // sweep's full closure alive; a sweep with any changed axis produces a
+    // new index and re-points the root, stranding the old closure for gc().
+    store::Derivation index(
+        "sweep-index",
+        study.config().network + "-" + attacks::attack_name(attack));
+    index.set("cells", static_cast<std::int64_t>(cell_hashes.size()));
+    for (const store::Hash& h : cell_hashes) index.add_input(h);
+    index.add_input(
+        adversarial_derivation(study.baseline_drv_hash(), study.dataset_hash(),
+                               study.config().attack_size, attack, params,
+                               study.config().network)
+            .hash());
+    std::vector<std::string> lines;
+    lines.reserve(cell_hashes.size());
+    for (const store::Hash& h : cell_hashes) lines.push_back(h.short_hex());
+    std::sort(lines.begin(), lines.end());
+    const std::string path = s->realise(index, [&](const std::string& tmp) {
+      std::ofstream f(tmp, std::ios::trunc);
+      for (const std::string& line : lines) f << line << "\n";
+      if (!f) throw std::runtime_error("sweep index write failed");
+    });
+    s->add_root("sweep-" + study.config().network + "-" +
+                    attacks::attack_name(attack),
+                path);
+  }
   return points;
 }
 

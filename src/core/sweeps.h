@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "compress/finetune.h"
+#include "core/study.h"
 #include "core/transfer.h"
 
 namespace con::core {
@@ -35,6 +36,38 @@ std::vector<ScenarioPoint> sweep_scenarios(
     const nn::Sequential& baseline, const std::vector<nn::Sequential>& family,
     attacks::AttackKind attack, const attacks::AttackParams& params,
     const data::Dataset& eval_set);
+
+// Store-backed family builders: each member is realised through the
+// study's artifact store, so a family whose baseline and parameters are
+// unchanged loads instead of fine-tuning, and changing one grid value
+// rebuilds exactly that member.
+std::vector<ModelArtifact> build_pruned_family(
+    Study& study, const std::vector<double>& densities, bool one_shot = false);
+std::vector<ModelArtifact> build_quantized_family(
+    Study& study, const std::vector<int>& bitwidths,
+    bool quantize_activations = true);
+
+// One transfer-matrix cell, realised through the study's store: the four
+// scenario accuracies are computed once per (baseline, variant, attack)
+// closure and then served from the store. Storeless studies (or variants
+// built without a store) always compute.
+ScenarioPoint evaluate_scenarios_stored(Study& study,
+                                        const ModelArtifact& variant,
+                                        attacks::AttackKind attack,
+                                        const attacks::AttackParams& params);
+
+// Store-backed sweep over a family built by the builders above. The
+// scenario-2 batch comes from Study::baseline_adversarial (itself a store
+// artifact shared across attacks of the same closure); each cell is a
+// transfer-cell derivation, evaluated in parallel on misses and loaded on
+// hits. A "sweep index" artifact listing every cell is registered as the
+// GC root sweep-<network>-<attack>, keeping the whole closure (cells,
+// variants, adversarial batch, baseline) alive until the next sweep with a
+// different configuration re-points it.
+std::vector<ScenarioPoint> sweep_scenarios(Study& study,
+                                           const std::vector<ModelArtifact>& family,
+                                           attacks::AttackKind attack,
+                                           const attacks::AttackParams& params);
 
 // The paper's default sweep grids.
 std::vector<double> paper_density_grid();

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace con::io {
@@ -15,35 +16,35 @@ namespace con::io {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'O', 'N', 'M'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 
-void write_bytes(std::ofstream& f, const void* data, std::size_t n) {
+void write_bytes(std::ostream& f, const void* data, std::size_t n) {
   f.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
 }
 
-void read_bytes(std::ifstream& f, void* data, std::size_t n) {
+void read_bytes(std::istream& f, void* data, std::size_t n) {
   f.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
   if (!f) throw std::runtime_error("checkpoint: unexpected end of file");
 }
 
 template <typename T>
-void write_pod(std::ofstream& f, T v) {
+void write_pod(std::ostream& f, T v) {
   write_bytes(f, &v, sizeof(T));
 }
 
 template <typename T>
-T read_pod(std::ifstream& f) {
+T read_pod(std::istream& f) {
   T v;
   read_bytes(f, &v, sizeof(T));
   return v;
 }
 
-void write_string(std::ofstream& f, const std::string& s) {
+void write_string(std::ostream& f, const std::string& s) {
   write_pod<std::uint64_t>(f, s.size());
   write_bytes(f, s.data(), s.size());
 }
 
-std::string read_string(std::ifstream& f) {
+std::string read_string(std::istream& f) {
   const auto n = read_pod<std::uint64_t>(f);
   if (n > (1u << 20)) throw std::runtime_error("checkpoint: string too long");
   std::string s(static_cast<std::size_t>(n), '\0');
@@ -51,13 +52,13 @@ std::string read_string(std::ifstream& f) {
   return s;
 }
 
-void write_tensor_body(std::ofstream& f, const tensor::Tensor& t) {
+void write_tensor_body(std::ostream& f, const tensor::Tensor& t) {
   write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(t.rank()));
   for (tensor::Index d : t.shape().dims()) write_pod<std::int64_t>(f, d);
   write_bytes(f, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
 }
 
-tensor::Tensor read_tensor_body(std::ifstream& f) {
+tensor::Tensor read_tensor_body(std::istream& f) {
   const auto rank = read_pod<std::uint32_t>(f);
   if (rank > 8) throw std::runtime_error("checkpoint: implausible rank");
   std::vector<tensor::Index> dims(rank);
@@ -72,22 +73,13 @@ tensor::Tensor read_tensor_body(std::ifstream& f) {
   return t;
 }
 
-}  // namespace
-
-void save_model(nn::Sequential& model, const std::string& path) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
-  write_bytes(f, kMagic, sizeof(kMagic));
-  write_pod<std::uint32_t>(f, kVersion);
-  write_string(f, model.name());
-  const auto params = model.parameters();
+void write_payload(std::ostream& f, const std::vector<nn::Parameter*>& params) {
   write_pod<std::uint64_t>(f, params.size());
   for (nn::Parameter* p : params) {
     write_string(f, p->name);
     write_tensor_body(f, p->value);
     write_pod<std::uint8_t>(f, p->has_mask() ? 1 : 0);
     if (p->has_mask()) write_tensor_body(f, p->mask);
-    // transform record (version 2)
     if (const auto* fp =
             dynamic_cast<const compress::FixedPointWeightTransform*>(
                 p->transform.get())) {
@@ -103,35 +95,22 @@ void save_model(nn::Sequential& model, const std::string& path) {
       for (float c : cl->centroids()) write_pod<float>(f, c);
     } else {
       if (p->transform != nullptr) {
-        throw std::runtime_error(
-            "save_model: parameter " + p->name +
-            " carries an unserializable weight transform");
+        throw std::runtime_error("save_model: parameter " + p->name +
+                                 " carries an unserializable weight transform");
       }
       write_pod<std::uint8_t>(f, 0);
     }
   }
-  if (!f) throw std::runtime_error("checkpoint: write failed for " + path);
 }
 
-void load_model_into(nn::Sequential& model, const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open " + path);
-  char magic[4];
-  read_bytes(f, magic, sizeof(magic));
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error(path + " is not a model checkpoint");
-  }
-  const auto version = read_pod<std::uint32_t>(f);
-  if (version != 1 && version != kVersion) {
-    throw std::runtime_error("unsupported checkpoint version");
-  }
-  read_string(f);  // stored model name is informational
+void load_payload(std::istream& f, std::uint32_t version,
+                  const std::vector<nn::Parameter*>& params,
+                  const std::string& path) {
   const auto count = read_pod<std::uint64_t>(f);
-  const auto params = model.parameters();
   if (count != params.size()) {
-    throw std::runtime_error("checkpoint parameter count mismatch: file has " +
-                             std::to_string(count) + ", model has " +
-                             std::to_string(params.size()));
+    throw std::runtime_error("checkpoint parameter count mismatch: " + path +
+                             " has " + std::to_string(count) +
+                             ", model has " + std::to_string(params.size()));
   }
   for (nn::Parameter* p : params) {
     const std::string name = read_string(f);
@@ -186,6 +165,135 @@ void load_model_into(nn::Sequential& model, const std::string& path) {
     // weight panels (nn/packed_weights.h).
     p->bump_version();
   }
+}
+
+struct Header {
+  std::uint32_t version = 0;
+  std::string model_name;
+  store::Hash payload_hash;
+  store::Hash topology_hash;
+  std::uint64_t payload_size = 0;
+};
+
+Header read_header(std::istream& f, const std::string& path) {
+  char magic[4];
+  read_bytes(f, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error(path + " is not a model checkpoint");
+  }
+  Header h;
+  h.version = read_pod<std::uint32_t>(f);
+  if (h.version < 1 || h.version > kVersion) {
+    throw std::runtime_error("unsupported checkpoint version");
+  }
+  h.model_name = read_string(f);
+  if (h.version >= 3) {
+    read_bytes(f, h.payload_hash.bytes.data(), h.payload_hash.bytes.size());
+    read_bytes(f, h.topology_hash.bytes.data(), h.topology_hash.bytes.size());
+    h.payload_size = read_pod<std::uint64_t>(f);
+  }
+  return h;
+}
+
+}  // namespace
+
+store::Hash topology_signature(const nn::Sequential& model) {
+  store::Sha256 h;
+  h.update("topology 1\n");
+  for (const nn::Parameter* param : model.parameters()) {
+    h.update(param->name);
+    h.update("\n");
+    for (tensor::Index d : param->value.shape().dims()) {
+      const std::int64_t dim = d;
+      h.update(&dim, sizeof(dim));
+    }
+    h.update(";");
+  }
+  return h.finish();
+}
+
+store::Hash model_state_hash(const nn::Sequential& model) {
+  store::Sha256 h;
+  h.update("model-state 1\n");
+  for (const nn::Parameter* param : model.parameters()) {
+    h.update(param->name);
+    h.update("\n");
+    for (tensor::Index d : param->value.shape().dims()) {
+      const std::int64_t dim = d;
+      h.update(&dim, sizeof(dim));
+    }
+    const tensor::Tensor& value = param->value;
+    h.update(value.data(),
+             static_cast<std::size_t>(value.numel()) * sizeof(float));
+    h.update(param->has_mask() ? "m1" : "m0");
+    if (param->has_mask()) {
+      const tensor::Tensor& mask = param->mask;
+      h.update(mask.data(),
+               static_cast<std::size_t>(mask.numel()) * sizeof(float));
+    }
+    if (param->transform != nullptr) {
+      h.update(param->transform->describe());
+    }
+    h.update(";");
+  }
+  return h.finish();
+}
+
+void save_model(nn::Sequential& model, const std::string& path) {
+  // Serialize the payload to memory first: the v3 header carries its hash
+  // and size, and checkpoints are small (at most a few MB) relative to the
+  // training runs that produce them.
+  std::ostringstream payload_stream;
+  write_payload(payload_stream, model.parameters());
+  const std::string payload = payload_stream.str();
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_bytes(f, kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(f, kVersion);
+  write_string(f, model.name());
+  const store::Hash payload_hash =
+      store::hash_bytes(payload.data(), payload.size());
+  const store::Hash topo_hash = topology_signature(model);
+  write_bytes(f, payload_hash.bytes.data(), payload_hash.bytes.size());
+  write_bytes(f, topo_hash.bytes.data(), topo_hash.bytes.size());
+  write_pod<std::uint64_t>(f, payload.size());
+  write_bytes(f, payload.data(), payload.size());
+  if (!f) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_model_into(nn::Sequential& model, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  const Header h = read_header(f, path);
+  if (h.version >= 3) {
+    // Pull the payload into memory and verify its digest before touching
+    // any parameter: a truncated or bit-rotted artifact must fail loudly,
+    // not half-load.
+    std::string payload(static_cast<std::size_t>(h.payload_size), '\0');
+    read_bytes(f, payload.data(), payload.size());
+    if (store::hash_bytes(payload.data(), payload.size()) != h.payload_hash) {
+      throw std::runtime_error("checkpoint payload hash mismatch for " + path +
+                               " (corrupt or truncated artifact)");
+    }
+    std::istringstream ps(payload);
+    load_payload(ps, h.version, model.parameters(), path);
+  } else {
+    load_payload(f, h.version, model.parameters(), path);
+  }
+  // Checkpoints are self-describing: the stored name travels with the
+  // weights (a store object's filename is a hash, not a description).
+  if (!h.model_name.empty()) model.set_name(h.model_name);
+}
+
+CheckpointInfo read_checkpoint_info(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  const Header h = read_header(f, path);
+  return CheckpointInfo{.version = h.version,
+                        .model_name = h.model_name,
+                        .payload_hash = h.payload_hash,
+                        .topology_hash = h.topology_hash};
 }
 
 bool file_exists(const std::string& path) {

@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "compress/clustering.h"
 #include "compress/fixed_point.h"
 #include "compress/pruner.h"
 #include "compress/quant_activation.h"
@@ -157,6 +161,91 @@ TEST(PackedCacheInvalidation, CheckpointLoadRepacks) {
   EXPECT_TRUE(outputs_differ(y0, y1));
   EXPECT_FALSE(outputs_differ(y_donor, y1))
       << "after the load the model must compute with the donor's weights";
+  std::remove(path.c_str());
+}
+
+TEST(PackedCacheInvalidation, CheckpointRoundTripsFullParameterState) {
+  // The store serves compressed variants purely from checkpoints, so a
+  // round trip must reproduce the complete parameter state — values, masks,
+  // every transform kind — and honour the version contract on load.
+  const std::string path =
+      ::testing::TempDir() + "/packed_cache_full_state.conm";
+  nn::Sequential donor = small_model(18);
+  compress::DnsPruner pruner(donor,
+                             compress::DnsConfig{.target_density = 0.5});
+  std::vector<nn::Parameter*> compressible;
+  for (nn::Parameter* p : donor.parameters()) {
+    if (p->compressible) compressible.push_back(p);
+  }
+  ASSERT_GE(compressible.size(), 2u);
+  compressible[0]->transform =
+      std::make_shared<compress::FixedPointWeightTransform>(
+          compress::FixedPointFormat::paper_format(8));
+  compressible[0]->bump_version();
+  compressible[1]->transform =
+      std::make_shared<compress::ClusterWeightTransform>(
+          std::vector<float>{-0.25f, 0.0f, 0.125f, 0.5f}, 2);
+  compressible[1]->bump_version();
+  io::save_model(donor, path);
+
+  nn::Sequential m = small_model(19);
+  std::vector<std::uint64_t> versions_before;
+  for (nn::Parameter* p : m.parameters()) versions_before.push_back(p->version);
+  io::load_model_into(m, path);
+
+  auto dp = donor.parameters();
+  auto mp = m.parameters();
+  ASSERT_EQ(dp.size(), mp.size());
+  for (std::size_t i = 0; i < dp.size(); ++i) {
+    EXPECT_GT(mp[i]->version, versions_before[i])
+        << "load must bump every parameter version";
+    for (Index j = 0; j < dp[i]->value.numel(); ++j) {
+      ASSERT_EQ(dp[i]->value[j], mp[i]->value[j]);
+    }
+    ASSERT_EQ(dp[i]->has_mask(), mp[i]->has_mask());
+    if (dp[i]->has_mask()) {
+      for (Index j = 0; j < dp[i]->mask.numel(); ++j) {
+        ASSERT_EQ(dp[i]->mask[j], mp[i]->mask[j]);
+      }
+    }
+    ASSERT_EQ(dp[i]->transform != nullptr, mp[i]->transform != nullptr);
+    if (dp[i]->transform != nullptr) {
+      EXPECT_EQ(dp[i]->transform->describe(), mp[i]->transform->describe());
+    }
+  }
+  // The effective forwards (masks + transforms applied through the packed
+  // panels) must agree bit-exactly.
+  Tensor x = random_batch(Shape{2, 1, 28, 28}, 13);
+  EXPECT_FALSE(outputs_differ(donor.forward(x, false), m.forward(x, false)));
+
+  // v3 headers are self-describing: inspectable without a model.
+  const io::CheckpointInfo info = io::read_checkpoint_info(path);
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.model_name, donor.name());
+  EXPECT_EQ(info.topology_hash.hex(), io::topology_signature(m).hex());
+  EXPECT_FALSE(info.payload_hash.is_zero());
+  std::remove(path.c_str());
+}
+
+TEST(PackedCacheInvalidation, CorruptCheckpointPayloadFailsLoudly) {
+  const std::string path = ::testing::TempDir() + "/packed_cache_corrupt.conm";
+  nn::Sequential donor = small_model(20);
+  io::save_model(donor, path);
+  // Flip one byte near the end of the payload (well past the header).
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.good());
+    f.seekp(-5, std::ios::end);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(-5, std::ios::end);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  nn::Sequential m = small_model(21);
+  EXPECT_THROW(io::load_model_into(m, path), std::runtime_error)
+      << "bit rot must fail the payload hash check, not half-load";
   std::remove(path.c_str());
 }
 

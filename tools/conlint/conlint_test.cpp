@@ -203,6 +203,12 @@ TEST(Determinism, SeededEngineAndExemptPathsAreFine) {
   auto fl3 = run("src/obs/span.cpp",
                  "auto h() { return std::chrono::steady_clock::now(); }\n");
   EXPECT_EQ(count_rule(fl3, "determinism"), 0);
+
+  // src/store/ is exempt for its observational registered-at provenance
+  // timestamps (never part of a derivation hash or artifact).
+  auto fl4 = run("src/store/store.cpp",
+                 "auto i() { return std::chrono::system_clock::now(); }\n");
+  EXPECT_EQ(count_rule(fl4, "determinism"), 0);
 }
 
 TEST(Determinism, MemberNamedNowOrRandIsFine) {
