@@ -18,6 +18,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/tensor.h"
 #include "util/cli.h"
 #include "util/logging.h"
@@ -41,15 +42,22 @@ struct BenchSetup {
 };
 
 // Parse only the observability flags (--trace <path>, --manifest,
-// --no-metrics) — the subset shared by every binary, including the
-// examples and google-benchmark runners that do not take the study sizing
-// flags.
+// --no-metrics) plus --kernel <scalar|avx2|neon> — the subset shared by
+// every binary, including the examples and google-benchmark runners that
+// do not take the study sizing flags.
 inline BenchSetup parse_obs_flags(util::CliFlags& flags) {
   BenchSetup setup;
   setup.trace_path = flags.get_string("trace", "");
   setup.write_manifest = flags.get_bool("manifest", false);
   // CliFlags parses `--no-metrics` as the negation of `--metrics`.
   obs::set_metrics(flags.get_bool("metrics", true));
+  // --kernel forces the micro-kernel ISA (overriding $CON_KERNEL); a typo
+  // throws here, while an ISA this host cannot run warns and falls back to
+  // scalar inside set_isa (the graceful-fallback contract).
+  const std::string kernel = flags.get_string("kernel", "");
+  if (!kernel.empty()) {
+    tensor::kernels::set_isa(tensor::kernels::parse_isa(kernel));
+  }
   if (!setup.trace_path.empty()) obs::set_tracing(true);
   obs::set_thread_name("main");
   return setup;
@@ -146,6 +154,12 @@ inline void finish_run(BenchSetup& setup, const std::string& name) {
   setup.run.name = name;
   setup.run.wall_time_s = setup.run_timer.seconds();
   setup.run.threads = util::ThreadPool::global().size();
+  // Which micro-kernel ISA served this run. Recorded unconditionally (and
+  // required by tools/obs_validate): a perf number without its kernel ISA
+  // is not reproducible.
+  setup.run.config.emplace_back(
+      "kernel_isa", obs::Json(std::string(tensor::kernels::isa_name(
+                        tensor::kernels::active_isa()))));
   // Ensure the store counters exist in every manifest (value 0 when the
   // binary never touched a store) so tools/obs_validate can require the
   // section unconditionally.
@@ -176,12 +190,13 @@ inline void finish_run(BenchSetup& setup, const std::string& name) {
 }
 
 // For google-benchmark binaries: pull the obs flags (--trace <path>,
-// --trace=<path>, --manifest, --no-metrics) out of argv before
-// benchmark::Initialize rejects them as unknown, and apply them. Returns a
-// BenchSetup carrying only the observability state; pair with finish_run()
-// after benchmark::RunSpecifiedBenchmarks().
+// --trace=<path>, --manifest, --no-metrics, --kernel <isa>) out of argv
+// before benchmark::Initialize rejects them as unknown, and apply them.
+// Returns a BenchSetup carrying only the observability state; pair with
+// finish_run() after benchmark::RunSpecifiedBenchmarks().
 inline BenchSetup strip_obs_flags(int& argc, char** argv) {
   BenchSetup setup;
+  std::string kernel;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -193,9 +208,16 @@ inline BenchSetup strip_obs_flags(int& argc, char** argv) {
       setup.trace_path = arg.substr(std::strlen("--trace="));
     } else if (arg == "--trace" && i + 1 < argc) {
       setup.trace_path = argv[++i];
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel = arg.substr(std::strlen("--kernel="));
+    } else if (arg == "--kernel" && i + 1 < argc) {
+      kernel = argv[++i];
     } else {
       argv[out++] = argv[i];
     }
+  }
+  if (!kernel.empty()) {
+    tensor::kernels::set_isa(tensor::kernels::parse_isa(kernel));
   }
   argc = out;
   if (!setup.trace_path.empty()) obs::set_tracing(true);

@@ -12,6 +12,7 @@
 #include "models/model_zoo.h"
 #include "nn/loss.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels/dispatch.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
 #include "util/rng.h"
@@ -105,6 +106,46 @@ void BM_GemmNnBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNnBlocked)->Arg(0)->Arg(1)->Arg(2);
 
+// Forces a SIMD kernel table for the duration of the benchmark; skips (with
+// an explanatory error string, so the JSON records why) on hosts that
+// cannot execute the ISA. The blocked structure, packing and zero-skip
+// lists are identical to the scalar run — only the micro-kernel changes.
+bool force_isa_or_skip(benchmark::State& state, tensor::kernels::Isa isa) {
+  if (!tensor::kernels::isa_supported(isa)) {
+    state.SkipWithError("ISA not supported on this host/build");
+    return false;
+  }
+  return true;
+}
+
+void BM_GemmNnBlockedAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
+  Tensor a = random_tensor({s.m, s.k}, 20);
+  Tensor b = random_tensor({s.k, s.n}, 21);
+  const auto pa = tensor::gemm::pack_rowmajor(a, tensor::gemm::kStripA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_nn(pa, b));
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.k * s.n);
+}
+BENCHMARK(BM_GemmNnBlockedAvx2)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GemmNnBlockedNeon(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kNeon)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kNeon);
+  const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
+  Tensor a = random_tensor({s.m, s.k}, 20);
+  Tensor b = random_tensor({s.k, s.n}, 21);
+  const auto pa = tensor::gemm::pack_rowmajor(a, tensor::gemm::kStripA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_nn(pa, b));
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.k * s.n);
+}
+BENCHMARK(BM_GemmNnBlockedNeon)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_GemmNnSparseScalar(benchmark::State& state) {
   const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
   Tensor a = random_tensor({s.m, s.k}, 22);
@@ -134,6 +175,24 @@ void BM_GemmNnSparseBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNnSparseBlocked)->Arg(0)->Arg(2);
 
+void BM_GemmNnSparseBlockedAvx2(benchmark::State& state) {
+  // 90% pruned A takes the sparse row-axpy path through the AVX2 table.
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  const GemmShape s = gemm_shape_for(static_cast<int>(state.range(0)));
+  Tensor a = random_tensor({s.m, s.k}, 22);
+  util::Rng rng(23);
+  for (float& v : a.flat()) {
+    if (rng.uniform() < 0.9) v = 0.0f;
+  }
+  Tensor b = random_tensor({s.k, s.n}, 24);
+  const auto pa = tensor::gemm::pack_rowmajor(a, tensor::gemm::kStripA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_nn(pa, b));
+  }
+}
+BENCHMARK(BM_GemmNnSparseBlockedAvx2)->Arg(0)->Arg(2);
+
 void BM_GemmNtScalar(benchmark::State& state) {
   // Linear forward at LeNet5 fc1: y[32, 500] = x[32, 800] · W[500, 800]ᵀ.
   Tensor x = random_tensor({32, 800}, 25);
@@ -156,6 +215,19 @@ void BM_GemmNtBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNtBlocked);
 
+void BM_GemmNtBlockedAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  Tensor x = random_tensor({32, 800}, 25);
+  Tensor w = random_tensor({500, 800}, 26);
+  const auto pw = tensor::gemm::pack_rowmajor(w, tensor::gemm::kStripB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_nt(x, pw));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 800 * 500);
+}
+BENCHMARK(BM_GemmNtBlockedAvx2);
+
 void BM_GemmTnScalar(benchmark::State& state) {
   // Conv2d backward at cifarnet conv2: dcols = Wᵀ[288, 32] · go[32, 8192].
   Tensor w = random_tensor({32, 288}, 27);
@@ -177,6 +249,19 @@ void BM_GemmTnBlocked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 288 * 32 * 8192);
 }
 BENCHMARK(BM_GemmTnBlocked);
+
+void BM_GemmTnBlockedAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  Tensor w = random_tensor({32, 288}, 27);
+  Tensor go = random_tensor({32, 8192}, 28);
+  const auto pw = tensor::gemm::pack_colmajor(w, tensor::gemm::kStripA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm::matmul_tn(pw, go));
+  }
+  state.SetItemsProcessed(state.iterations() * 288 * 32 * 8192);
+}
+BENCHMARK(BM_GemmTnBlockedAvx2);
 
 void BM_Im2col(benchmark::State& state) {
   Tensor img = random_tensor({3, 32, 32}, 6);

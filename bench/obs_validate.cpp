@@ -76,6 +76,15 @@ void validate_manifest(const std::string& path, bool expect_store_hits_only) {
   require(doc.find("threads")->as_int() >= 1, "threads < 1");
   require(doc.find("config")->kind() == Json::Kind::kObject,
           "config is not an object");
+  // Every manifest must say which micro-kernel ISA produced it: a perf or
+  // accuracy number without its kernel ISA is not reproducible.
+  const Json* kernel_isa = doc.find("config")->find("kernel_isa");
+  require(kernel_isa != nullptr, "missing config.kernel_isa");
+  {
+    const std::string isa = kernel_isa->as_string();
+    require(isa == "scalar" || isa == "avx2" || isa == "neon",
+            "config.kernel_isa is not scalar|avx2|neon");
+  }
   const Json* counters = doc.find("metrics")->find("counters");
   require(counters != nullptr && counters->kind() == Json::Kind::kObject,
           "missing metrics.counters object");

@@ -3,15 +3,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/ops.h"
+
 namespace con::nn {
 
 using tensor::Index;
 
 Tensor ReLU::forward(const Tensor& x, bool /*train*/, TapeSlot& slot) const {
   slot.input = x;
-  Tensor y = x;
-  for (float& v : y.flat()) v = v > 0.0f ? v : 0.0f;
-  return y;
+  return tensor::relu(x);
 }
 
 Tensor ReLU::backward(const Tensor& grad_out, TapeSlot& slot) const {
@@ -19,12 +19,7 @@ Tensor ReLU::backward(const Tensor& grad_out, TapeSlot& slot) const {
     throw std::invalid_argument(name_ + ": grad shape mismatch");
   }
   Tensor gx = grad_out;
-  const float* in = slot.input.data();
-  float* g = gx.data();
-  const Index n = gx.numel();
-  for (Index i = 0; i < n; ++i) {
-    if (in[i] <= 0.0f) g[i] = 0.0f;
-  }
+  tensor::relu_backward_inplace(gx, slot.input);
   return gx;
 }
 

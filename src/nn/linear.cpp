@@ -48,12 +48,7 @@ Tensor Linear::forward(const Tensor& x, bool train, TapeSlot& slot) const {
   if (train) weight_.grad_gate = slot.packed->gate;
   // y[N, out] = x[N, in] * W[out, in]^T
   Tensor y = tensor::gemm::matmul_nt(x, slot.packed->fwd);
-  const Index n = y.dim(0);
-  float* yd = y.data();
-  const float* bd = bias_.value.data();
-  for (Index i = 0; i < n; ++i) {
-    for (Index j = 0; j < out_features_; ++j) yd[i * out_features_ + j] += bd[j];
-  }
+  tensor::bias_add_inplace(y, bias_.value);
   return y;
 }
 
@@ -70,14 +65,7 @@ Tensor Linear::backward(const Tensor& grad_out, TapeSlot& slot) const {
     Tensor dw = tensor::matmul_tn(grad_out, slot.input);
     tensor::add_inplace(weight_.grad, dw);
     // db[out] = column sums of grad_out
-    const Index n = grad_out.dim(0);
-    const float* gd = grad_out.data();
-    float* bd = bias_.grad.data();
-    for (Index i = 0; i < n; ++i) {
-      for (Index j = 0; j < out_features_; ++j) {
-        bd[j] += gd[i * out_features_ + j];
-      }
-    }
+    tensor::column_sums_add_inplace(bias_.grad, grad_out);
   }
   // dx[N, in] = grad_out[N, out] * W[out, in]
   return tensor::gemm::matmul_nn(grad_out, slot.packed->bwd);

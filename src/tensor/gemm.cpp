@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <type_traits>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "tensor/kernels/dispatch.h"
 #include "util/threadpool.h"
 
 namespace con::tensor::gemm {
@@ -21,9 +21,28 @@ void count_gemm(Index m, Index n, Index k) {
             static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k));
 }
 
-void count_reference_dispatch() {
-  static obs::Counter& c = obs::counter("gemm.dispatch.reference");
+// Small-path calls take the pre-blocking scalar loops whatever the active
+// kernel table is; blocked and sparse-axpy calls are counted per ISA so
+// run manifests show exactly which micro-kernels served a run.
+void count_small_dispatch() {
+  static obs::Counter& c = obs::counter("gemm.dispatch.small");
   c.add(1);
+}
+
+obs::Counter& blocked_counter(kernels::Isa isa) {
+  static obs::Counter* by_isa[kernels::kNumIsas] = {
+      &obs::counter("gemm.dispatch.blocked.scalar"),
+      &obs::counter("gemm.dispatch.blocked.avx2"),
+      &obs::counter("gemm.dispatch.blocked.neon")};
+  return *by_isa[static_cast<int>(isa)];
+}
+
+obs::Counter& axpy_counter(kernels::Isa isa) {
+  static obs::Counter* by_isa[kernels::kNumIsas] = {
+      &obs::counter("gemm.dispatch.sparse_axpy.scalar"),
+      &obs::counter("gemm.dispatch.sparse_axpy.avx2"),
+      &obs::counter("gemm.dispatch.sparse_axpy.neon")};
+  return *by_isa[static_cast<int>(isa)];
 }
 
 void check_rank2(const Tensor& t, const char* op) {
@@ -39,10 +58,6 @@ void check_inner(Index got, Index want, const char* op) {
   }
 }
 
-// Below this M·N·K the pack/dispatch overhead of the blocked path is not
-// worth paying; the scalar loops produce the same bits, so the switch is
-// invisible to callers.
-constexpr Index kSmallGemmFlops = 1 << 15;
 
 // Builds the per-strip ascending k-lists and the element count over
 // already-packed strip storage.
@@ -66,55 +81,12 @@ void build_skip_lists(PackedMatrix& p) {
   }
 }
 
-// The register-tile micro-kernel: one MR×NR accumulator tile, full depth
-// per output element, k ascending — the scalar loops' exact operation
-// sequence. `klist == nullptr` runs the dense loop; otherwise only the
-// listed k are visited, and rows whose A value is zero are skipped too —
-// every elided term has a zero factor. Writes the mv×nv valid corner of
-// the tile to C.
-// conlint:hotpath begin
-template <int MR, int NR, typename Acc>
-void micro_kernel(Index depth, const float* __restrict ap,
-                  const float* __restrict bp,
-                  const std::int32_t* __restrict klist, Index nk,
-                  float* __restrict c, Index ldc, Index mv, Index nv) {
-  Acc acc[MR][NR] = {};
-  if (klist == nullptr) {
-    for (Index k = 0; k < depth; ++k) {
-      const float* __restrict av = ap + k * MR;
-      const float* __restrict bv = bp + k * NR;
-      for (int i = 0; i < MR; ++i) {
-        const Acc a = static_cast<Acc>(av[i]);
-        for (int j = 0; j < NR; ++j) acc[i][j] += a * static_cast<Acc>(bv[j]);
-      }
-    }
-  } else {
-    for (Index t = 0; t < nk; ++t) {
-      const Index k = klist[t];
-      const float* __restrict av = ap + k * MR;
-      const float* __restrict bv = bp + k * NR;
-      for (int i = 0; i < MR; ++i) {
-        const Acc a = static_cast<Acc>(av[i]);
-        if (a == Acc(0)) continue;  // pruned row within a live strip column
-        for (int j = 0; j < NR; ++j) acc[i][j] += a * static_cast<Acc>(bv[j]);
-      }
-    }
-  }
-  if (mv == MR && nv == NR) {
-    for (int i = 0; i < MR; ++i) {
-      for (int j = 0; j < NR; ++j) {
-        c[i * ldc + j] = static_cast<float>(acc[i][j]);
-      }
-    }
-  } else {
-    for (Index i = 0; i < mv; ++i) {
-      for (Index j = 0; j < nv; ++j) {
-        c[i * ldc + j] = static_cast<float>(acc[i][j]);
-      }
-    }
-  }
-}
-// conlint:hotpath end
+// The register-tile micro-kernel lives in the runtime-dispatched kernel
+// table (tensor/kernels/dispatch.h): kernels/kernel_scalar.h holds the
+// bit-exact template these loops always ran, kernel_avx2.cpp /
+// kernel_neon.cpp the vectorized variants selected by the first-use probe
+// or CON_KERNEL. Packing, panel threading and the zero-skip lists below
+// are ISA-independent and feed every table entry the same strips.
 
 // The right operand of a GEMM call: either a pre-packed matrix (cached
 // weight panels) or raw storage packed panel-by-panel inside each task.
@@ -126,30 +98,30 @@ struct BSource {
 };
 
 // Packs the columns [j0, j0+jn) of a raw right operand into kStripB strips
-// plus skip lists, reusing the caller's scratch vectors. Zero detection is
-// fused into the copy (the flags array is 8× smaller than the panel) so
-// the packed floats are written once and never re-read here.
-void pack_panel(const BSource& b, Index depth, Index j0, Index jn,
-                std::vector<float>& data, std::vector<char>& flags,
-                std::vector<std::int32_t>& nnz, std::vector<std::int64_t>& ptr) {
+// plus skip lists, reusing the caller's scratch vectors (which persist
+// across panels, so only the partial tail strip needs re-zeroing — full
+// strip columns are completely overwritten). Zero detection is fused into
+// the copy (the flags array is 8× smaller than the panel) so the packed
+// floats are written once and never re-read here. The k-major inner row
+// scatter goes through the kernel table's pack_row entry — a pure byte
+// shuffle, bit-identical on every ISA (dispatch.h).
+void pack_panel(const kernels::KernelTable& kt, const BSource& b, Index depth,
+                Index j0, Index jn, std::vector<float>& data,
+                std::vector<char>& flags, std::vector<std::int32_t>& nnz,
+                std::vector<std::int64_t>& ptr) {
   const Index ns = (jn + kStripB - 1) / kStripB;
-  data.assign(static_cast<std::size_t>(ns * depth * kStripB), 0.0f);
+  const std::size_t need = static_cast<std::size_t>(ns * depth * kStripB);
+  if (data.size() < need) data.resize(need);
   flags.assign(static_cast<std::size_t>(ns * depth), 0);
+  if (jn % kStripB != 0) {
+    float* tail = data.data() + (ns - 1) * depth * kStripB;
+    std::fill(tail, tail + depth * kStripB, 0.0f);
+  }
   if (b.k_major) {
     // k outer keeps the reads streaming through the big matrix row by row.
     for (Index k = 0; k < depth; ++k) {
-      const float* src = b.raw + k * b.ld + j0;
-      for (Index s = 0; s < ns; ++s) {
-        const Index c0 = s * kStripB;
-        const Index cl = std::min<Index>(kStripB, jn - c0);
-        float* dst = data.data() + (s * depth + k) * kStripB;
-        char nz = 0;
-        for (Index t = 0; t < cl; ++t) {
-          dst[t] = src[c0 + t];
-          nz |= (dst[t] != 0.0f);
-        }
-        flags[static_cast<std::size_t>(s * depth + k)] = nz;
-      }
+      kt.pack_row(data.data(), b.raw + k * b.ld + j0, jn, depth, k,
+                  flags.data());
     }
   } else {
     for (Index s = 0; s < ns; ++s) {
@@ -193,8 +165,8 @@ constexpr Index kSparseAxpyDensityPct = 25;
 // Parallel over C rows — every element has exactly one owner, so the
 // output does not depend on the thread count.
 // conlint:hotpath begin
-void sparse_axpy(const PackedMatrix& a, const float* b, Index ldb, Index n,
-                 float* c) {
+void sparse_axpy(const kernels::KernelTable& kt, const PackedMatrix& a,
+                 const float* b, Index ldb, Index n, float* c) {
   util::parallel_for(0, static_cast<std::size_t>(a.rows), [&](std::size_t r) {
     const Index row = static_cast<Index>(r);
     const Index s = row / a.strip;
@@ -205,37 +177,38 @@ void sparse_axpy(const PackedMatrix& a, const float* b, Index ldb, Index n,
     const Index nk =
         static_cast<Index>(a.nnz_ptr[static_cast<std::size_t>(s) + 1] -
                            a.nnz_ptr[static_cast<std::size_t>(s)]);
-    float* __restrict crow = c + row * n;
+    float* crow = c + row * n;
     for (Index u = 0; u < nk; ++u) {
       const Index k = kl[u];
       const float av = strip[k * a.strip + t];
       if (av == 0.0f) continue;
-      const float* __restrict brow = b + k * ldb;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      // The table's axpy entry never fuses multiply and add, so this path
+      // stays bit-identical to the scalar loops on every ISA (dispatch.h).
+      kt.axpy(crow, b + k * ldb, av, n);
     }
   });
 }
 // conlint:hotpath end
 
-// Drives a full C[M,N] product from a packed left operand and a BSource.
-// Parallel over kNC-column panels: each task owns a disjoint column range
-// of C and computes every one of its elements exactly once, so the output
-// is independent of the thread count.
-template <typename Acc, int MR>
-void gemm_blocked(const PackedMatrix& a, const BSource& bsrc, Index n,
-                  float* c) {
+// Drives a full C[M,N] product from a packed left operand and a BSource
+// through the table's `mk` micro-kernel (MR must match the strip width `a`
+// was packed with). Parallel over kNC-column panels: each task owns a
+// disjoint column range of C and computes every one of its elements exactly
+// once, so the output is independent of the thread count.
+template <int MR>
+void gemm_blocked(const kernels::KernelTable& kt, kernels::MicroKernelFn mk,
+                  bool allow_axpy, const PackedMatrix& a, const BSource& bsrc,
+                  Index n, float* c) {
   const Index m = a.rows;
   const Index depth = a.depth;
   if (m == 0 || n == 0) return;
-  if (std::is_same_v<Acc, float> && bsrc.packed == nullptr && bsrc.k_major &&
+  if (allow_axpy && bsrc.packed == nullptr && bsrc.k_major &&
       a.nnz * 100 <= m * depth * kSparseAxpyDensityPct) {
-    static obs::Counter& axpy_calls = obs::counter("gemm.dispatch.sparse_axpy");
-    axpy_calls.add(1);
-    sparse_axpy(a, bsrc.raw, bsrc.ld, n, c);
+    axpy_counter(kt.isa).add(1);
+    sparse_axpy(kt, a, bsrc.raw, bsrc.ld, n, c);
     return;
   }
-  static obs::Counter& blocked_calls = obs::counter("gemm.dispatch.blocked");
-  blocked_calls.add(1);
+  blocked_counter(kt.isa).add(1);
   const Index npanels = (n + kNC - 1) / kNC;
   const Index na_strips = a.num_strips();
   const float* adata = a.data.data();
@@ -246,10 +219,13 @@ void gemm_blocked(const PackedMatrix& a, const BSource& bsrc, Index n,
     const Index j0 = static_cast<Index>(pi) * kNC;
     const Index jn = std::min<Index>(kNC, n - j0);
     const Index nb_strips = (jn + kStripB - 1) / kStripB;
-    std::vector<float> scratch;
-    std::vector<char> sflags;
-    std::vector<std::int32_t> snnz;
-    std::vector<std::int64_t> sptr;
+    // Per-worker scratch, reused across panels: pack_panel only rewrites
+    // what the current panel covers, so the buffers stop allocating (and
+    // stop paying a full zero-fill) after the first panel on each thread.
+    thread_local std::vector<float> scratch;
+    thread_local std::vector<char> sflags;
+    thread_local std::vector<std::int32_t> snnz;
+    thread_local std::vector<std::int64_t> sptr;
     const float* bstrips;
     const std::int32_t* bnnz;
     const std::int64_t* bptr;
@@ -260,7 +236,7 @@ void gemm_blocked(const PackedMatrix& a, const BSource& bsrc, Index n,
       bnnz = bsrc.packed->nnz_k.data();
       bptr = bsrc.packed->nnz_ptr.data() + s0;
     } else {
-      pack_panel(bsrc, depth, j0, jn, scratch, sflags, snnz, sptr);
+      pack_panel(kt, bsrc, depth, j0, jn, scratch, sflags, snnz, sptr);
       bstrips = scratch.data();
       bnnz = snnz.data();
       bptr = sptr.data();
@@ -292,8 +268,7 @@ void gemm_blocked(const PackedMatrix& a, const BSource& bsrc, Index n,
           kl = bnnz + bk0;
           nk = bnk;
         }
-        micro_kernel<MR, static_cast<int>(kStripB), Acc>(
-            depth, ap, bp, kl, nk, c + i * n + j, n, mv, nv);
+        mk(depth, ap, bp, kl, nk, c + i * n + j, n, mv, nv);
       }
     }
   });
@@ -346,9 +321,11 @@ Tensor matmul_nn(const PackedMatrix& a, const Tensor& b) {
   check_inner(b.dim(0), a.depth, "matmul_nn");
   obs::Span span("gemm.nn");
   count_gemm(a.rows, b.dim(1), a.depth);
+  const kernels::KernelTable& kt = kernels::active();
   Tensor c({a.rows, b.dim(1)});
   BSource bs{.raw = b.data(), .ld = b.dim(1), .k_major = true};
-  gemm_blocked<float, static_cast<int>(kStripA)>(a, bs, b.dim(1), c.data());
+  gemm_blocked<static_cast<int>(kStripA)>(kt, kt.nn_4x8, /*allow_axpy=*/true,
+                                          a, bs, b.dim(1), c.data());
   return c;
 }
 
@@ -357,10 +334,12 @@ Tensor matmul_nn(const Tensor& a, const PackedMatrix& b) {
   check_inner(a.dim(1), b.depth, "matmul_nn");
   obs::Span span("gemm.nn");
   count_gemm(a.dim(0), b.rows, b.depth);
+  const kernels::KernelTable& kt = kernels::active();
   PackedMatrix pa = pack_rowmajor(a, kStripA);
   Tensor c({a.dim(0), b.rows});
   BSource bs{.packed = &b};
-  gemm_blocked<float, static_cast<int>(kStripA)>(pa, bs, b.rows, c.data());
+  gemm_blocked<static_cast<int>(kStripA)>(kt, kt.nn_4x8, /*allow_axpy=*/true,
+                                          pa, bs, b.rows, c.data());
   return c;
 }
 
@@ -375,14 +354,16 @@ Tensor matmul_nn(const Tensor& a, const Tensor& b) {
   }
   obs::Span span("gemm.nn");
   count_gemm(m, n, k);
-  if (m * n * k <= kSmallGemmFlops) {
-    count_reference_dispatch();
+  const kernels::KernelTable& kt = kernels::active();
+  if (m * n * k <= kt.small_gemm_flops) {
+    count_small_dispatch();
     return reference_nn(a, b);
   }
   PackedMatrix pa = pack_rowmajor(a, kStripA);
   Tensor c({m, n});
   BSource bs{.raw = b.data(), .ld = n, .k_major = true};
-  gemm_blocked<float, static_cast<int>(kStripA)>(pa, bs, n, c.data());
+  gemm_blocked<static_cast<int>(kStripA)>(kt, kt.nn_4x8, /*allow_axpy=*/true,
+                                          pa, bs, n, c.data());
   return c;
 }
 
@@ -393,9 +374,11 @@ Tensor matmul_tn(const PackedMatrix& a, const Tensor& b) {
   check_inner(b.dim(0), a.depth, "matmul_tn");
   obs::Span span("gemm.tn");
   count_gemm(a.rows, b.dim(1), a.depth);
+  const kernels::KernelTable& kt = kernels::active();
   Tensor c({a.rows, b.dim(1)});
   BSource bs{.raw = b.data(), .ld = b.dim(1), .k_major = true};
-  gemm_blocked<float, static_cast<int>(kStripA)>(a, bs, b.dim(1), c.data());
+  gemm_blocked<static_cast<int>(kStripA)>(kt, kt.nn_4x8, /*allow_axpy=*/true,
+                                          a, bs, b.dim(1), c.data());
   return c;
 }
 
@@ -408,14 +391,16 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   }
   obs::Span span("gemm.tn");
   count_gemm(m, n, k);
-  if (m * n * k <= kSmallGemmFlops) {
-    count_reference_dispatch();
+  const kernels::KernelTable& kt = kernels::active();
+  if (m * n * k <= kt.small_gemm_flops) {
+    count_small_dispatch();
     return reference_tn(a, b);
   }
   PackedMatrix pa = pack_colmajor(a, kStripA);
   Tensor c({m, n});
   BSource bs{.raw = b.data(), .ld = n, .k_major = true};
-  gemm_blocked<float, static_cast<int>(kStripA)>(pa, bs, n, c.data());
+  gemm_blocked<static_cast<int>(kStripA)>(kt, kt.nn_4x8, /*allow_axpy=*/true,
+                                          pa, bs, n, c.data());
   return c;
 }
 
@@ -426,10 +411,12 @@ Tensor matmul_nt(const Tensor& a, const PackedMatrix& b) {
   check_inner(a.dim(1), b.depth, "matmul_nt");
   obs::Span span("gemm.nt");
   count_gemm(a.dim(0), b.rows, b.depth);
+  const kernels::KernelTable& kt = kernels::active();
   PackedMatrix pa = pack_rowmajor(a, kStripANt);
   Tensor c({a.dim(0), b.rows});
   BSource bs{.packed = &b};
-  gemm_blocked<double, static_cast<int>(kStripANt)>(pa, bs, b.rows, c.data());
+  gemm_blocked<static_cast<int>(kStripANt)>(kt, kt.nt_2x8, /*allow_axpy=*/false,
+                                            pa, bs, b.rows, c.data());
   return c;
 }
 
@@ -442,14 +429,16 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   }
   obs::Span span("gemm.nt");
   count_gemm(m, n, k);
-  if (m * n * k <= kSmallGemmFlops) {
-    count_reference_dispatch();
+  const kernels::KernelTable& kt = kernels::active();
+  if (m * n * k <= kt.small_gemm_flops) {
+    count_small_dispatch();
     return reference_nt(a, b);
   }
   PackedMatrix pa = pack_rowmajor(a, kStripANt);
   Tensor c({m, n});
   BSource bs{.raw = b.data(), .ld = k, .k_major = false};
-  gemm_blocked<double, static_cast<int>(kStripANt)>(pa, bs, n, c.data());
+  gemm_blocked<static_cast<int>(kStripANt)>(kt, kt.nt_2x8, /*allow_axpy=*/false,
+                                            pa, bs, n, c.data());
   return c;
 }
 

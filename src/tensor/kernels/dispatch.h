@@ -1,0 +1,137 @@
+// Runtime-dispatched SIMD micro-kernel table for the GEMM / sparse /
+// elementwise hot paths.
+//
+// The blocked GEMM layer (tensor/gemm.cpp) and the elementwise ops
+// (tensor/ops.cpp) call through one process-wide `KernelTable` of plain
+// function pointers. The table is resolved exactly once, at first use:
+// a cpuid/auxval probe picks the best implementation the host supports,
+// overridable with `CON_KERNEL=scalar|avx2|neon` in the environment or the
+// `--kernel` flag every bench/example accepts (bench_common.h). Each ISA
+// lives in its own translation unit (kernel_avx2.cpp / kernel_neon.cpp)
+// compiled with per-TU ISA flags, so the default build still runs on any
+// host: the vector TUs are only *called* after the runtime probe says the
+// instructions exist.
+//
+// Precision contract (DESIGN.md §5, "SIMD precision contract"):
+//  - `scalar` is the default and the bit-exact oracle: its entries are the
+//    exact loops the pre-dispatch code ran, so default-build results are
+//    byte-identical to releases before this layer existed.
+//  - The SIMD float-accumulating register-tile kernels (`nn_mr_x_8`) use
+//    FMA and two interleaved partial sums per output element, so their
+//    results may differ from scalar within the documented error bound
+//    |simd − scalar| ≤ 2·γ_K·Σ|a·b|, γ_K = K·2⁻²⁴ (tests/test_kernels.cpp
+//    asserts it). Opting in (CON_KERNEL=avx2|neon) is a statement that you
+//    accept those bits; artifact-store derivations record the active ISA
+//    whenever it is not scalar, so SIMD-computed artifacts never alias
+//    scalar ones (core/artifacts.cpp).
+//  - Everything else is bit-identical on every ISA: the double-accumulating
+//    NT kernel (float products are exact in double, so fused and unfused
+//    rounding agree), the sparse row-axpy, and the elementwise entries
+//    (vectorized with separate multiply and add — never contracted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace con::tensor::kernels {
+
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+inline constexpr int kNumIsas = 3;
+
+// Register-tile GEMM micro-kernel: one MR×NR accumulator tile over packed
+// strips (ap[k*MR + i], bp[k*NR + j]), full depth per output element in
+// ascending k. `klist == nullptr` runs the dense loop; otherwise only the
+// listed k are visited (every elided term has a zero factor — see gemm.h).
+// Writes the mv×nv valid corner of the tile to c (leading dimension ldc).
+using MicroKernelFn = void (*)(Index depth, const float* ap, const float* bp,
+                               const std::int32_t* klist, Index nk, float* c,
+                               Index ldc, Index mv, Index nv);
+
+// dst[i] += a * src[i]  (the sparse row-axpy inner sweep and attack-step
+// updates; never FMA-contracted, bit-identical on every ISA).
+using AxpyFn = void (*)(float* dst, const float* src, float a, Index n);
+// dst[i] = a[i] + s * b[i]
+using AxpyOutFn = void (*)(float* dst, const float* a, const float* b, float s,
+                           Index n);
+// dst[i] (+|-|*)= src[i]
+using BinFn = void (*)(float* dst, const float* src, Index n);
+// dst[i] *= s
+using ScaleFn = void (*)(float* dst, float s, Index n);
+// dst[i] = min(hi, max(lo, dst[i])) with std::min/std::max tie semantics
+using ClampFn = void (*)(float* dst, float lo, float hi, Index n);
+// dst[i] = src[i] > 0 ? src[i] : 0   /   dst[i] = sign(src[i]) ∈ {-1,0,1}
+using UnaryFn = void (*)(float* dst, const float* src, Index n);
+// grad[i] = input[i] <= 0 ? 0 : grad[i]
+using ReluBwdFn = void (*)(float* grad, const float* input, Index n);
+// Scatters one k-row of a right-operand panel into its 8-wide strip
+// columns: strip s receives src[s*8 + t] in lane t of column k (panel
+// layout (s*depth + k)*8 + t, gemm.h), and flags[s*depth + k] records
+// whether any copied lane is nonzero (NaN counts as nonzero, matching the
+// scalar `!= 0.0f` test). A pure byte shuffle — bit-identical everywhere;
+// only the copy/test width is per-ISA.
+using PackRowFn = void (*)(float* panel, const float* src, Index jn,
+                           Index depth, Index k, char* flags);
+
+struct KernelTable {
+  Isa isa = Isa::kScalar;
+  // Below this M·N·K product matmul falls back to the pre-blocking scalar
+  // loops (pack/dispatch overhead dominates). Per-ISA: a faster micro-kernel
+  // amortises packing earlier, so the crossover drops (gemm.cpp).
+  Index small_gemm_flops = 0;
+  MicroKernelFn nn_4x8 = nullptr;  // float accumulators, MR = gemm::kStripA
+  MicroKernelFn nt_2x8 = nullptr;  // double accumulators, MR = gemm::kStripANt
+  AxpyFn axpy = nullptr;
+  AxpyOutFn axpy_out = nullptr;
+  BinFn add = nullptr;
+  BinFn sub = nullptr;
+  BinFn mul = nullptr;
+  ScaleFn scale = nullptr;
+  ClampFn clamp = nullptr;
+  UnaryFn relu = nullptr;
+  UnaryFn sign = nullptr;
+  ReluBwdFn relu_bwd = nullptr;
+  PackRowFn pack_row = nullptr;
+};
+
+// The active table. First call probes the host and reads $CON_KERNEL; the
+// lookup afterwards is one relaxed atomic load (safe inside hot loops —
+// never allocates). Requesting an unsupported ISA via the environment logs
+// a warning and falls back to scalar instead of failing: a generic binary
+// must keep working on any host (graceful-fallback contract, CI `generic`
+// job).
+const KernelTable& active();
+Isa active_isa();
+const char* isa_name(Isa isa);
+
+// True when `isa` is compiled into this binary AND the host executes it.
+bool isa_supported(Isa isa);
+
+// Forces the table. Returns the ISA actually activated: `isa` when
+// supported, otherwise scalar (with a warning). Not thread-safe against
+// concurrent kernel calls — call at startup or in tests.
+Isa set_isa(Isa isa);
+
+// Parses "scalar" / "avx2" / "neon"; throws std::invalid_argument on
+// anything else (the --kernel flag path: typos fail loudly).
+Isa parse_isa(const std::string& name);
+
+// Env-string resolution used at first probe, exposed for tests: returns the
+// ISA CON_KERNEL=`value` would activate (nullptr means unset → scalar).
+// Unknown names and unsupported ISAs resolve to scalar.
+Isa resolve_env_request(const char* value);
+
+// RAII forced-ISA scope for tests and benches; restores on destruction.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa) : prev_(active_isa()) { set_isa(isa); }
+  ~ScopedIsa() { set_isa(prev_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  Isa prev_;
+};
+
+}  // namespace con::tensor::kernels

@@ -1,0 +1,348 @@
+// AVX2+FMA kernel table (x86-64).
+//
+// Compiled with per-TU `-mavx2 -mfma -ffp-contract=off` (src/tensor/
+// CMakeLists.txt) so the rest of the tree stays baseline-ISA: these
+// functions are only reached through the dispatch table after the runtime
+// cpuid probe confirms the host executes them. `-ffp-contract=off` matters:
+// every fused multiply-add below is an *explicit* _mm256_fmadd intrinsic,
+// and every deliberately-unfused multiply+add stays unfused — the compiler
+// may not re-contract them, or the elementwise bit-identity contract
+// (dispatch.h) would silently break.
+//
+// Precision notes (DESIGN.md §5, "SIMD precision contract"):
+//  - nn_4x8: float accumulators, FMA, and two interleaved partial sums per
+//    output element (even/odd k, combined once at the end) to cover FMA
+//    latency with eight independent chains. Differs from scalar within
+//    |Δ| ≤ 2·γ_{K+1}·Σ|a·b|, γ_K = K·2⁻²⁴.
+//  - nt_2x8: double accumulators, ascending k, one chain per element. A
+//    product of two floats is exact in double (24+24 < 53 mantissa bits),
+//    so fused and unfused rounding agree and the result is bit-identical
+//    to the scalar kernel.
+//  - axpy / elementwise: multiply and add kept separate → bit-identical.
+#include "tensor/kernels/dispatch.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "tensor/kernels/kernel_scalar.h"
+
+namespace con::tensor::kernels {
+
+namespace {
+
+// conlint:hotpath begin
+
+// Float register-tile kernel, MR=4 (gemm::kStripA), NR=8 (gemm::kStripB).
+// Eight ymm accumulators: rows 0..3 × {even k, odd k}. The zero-skip
+// contract of the scalar kernel is preserved by arithmetic instead of
+// branching: a zero A lane contributes fma(±0·b) = ±0, which never changes
+// a finite accumulation (gemm.h).
+void nn_4x8_avx2(Index depth, const float* __restrict ap,
+                 const float* __restrict bp,
+                 const std::int32_t* __restrict klist, Index nk, float* c,
+                 Index ldc, Index mv, Index nv) {
+  __m256 e0 = _mm256_setzero_ps(), e1 = e0, e2 = e0, e3 = e0;  // even chains
+  __m256 o0 = e0, o1 = e0, o2 = e0, o3 = e0;                   // odd chains
+  if (klist == nullptr) {
+    Index k = 0;
+    for (; k + 1 < depth; k += 2) {
+      const float* a0 = ap + k * 4;
+      const __m256 b0 = _mm256_loadu_ps(bp + k * 8);
+      const __m256 b1 = _mm256_loadu_ps(bp + (k + 1) * 8);
+      e0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 0), b0, e0);
+      e1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 1), b0, e1);
+      e2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 2), b0, e2);
+      e3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 3), b0, e3);
+      o0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 4), b1, o0);
+      o1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 5), b1, o1);
+      o2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 6), b1, o2);
+      o3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 7), b1, o3);
+    }
+    if (k < depth) {
+      const float* a0 = ap + k * 4;
+      const __m256 b0 = _mm256_loadu_ps(bp + k * 8);
+      e0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 0), b0, e0);
+      e1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 1), b0, e1);
+      e2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 2), b0, e2);
+      e3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + 3), b0, e3);
+    }
+  } else {
+    Index t = 0;
+    for (; t + 1 < nk; t += 2) {
+      const Index ka = klist[t], kb = klist[t + 1];
+      const float* aa = ap + ka * 4;
+      const float* ab = ap + kb * 4;
+      const __m256 b0 = _mm256_loadu_ps(bp + ka * 8);
+      const __m256 b1 = _mm256_loadu_ps(bp + kb * 8);
+      e0 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 0), b0, e0);
+      e1 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 1), b0, e1);
+      e2 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 2), b0, e2);
+      e3 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 3), b0, e3);
+      o0 = _mm256_fmadd_ps(_mm256_broadcast_ss(ab + 0), b1, o0);
+      o1 = _mm256_fmadd_ps(_mm256_broadcast_ss(ab + 1), b1, o1);
+      o2 = _mm256_fmadd_ps(_mm256_broadcast_ss(ab + 2), b1, o2);
+      o3 = _mm256_fmadd_ps(_mm256_broadcast_ss(ab + 3), b1, o3);
+    }
+    if (t < nk) {
+      const Index ka = klist[t];
+      const float* aa = ap + ka * 4;
+      const __m256 b0 = _mm256_loadu_ps(bp + ka * 8);
+      e0 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 0), b0, e0);
+      e1 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 1), b0, e1);
+      e2 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 2), b0, e2);
+      e3 = _mm256_fmadd_ps(_mm256_broadcast_ss(aa + 3), b0, e3);
+    }
+  }
+  // Combine the even/odd partial sums (the one reassociation this kernel
+  // performs) and write the valid tile corner.
+  const __m256 r0 = _mm256_add_ps(e0, o0);
+  const __m256 r1 = _mm256_add_ps(e1, o1);
+  const __m256 r2 = _mm256_add_ps(e2, o2);
+  const __m256 r3 = _mm256_add_ps(e3, o3);
+  if (mv == 4 && nv == 8) {
+    _mm256_storeu_ps(c + 0 * ldc, r0);
+    _mm256_storeu_ps(c + 1 * ldc, r1);
+    _mm256_storeu_ps(c + 2 * ldc, r2);
+    _mm256_storeu_ps(c + 3 * ldc, r3);
+  } else {
+    alignas(32) float tile[4][8];
+    _mm256_store_ps(tile[0], r0);
+    _mm256_store_ps(tile[1], r1);
+    _mm256_store_ps(tile[2], r2);
+    _mm256_store_ps(tile[3], r3);
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) c[i * ldc + j] = tile[i][j];
+    }
+  }
+}
+
+// Double-accumulating NT kernel, MR=2 (gemm::kStripANt), NR=8. One chain
+// per output element in ascending k, exactly like the scalar kernel —
+// float·float products are exact in double, so this is bit-identical to it
+// (the claim tests/test_kernels.cpp asserts with ASSERT_EQ).
+void nt_2x8_avx2(Index depth, const float* __restrict ap,
+                 const float* __restrict bp,
+                 const std::int32_t* __restrict klist, Index nk, float* c,
+                 Index ldc, Index mv, Index nv) {
+  __m256d a0lo = _mm256_setzero_pd(), a0hi = a0lo;  // row 0, cols 0-3 / 4-7
+  __m256d a1lo = a0lo, a1hi = a0lo;                 // row 1
+  auto step = [&](Index k) {
+    const __m256 bf = _mm256_loadu_ps(bp + k * 8);
+    const __m256d blo = _mm256_cvtps_pd(_mm256_castps256_ps128(bf));
+    const __m256d bhi = _mm256_cvtps_pd(_mm256_extractf128_ps(bf, 1));
+    const __m256d av0 = _mm256_set1_pd(static_cast<double>(ap[k * 2 + 0]));
+    const __m256d av1 = _mm256_set1_pd(static_cast<double>(ap[k * 2 + 1]));
+    a0lo = _mm256_fmadd_pd(av0, blo, a0lo);
+    a0hi = _mm256_fmadd_pd(av0, bhi, a0hi);
+    a1lo = _mm256_fmadd_pd(av1, blo, a1lo);
+    a1hi = _mm256_fmadd_pd(av1, bhi, a1hi);
+  };
+  if (klist == nullptr) {
+    for (Index k = 0; k < depth; ++k) step(k);
+  } else {
+    for (Index t = 0; t < nk; ++t) step(klist[t]);
+  }
+  const __m128 r0lo = _mm256_cvtpd_ps(a0lo);
+  const __m128 r0hi = _mm256_cvtpd_ps(a0hi);
+  const __m128 r1lo = _mm256_cvtpd_ps(a1lo);
+  const __m128 r1hi = _mm256_cvtpd_ps(a1hi);
+  if (mv == 2 && nv == 8) {
+    _mm_storeu_ps(c + 0 * ldc + 0, r0lo);
+    _mm_storeu_ps(c + 0 * ldc + 4, r0hi);
+    _mm_storeu_ps(c + 1 * ldc + 0, r1lo);
+    _mm_storeu_ps(c + 1 * ldc + 4, r1hi);
+  } else {
+    alignas(32) float tile[2][8];
+    _mm_store_ps(tile[0] + 0, r0lo);
+    _mm_store_ps(tile[0] + 4, r0hi);
+    _mm_store_ps(tile[1] + 0, r1lo);
+    _mm_store_ps(tile[1] + 4, r1hi);
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) c[i * ldc + j] = tile[i][j];
+    }
+  }
+}
+
+// ---- elementwise: unfused multiply+add, bit-identical to scalar -------------
+// Remainders run the scalar loops from kernel_scalar.h so there is exactly
+// one definition of the per-element operation.
+
+void axpy_avx2(float* d, const float* s, float a, Index n) {
+  const __m256 av = _mm256_set1_ps(a);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 sv = _mm256_loadu_ps(s + i);
+    const __m256 dv = _mm256_loadu_ps(d + i);
+    _mm256_storeu_ps(d + i, _mm256_add_ps(dv, _mm256_mul_ps(av, sv)));
+  }
+  scalar::axpy(d + i, s + i, a, n - i);
+}
+
+void axpy_out_avx2(float* d, const float* a, const float* b, float s,
+                   Index n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_loadu_ps(a + i);
+    const __m256 bv = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(d + i, _mm256_add_ps(av, _mm256_mul_ps(sv, bv)));
+  }
+  scalar::axpy_out(d + i, a + i, b + i, s, n - i);
+}
+
+void add_avx2(float* d, const float* s, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        d + i, _mm256_add_ps(_mm256_loadu_ps(d + i), _mm256_loadu_ps(s + i)));
+  }
+  scalar::add(d + i, s + i, n - i);
+}
+
+void sub_avx2(float* d, const float* s, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        d + i, _mm256_sub_ps(_mm256_loadu_ps(d + i), _mm256_loadu_ps(s + i)));
+  }
+  scalar::sub(d + i, s + i, n - i);
+}
+
+void mul_avx2(float* d, const float* s, Index n) {
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        d + i, _mm256_mul_ps(_mm256_loadu_ps(d + i), _mm256_loadu_ps(s + i)));
+  }
+  scalar::mul(d + i, s + i, n - i);
+}
+
+void scale_avx2(float* d, float s, Index n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(d + i, _mm256_mul_ps(_mm256_loadu_ps(d + i), sv));
+  }
+  scalar::scale(d + i, s, n - i);
+}
+
+// min/max operand order replicates std::min(hi, std::max(lo, x)) ties:
+// vmaxps/vminps return the second operand on equality, and
+// std::max(lo, x) == lo / std::min(hi, t) == hi on equality, so the
+// second operand must be lo / hi respectively.
+void clamp_avx2(float* d, float lo, float hi, Index n) {
+  const __m256 lov = _mm256_set1_ps(lo);
+  const __m256 hiv = _mm256_set1_ps(hi);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(d + i);
+    _mm256_storeu_ps(d + i, _mm256_min_ps(_mm256_max_ps(x, lov), hiv));
+  }
+  scalar::clamp(d + i, lo, hi, n - i);
+}
+
+// x > 0 ? x : 0 via a comparison mask (not vmaxps) so that relu(-0.0f)
+// returns +0.0f exactly like the scalar branch.
+void relu_avx2(float* d, const float* s, Index n) {
+  const __m256 zero = _mm256_setzero_ps();
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(s + i);
+    const __m256 pos = _mm256_cmp_ps(x, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(d + i, _mm256_and_ps(x, pos));
+  }
+  scalar::relu(d + i, s + i, n - i);
+}
+
+void sign_avx2(float* d, const float* s, Index n) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 neg_one = _mm256_set1_ps(-1.0f);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(s + i);
+    const __m256 pos = _mm256_and_ps(_mm256_cmp_ps(x, zero, _CMP_GT_OQ), one);
+    const __m256 neg =
+        _mm256_and_ps(_mm256_cmp_ps(x, zero, _CMP_LT_OQ), neg_one);
+    _mm256_storeu_ps(d + i, _mm256_or_ps(pos, neg));
+  }
+  scalar::sign(d + i, s + i, n - i);
+}
+
+void relu_bwd_avx2(float* g, const float* in, Index n) {
+  const __m256 zero = _mm256_setzero_ps();
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    const __m256 keep = _mm256_cmp_ps(x, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(g + i, _mm256_and_ps(_mm256_loadu_ps(g + i), keep));
+  }
+  scalar::relu_bwd(g + i, in + i, n - i);
+}
+
+// The panel-pack row scatter: one 8-float load/store plus a NEQ mask per
+// strip column. _CMP_NEQ_UQ (unordered) makes NaN lanes count as nonzero,
+// matching the scalar `!= 0.0f` test.
+void pack_row8_avx2(float* panel, const float* src, Index jn, Index depth,
+                    Index k, char* flags) {
+  const __m256 zero = _mm256_setzero_ps();
+  const Index full = jn / 8;
+  for (Index s = 0; s < full; ++s) {
+    const __m256 v = _mm256_loadu_ps(src + s * 8);
+    _mm256_storeu_ps(panel + (s * depth + k) * 8, v);
+    flags[s * depth + k] =
+        _mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_NEQ_UQ)) != 0;
+  }
+  const Index c0 = full * 8;
+  if (c0 < jn) {
+    float* dst = panel + (full * depth + k) * 8;
+    char nz = 0;
+    for (Index t = 0; t < jn - c0; ++t) {
+      dst[t] = src[c0 + t];
+      nz |= (dst[t] != 0.0f);
+    }
+    flags[full * depth + k] = nz;
+  }
+}
+
+// conlint:hotpath end
+
+}  // namespace
+
+const KernelTable* avx2_table() {
+  static const KernelTable t = [] {
+    KernelTable k;
+    k.isa = Isa::kAvx2;
+    // Re-tuned crossover (gemm.cpp PR 2 used 1<<15 for the scalar tiles):
+    // the 8-wide FMA kernel amortises pack+dispatch ~4× sooner, measured at
+    // square shapes on AVX2 hosts (tests/test_kernels.cpp only requires
+    // correctness at any value; bench_micro_ops shows the win).
+    k.small_gemm_flops = 1 << 13;
+    k.nn_4x8 = &nn_4x8_avx2;
+    k.nt_2x8 = &nt_2x8_avx2;
+    k.axpy = &axpy_avx2;
+    k.axpy_out = &axpy_out_avx2;
+    k.add = &add_avx2;
+    k.sub = &sub_avx2;
+    k.mul = &mul_avx2;
+    k.scale = &scale_avx2;
+    k.clamp = &clamp_avx2;
+    k.relu = &relu_avx2;
+    k.sign = &sign_avx2;
+    k.relu_bwd = &relu_bwd_avx2;
+    k.pack_row = &pack_row8_avx2;
+    return k;
+  }();
+  return &t;
+}
+
+}  // namespace con::tensor::kernels
+
+#else  // non-x86 build: the probe never offers AVX2.
+
+namespace con::tensor::kernels {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace con::tensor::kernels
+
+#endif

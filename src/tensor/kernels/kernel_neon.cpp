@@ -1,0 +1,293 @@
+// NEON kernel table (AArch64 Advanced SIMD).
+//
+// Mirrors kernel_avx2.cpp with 128-bit vectors: the float tile kernel uses
+// fused multiply-add (vfmaq) with even/odd interleaved partial sums, the
+// double NT kernel keeps one ascending-k chain per element (bit-identical
+// to scalar — float products are exact in double), and the elementwise
+// entries use separate multiply and add (bit-identical on every ISA). See
+// dispatch.h for the precision contract. The TU compiles to the two stub
+// symbols below on non-AArch64 targets; the dispatch probe never offers
+// NEON there. Per-TU `-ffp-contract=off` keeps the compiler from fusing
+// the deliberately-unfused elementwise arithmetic.
+#include "tensor/kernels/dispatch.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "tensor/kernels/kernel_scalar.h"
+
+namespace con::tensor::kernels {
+
+namespace {
+
+// conlint:hotpath begin
+
+// Float register-tile kernel, MR=4, NR=8 → per row two float32x4 lanes,
+// duplicated into even/odd chains (16 accumulator q-registers).
+void nn_4x8_neon(Index depth, const float* __restrict ap,
+                 const float* __restrict bp,
+                 const std::int32_t* __restrict klist, Index nk, float* c,
+                 Index ldc, Index mv, Index nv) {
+  float32x4_t e[4][2], o[4][2];
+  for (int i = 0; i < 4; ++i) {
+    e[i][0] = vdupq_n_f32(0.0f);
+    e[i][1] = vdupq_n_f32(0.0f);
+    o[i][0] = vdupq_n_f32(0.0f);
+    o[i][1] = vdupq_n_f32(0.0f);
+  }
+  auto step = [&](Index k, float32x4_t acc[4][2]) {
+    const float* av = ap + k * 4;
+    const float32x4_t blo = vld1q_f32(bp + k * 8);
+    const float32x4_t bhi = vld1q_f32(bp + k * 8 + 4);
+    for (int i = 0; i < 4; ++i) {
+      acc[i][0] = vfmaq_n_f32(acc[i][0], blo, av[i]);
+      acc[i][1] = vfmaq_n_f32(acc[i][1], bhi, av[i]);
+    }
+  };
+  if (klist == nullptr) {
+    Index k = 0;
+    for (; k + 1 < depth; k += 2) {
+      step(k, e);
+      step(k + 1, o);
+    }
+    if (k < depth) step(k, e);
+  } else {
+    Index t = 0;
+    for (; t + 1 < nk; t += 2) {
+      step(klist[t], e);
+      step(klist[t + 1], o);
+    }
+    if (t < nk) step(klist[t], e);
+  }
+  if (mv == 4 && nv == 8) {
+    for (int i = 0; i < 4; ++i) {
+      vst1q_f32(c + i * ldc + 0, vaddq_f32(e[i][0], o[i][0]));
+      vst1q_f32(c + i * ldc + 4, vaddq_f32(e[i][1], o[i][1]));
+    }
+  } else {
+    float tile[4][8];
+    for (int i = 0; i < 4; ++i) {
+      vst1q_f32(tile[i] + 0, vaddq_f32(e[i][0], o[i][0]));
+      vst1q_f32(tile[i] + 4, vaddq_f32(e[i][1], o[i][1]));
+    }
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) c[i * ldc + j] = tile[i][j];
+    }
+  }
+}
+
+// Double-accumulating NT kernel, MR=2, NR=8 → per row four float64x2
+// lanes, one ascending-k chain per element (bit-identical to scalar).
+void nt_2x8_neon(Index depth, const float* __restrict ap,
+                 const float* __restrict bp,
+                 const std::int32_t* __restrict klist, Index nk, float* c,
+                 Index ldc, Index mv, Index nv) {
+  float64x2_t acc[2][4];
+  for (int i = 0; i < 2; ++i) {
+    for (int q = 0; q < 4; ++q) acc[i][q] = vdupq_n_f64(0.0);
+  }
+  auto step = [&](Index k) {
+    const float32x4_t blo = vld1q_f32(bp + k * 8);
+    const float32x4_t bhi = vld1q_f32(bp + k * 8 + 4);
+    const float64x2_t b[4] = {
+        vcvt_f64_f32(vget_low_f32(blo)), vcvt_high_f64_f32(blo),
+        vcvt_f64_f32(vget_low_f32(bhi)), vcvt_high_f64_f32(bhi)};
+    for (int i = 0; i < 2; ++i) {
+      const float64x2_t av =
+          vdupq_n_f64(static_cast<double>(ap[k * 2 + i]));
+      for (int q = 0; q < 4; ++q) acc[i][q] = vfmaq_f64(acc[i][q], av, b[q]);
+    }
+  };
+  if (klist == nullptr) {
+    for (Index k = 0; k < depth; ++k) step(k);
+  } else {
+    for (Index t = 0; t < nk; ++t) step(klist[t]);
+  }
+  float tile[2][8];
+  for (int i = 0; i < 2; ++i) {
+    for (int q = 0; q < 4; ++q) {
+      vst1_f32(tile[i] + q * 2, vcvt_f32_f64(acc[i][q]));
+    }
+  }
+  for (Index i = 0; i < mv; ++i) {
+    for (Index j = 0; j < nv; ++j) c[i * ldc + j] = tile[i][j];
+  }
+}
+
+// ---- elementwise: unfused multiply+add, bit-identical to scalar -------------
+
+void axpy_neon(float* d, const float* s, float a, Index n) {
+  const float32x4_t av = vdupq_n_f32(a);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(d + i,
+              vaddq_f32(vld1q_f32(d + i), vmulq_f32(av, vld1q_f32(s + i))));
+  }
+  scalar::axpy(d + i, s + i, a, n - i);
+}
+
+void axpy_out_neon(float* d, const float* a, const float* b, float s,
+                   Index n) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(d + i,
+              vaddq_f32(vld1q_f32(a + i), vmulq_f32(sv, vld1q_f32(b + i))));
+  }
+  scalar::axpy_out(d + i, a + i, b + i, s, n - i);
+}
+
+void add_neon(float* d, const float* s, Index n) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(d + i, vaddq_f32(vld1q_f32(d + i), vld1q_f32(s + i)));
+  }
+  scalar::add(d + i, s + i, n - i);
+}
+
+void sub_neon(float* d, const float* s, Index n) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(d + i, vsubq_f32(vld1q_f32(d + i), vld1q_f32(s + i)));
+  }
+  scalar::sub(d + i, s + i, n - i);
+}
+
+void mul_neon(float* d, const float* s, Index n) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(d + i, vmulq_f32(vld1q_f32(d + i), vld1q_f32(s + i)));
+  }
+  scalar::mul(d + i, s + i, n - i);
+}
+
+void scale_neon(float* d, float s, Index n) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(d + i, vmulq_f32(vld1q_f32(d + i), sv));
+  }
+  scalar::scale(d + i, s, n - i);
+}
+
+// vmaxq/vminq propagate the IEEE max/min of each lane; on ±0 ties either
+// zero compares equal and both std::max(lo, x) and vmaxq pick a zero with
+// identical bits once the result is written back through the same lane, so
+// the scalar tie semantics are preserved for the clamp use (lo ≤ hi,
+// finite bounds).
+void clamp_neon(float* d, float lo, float hi, Index n) {
+  const float32x4_t lov = vdupq_n_f32(lo);
+  const float32x4_t hiv = vdupq_n_f32(hi);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(d + i, vminq_f32(vmaxq_f32(vld1q_f32(d + i), lov), hiv));
+  }
+  scalar::clamp(d + i, lo, hi, n - i);
+}
+
+void relu_neon(float* d, const float* s, Index n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t x = vld1q_f32(s + i);
+    const uint32x4_t pos = vcgtq_f32(x, zero);
+    vst1q_f32(d + i,
+              vreinterpretq_f32_u32(
+                  vandq_u32(vreinterpretq_u32_f32(x), pos)));
+  }
+  scalar::relu(d + i, s + i, n - i);
+}
+
+void sign_neon(float* d, const float* s, Index n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const uint32x4_t one = vreinterpretq_u32_f32(vdupq_n_f32(1.0f));
+  const uint32x4_t neg_one = vreinterpretq_u32_f32(vdupq_n_f32(-1.0f));
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t x = vld1q_f32(s + i);
+    const uint32x4_t pos = vandq_u32(vcgtq_f32(x, zero), one);
+    const uint32x4_t neg = vandq_u32(vcltq_f32(x, zero), neg_one);
+    vst1q_f32(d + i, vreinterpretq_f32_u32(vorrq_u32(pos, neg)));
+  }
+  scalar::sign(d + i, s + i, n - i);
+}
+
+void relu_bwd_neon(float* g, const float* in, Index n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t keep = vcgtq_f32(vld1q_f32(in + i), zero);
+    vst1q_f32(g + i,
+              vreinterpretq_f32_u32(vandq_u32(
+                  vreinterpretq_u32_f32(vld1q_f32(g + i)), keep)));
+  }
+  scalar::relu_bwd(g + i, in + i, n - i);
+}
+
+// The panel-pack row scatter: two 4-float copies plus an equality mask per
+// strip column; lanes that are not equal to zero (including NaN, which
+// compares not-equal) set the flag, matching the scalar `!= 0.0f` test.
+void pack_row8_neon(float* panel, const float* src, Index jn, Index depth,
+                    Index k, char* flags) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const Index full = jn / 8;
+  for (Index s = 0; s < full; ++s) {
+    const float32x4_t lo = vld1q_f32(src + s * 8);
+    const float32x4_t hi = vld1q_f32(src + s * 8 + 4);
+    float* dst = panel + (s * depth + k) * 8;
+    vst1q_f32(dst, lo);
+    vst1q_f32(dst + 4, hi);
+    const uint32x4_t eq = vandq_u32(vceqq_f32(lo, zero), vceqq_f32(hi, zero));
+    flags[s * depth + k] = vminvq_u32(eq) == 0;
+  }
+  const Index c0 = full * 8;
+  if (c0 < jn) {
+    float* dst = panel + (full * depth + k) * 8;
+    char nz = 0;
+    for (Index t = 0; t < jn - c0; ++t) {
+      dst[t] = src[c0 + t];
+      nz |= (dst[t] != 0.0f);
+    }
+    flags[full * depth + k] = nz;
+  }
+}
+
+// conlint:hotpath end
+
+}  // namespace
+
+const KernelTable* neon_table() {
+  static const KernelTable t = [] {
+    KernelTable k;
+    k.isa = Isa::kNeon;
+    // 128-bit FMA tiles amortise packing about twice as early as the
+    // scalar tiles (half the AVX2 width → half its crossover shift).
+    k.small_gemm_flops = 1 << 14;
+    k.nn_4x8 = &nn_4x8_neon;
+    k.nt_2x8 = &nt_2x8_neon;
+    k.axpy = &axpy_neon;
+    k.axpy_out = &axpy_out_neon;
+    k.add = &add_neon;
+    k.sub = &sub_neon;
+    k.mul = &mul_neon;
+    k.scale = &scale_neon;
+    k.clamp = &clamp_neon;
+    k.relu = &relu_neon;
+    k.sign = &sign_neon;
+    k.relu_bwd = &relu_bwd_neon;
+    k.pack_row = &pack_row8_neon;
+    return k;
+  }();
+  return &t;
+}
+
+}  // namespace con::tensor::kernels
+
+#else  // non-AArch64 build: the probe never offers NEON.
+
+namespace con::tensor::kernels {
+const KernelTable* neon_table() { return nullptr; }
+}  // namespace con::tensor::kernels
+
+#endif

@@ -1,0 +1,148 @@
+// The scalar micro-kernels: the bit-exact oracle every SIMD table entry is
+// measured against, and the default table's implementation.
+//
+// These are the exact loops tensor/gemm.cpp and tensor/ops.cpp ran before
+// the dispatch layer existed — moved here verbatim so the scalar table
+// entry, the SIMD TUs' remainder handling, and the oracle tests all share
+// one definition. Keep the operation sequences byte-for-byte: one
+// accumulator per output element fed the full k range in ascending order,
+// no reassociation, no FMA (DESIGN.md §5).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace con::tensor::kernels::scalar {
+
+// The register-tile micro-kernel (gemm.h): one MR×NR accumulator tile,
+// full depth per output element, k ascending — the pre-blocking scalar
+// loops' exact operation sequence. `klist == nullptr` runs the dense loop;
+// otherwise only the listed k are visited, and rows whose A value is zero
+// are skipped too — every elided term has a zero factor. Writes the mv×nv
+// valid corner of the tile to C.
+// conlint:hotpath begin
+template <int MR, int NR, typename Acc>
+inline void micro_kernel(Index depth, const float* __restrict ap,
+                         const float* __restrict bp,
+                         const std::int32_t* __restrict klist, Index nk,
+                         float* __restrict c, Index ldc, Index mv, Index nv) {
+  Acc acc[MR][NR] = {};
+  if (klist == nullptr) {
+    for (Index k = 0; k < depth; ++k) {
+      const float* __restrict av = ap + k * MR;
+      const float* __restrict bv = bp + k * NR;
+      for (int i = 0; i < MR; ++i) {
+        const Acc a = static_cast<Acc>(av[i]);
+        for (int j = 0; j < NR; ++j) acc[i][j] += a * static_cast<Acc>(bv[j]);
+      }
+    }
+  } else {
+    for (Index t = 0; t < nk; ++t) {
+      const Index k = klist[t];
+      const float* __restrict av = ap + k * MR;
+      const float* __restrict bv = bp + k * NR;
+      for (int i = 0; i < MR; ++i) {
+        const Acc a = static_cast<Acc>(av[i]);
+        if (a == Acc(0)) continue;  // pruned row within a live strip column
+        for (int j = 0; j < NR; ++j) acc[i][j] += a * static_cast<Acc>(bv[j]);
+      }
+    }
+  }
+  if (mv == MR && nv == NR) {
+    for (int i = 0; i < MR; ++i) {
+      for (int j = 0; j < NR; ++j) {
+        c[i * ldc + j] = static_cast<float>(acc[i][j]);
+      }
+    }
+  } else {
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) {
+        c[i * ldc + j] = static_cast<float>(acc[i][j]);
+      }
+    }
+  }
+}
+// conlint:hotpath end
+
+inline void nn_4x8(Index depth, const float* ap, const float* bp,
+                   const std::int32_t* klist, Index nk, float* c, Index ldc,
+                   Index mv, Index nv) {
+  micro_kernel<4, 8, float>(depth, ap, bp, klist, nk, c, ldc, mv, nv);
+}
+
+inline void nt_2x8(Index depth, const float* ap, const float* bp,
+                   const std::int32_t* klist, Index nk, float* c, Index ldc,
+                   Index mv, Index nv) {
+  micro_kernel<2, 8, double>(depth, ap, bp, klist, nk, c, ldc, mv, nv);
+}
+
+// ---- elementwise (the exact tensor/ops.cpp loops) ---------------------------
+
+inline void axpy(float* d, const float* s, float a,
+                 Index n) {
+  for (Index i = 0; i < n; ++i) d[i] += a * s[i];
+}
+
+inline void axpy_out(float* d, const float* a,
+                     const float* b, float s, Index n) {
+  for (Index i = 0; i < n; ++i) d[i] = a[i] + s * b[i];
+}
+
+inline void add(float* d, const float* s, Index n) {
+  for (Index i = 0; i < n; ++i) d[i] += s[i];
+}
+
+inline void sub(float* d, const float* s, Index n) {
+  for (Index i = 0; i < n; ++i) d[i] -= s[i];
+}
+
+inline void mul(float* d, const float* s, Index n) {
+  for (Index i = 0; i < n; ++i) d[i] *= s[i];
+}
+
+inline void scale(float* d, float s, Index n) {
+  for (Index i = 0; i < n; ++i) d[i] *= s;
+}
+
+inline void clamp(float* d, float lo, float hi, Index n) {
+  for (Index i = 0; i < n; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
+}
+
+inline void relu(float* d, const float* s, Index n) {
+  for (Index i = 0; i < n; ++i) d[i] = s[i] > 0.0f ? s[i] : 0.0f;
+}
+
+inline void sign(float* d, const float* s, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    d[i] = (s[i] > 0.0f) ? 1.0f : (s[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+inline void relu_bwd(float* g, const float* in,
+                     Index n) {
+  for (Index i = 0; i < n; ++i) {
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+// The panel-packing inner row scatter (gemm.cpp pack_panel, k-major path):
+// the exact copy-and-flag loops the packer always ran.
+inline void pack_row8(float* panel, const float* src, Index jn, Index depth,
+                      Index k, char* flags) {
+  const Index ns = (jn + 7) / 8;
+  for (Index s = 0; s < ns; ++s) {
+    const Index c0 = s * 8;
+    const Index cl = jn - c0 < 8 ? jn - c0 : Index(8);
+    float* dst = panel + (s * depth + k) * 8;
+    char nz = 0;
+    for (Index t = 0; t < cl; ++t) {
+      dst[t] = src[c0 + t];
+      nz |= (dst[t] != 0.0f);
+    }
+    flags[s * depth + k] = nz;
+  }
+}
+
+}  // namespace con::tensor::kernels::scalar

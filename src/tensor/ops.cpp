@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels/dispatch.h"
 
 namespace con::tensor {
 
@@ -68,62 +69,44 @@ Tensor add_scaled(const Tensor& a, const Tensor& b, float s) {
   return out;
 }
 
+// The elementwise bodies live in the runtime-dispatched kernel table
+// (tensor/kernels/dispatch.h). Every table entry keeps multiply and add
+// separate — never FMA-contracted — so these ops are bit-identical to the
+// original loops on every ISA; only the instruction width changes.
+
 void add_inplace(Tensor& dst, const Tensor& src) {
   check_same_shape(dst, src, "add");
-  float* d = dst.data();
-  const float* s = src.data();
-  const Index n = dst.numel();
-  for (Index i = 0; i < n; ++i) d[i] += s[i];
+  kernels::active().add(dst.data(), src.data(), dst.numel());
 }
 
 void sub_inplace(Tensor& dst, const Tensor& src) {
   check_same_shape(dst, src, "sub");
-  float* d = dst.data();
-  const float* s = src.data();
-  const Index n = dst.numel();
-  for (Index i = 0; i < n; ++i) d[i] -= s[i];
+  kernels::active().sub(dst.data(), src.data(), dst.numel());
 }
 
 void mul_inplace(Tensor& dst, const Tensor& src) {
   check_same_shape(dst, src, "mul");
-  float* d = dst.data();
-  const float* s = src.data();
-  const Index n = dst.numel();
-  for (Index i = 0; i < n; ++i) d[i] *= s[i];
+  kernels::active().mul(dst.data(), src.data(), dst.numel());
 }
 
 void scale_inplace(Tensor& dst, float s) {
-  float* d = dst.data();
-  const Index n = dst.numel();
-  for (Index i = 0; i < n; ++i) d[i] *= s;
+  kernels::active().scale(dst.data(), s, dst.numel());
 }
 
 void add_scaled_inplace(Tensor& dst, const Tensor& src, float s) {
   check_same_shape(dst, src, "add_scaled");
-  float* d = dst.data();
-  const float* sp = src.data();
-  const Index n = dst.numel();
-  for (Index i = 0; i < n; ++i) d[i] += s * sp[i];
+  kernels::active().axpy(dst.data(), src.data(), s, dst.numel());
 }
 
 void add_scaled_into(Tensor& dst, const Tensor& a, const Tensor& b, float s) {
   check_same_shape(a, b, "add_scaled_into");
   if (dst.shape() != a.shape()) dst.resize(a.shape());
-  float* d = dst.data();
-  const float* av = a.data();
-  const float* bv = b.data();
-  const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) d[i] = av[i] + s * bv[i];
+  kernels::active().axpy_out(dst.data(), a.data(), b.data(), s, a.numel());
 }
 
 Tensor sign(const Tensor& a) {
   Tensor out(a.shape());
-  const float* s = a.data();
-  float* d = out.data();
-  const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) {
-    d[i] = (s[i] > 0.0f) ? 1.0f : (s[i] < 0.0f ? -1.0f : 0.0f);
-  }
+  kernels::active().sign(out.data(), a.data(), a.numel());
   return out;
 }
 
@@ -135,9 +118,57 @@ Tensor clamp(const Tensor& a, float lo, float hi) {
 
 void clamp_inplace(Tensor& a, float lo, float hi) {
   if (lo > hi) throw std::invalid_argument("clamp: lo > hi");
-  float* d = a.data();
-  const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) d[i] = std::min(hi, std::max(lo, d[i]));
+  kernels::active().clamp(a.data(), lo, hi, a.numel());
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out(a.shape());
+  kernels::active().relu(out.data(), a.data(), a.numel());
+  return out;
+}
+
+void relu_inplace(Tensor& a) {
+  // The table's relu entries tolerate dst == src (each lane is read before
+  // it is written).
+  kernels::active().relu(a.data(), a.data(), a.numel());
+}
+
+void relu_backward_inplace(Tensor& grad, const Tensor& input) {
+  check_same_shape(grad, input, "relu_backward");
+  kernels::active().relu_bwd(grad.data(), input.data(), grad.numel());
+}
+
+void bias_add_inplace(Tensor& m, const Tensor& bias) {
+  check_rank2(m, "bias_add");
+  if (bias.rank() != 1 || bias.dim(0) != m.dim(1)) {
+    throw std::invalid_argument("bias_add: bias shape " +
+                                bias.shape().to_string() +
+                                " does not match columns of " +
+                                m.shape().to_string());
+  }
+  const Index rows = m.dim(0), cols = m.dim(1);
+  const kernels::KernelTable& kt = kernels::active();
+  for (Index i = 0; i < rows; ++i) {
+    kt.add(m.data() + i * cols, bias.data(), cols);
+  }
+}
+
+void column_sums_add_inplace(Tensor& acc, const Tensor& m) {
+  check_rank2(m, "column_sums_add");
+  if (acc.rank() != 1 || acc.dim(0) != m.dim(1)) {
+    throw std::invalid_argument("column_sums_add: accumulator shape " +
+                                acc.shape().to_string() +
+                                " does not match columns of " +
+                                m.shape().to_string());
+  }
+  const Index rows = m.dim(0), cols = m.dim(1);
+  const kernels::KernelTable& kt = kernels::active();
+  // Row-at-a-time accumulation in ascending row order: the exact operation
+  // sequence of the original nested loop, so this is bit-identical on every
+  // ISA (vector lanes touch disjoint columns).
+  for (Index i = 0; i < rows; ++i) {
+    kt.add(acc.data(), m.data() + i * cols, cols);
+  }
 }
 
 // ---- reductions -----------------------------------------------------------
@@ -255,11 +286,17 @@ namespace {
 void im2col_image(const float* src, float* dst, Index dst_ld,
                   const Conv2dGeometry& g) {
   const Index oh = g.out_h(), ow = g.out_w();
+  const bool unit = g.stride == 1;
   for (Index c = 0; c < g.in_channels; ++c) {
     for (Index kh = 0; kh < g.kernel_h; ++kh) {
       for (Index kw = 0; kw < g.kernel_w; ++kw) {
         const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
         float* drow = dst + row * dst_ld;
+        // With stride 1 the patch row is a contiguous slice of the image
+        // row shifted by `off`; [x0, x1) is its in-bounds span.
+        const Index off = kw - g.padding;
+        const Index x0 = unit ? std::max<Index>(0, -off) : 0;
+        const Index x1 = unit ? std::min<Index>(ow, g.in_w - off) : 0;
         for (Index y = 0; y < oh; ++y) {
           const Index in_y = y * g.stride + kh - g.padding;
           if (in_y < 0 || in_y >= g.in_h) {
@@ -267,6 +304,16 @@ void im2col_image(const float* src, float* dst, Index dst_ld,
             continue;
           }
           const float* srow = src + (c * g.in_h + in_y) * g.in_w;
+          if (unit) {
+            float* d = drow + y * ow;
+            for (Index x = 0; x < x0; ++x) d[x] = 0.0f;
+            if (x1 > x0) {
+              std::memcpy(d + x0, srow + x0 + off,
+                          static_cast<std::size_t>(x1 - x0) * sizeof(float));
+            }
+            for (Index x = std::max(x0, x1); x < ow; ++x) d[x] = 0.0f;
+            continue;
+          }
           for (Index x = 0; x < ow; ++x) {
             const Index in_x = x * g.stride + kw - g.padding;
             drow[y * ow + x] =
@@ -283,15 +330,26 @@ void im2col_image(const float* src, float* dst, Index dst_ld,
 void col2im_image(const float* src, Index src_ld, float* dst,
                   const Conv2dGeometry& g) {
   const Index oh = g.out_h(), ow = g.out_w();
+  const bool unit = g.stride == 1;
+  const kernels::KernelTable& kt = kernels::active();
   for (Index c = 0; c < g.in_channels; ++c) {
     for (Index kh = 0; kh < g.kernel_h; ++kh) {
       for (Index kw = 0; kw < g.kernel_w; ++kw) {
         const Index row = (c * g.kernel_h + kh) * g.kernel_w + kw;
         const float* srow = src + row * src_ld;
+        const Index off = kw - g.padding;
+        const Index x0 = unit ? std::max<Index>(0, -off) : 0;
+        const Index x1 = unit ? std::min<Index>(ow, g.in_w - off) : 0;
         for (Index y = 0; y < oh; ++y) {
           const Index in_y = y * g.stride + kh - g.padding;
           if (in_y < 0 || in_y >= g.in_h) continue;
           float* drow = dst + (c * g.in_h + in_y) * g.in_w;
+          if (unit) {
+            // Contiguous scatter-add over the in-bounds span; the table's
+            // add entry is unfused, so every ISA accumulates identically.
+            if (x1 > x0) kt.add(drow + x0 + off, srow + y * ow + x0, x1 - x0);
+            continue;
+          }
           for (Index x = 0; x < ow; ++x) {
             const Index in_x = x * g.stride + kw - g.padding;
             if (in_x >= 0 && in_x < g.in_w) drow[in_x] += srow[y * ow + x];

@@ -33,6 +33,17 @@ void add_scaled_into(Tensor& dst, const Tensor& a, const Tensor& b, float s);
 [[nodiscard]] Tensor clamp(const Tensor& a, float lo, float hi);
 void clamp_inplace(Tensor& a, float lo, float hi);
 
+// Elementwise max(a, 0); relu(-0) == +0 on every kernel ISA.
+[[nodiscard]] Tensor relu(const Tensor& a);
+void relu_inplace(Tensor& a);
+// grad[i] = 0 wherever input[i] <= 0 (the ReLU adjoint).
+void relu_backward_inplace(Tensor& grad, const Tensor& input);
+// m[i,j] += bias[j] for a rank-2 m (layer bias broadcast over rows).
+void bias_add_inplace(Tensor& m, const Tensor& bias);
+// acc[j] += sum_i m[i,j], accumulating row-at-a-time in ascending row
+// order (the bias-gradient reduction).
+void column_sums_add_inplace(Tensor& acc, const Tensor& m);
+
 // ---- reductions -----------------------------------------------------------
 [[nodiscard]] float sum(const Tensor& a);
 [[nodiscard]] float mean(const Tensor& a);

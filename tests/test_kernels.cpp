@@ -1,0 +1,463 @@
+// Oracle suite for the runtime-dispatched micro-kernel tables
+// (tensor/kernels/dispatch.h).
+//
+// The scalar table is the bit-exact oracle; this file checks every other
+// table against it under the precision contract of DESIGN.md §5:
+//  - float-accumulating GEMM (nn_4x8): |simd − scalar| ≤ 2·γ_K·Σ|a·b|,
+//    γ_K = K·2⁻²⁴, on random, pruned and adversarially-scaled inputs at
+//    every tile-remainder shape;
+//  - everything else (NT double kernel, sparse row-axpy, elementwise,
+//    panel pack_row) bit-identical on every ISA;
+//  - the dispatch override surface: parse errors throw, unsupported
+//    requests fall back to scalar gracefully, ScopedIsa restores.
+//
+// A global test environment pins the scalar table before any test runs, so
+// the rest of con_tests stays deterministic even under CON_KERNEL=avx2 in
+// the environment; SIMD paths are only ever exercised through an explicit
+// ScopedIsa.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/kernels/dispatch.h"
+#include "tensor/kernels/kernel_scalar.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using con::tensor::Index;
+using con::tensor::Tensor;
+namespace gemm = con::tensor::gemm;
+namespace kernels = con::tensor::kernels;
+
+class ScalarBaselineEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { kernels::set_isa(kernels::Isa::kScalar); }
+};
+
+const auto* const g_scalar_env =
+    ::testing::AddGlobalTestEnvironment(new ScalarBaselineEnv);
+
+std::vector<kernels::Isa> supported_simd_isas() {
+  std::vector<kernels::Isa> out;
+  for (kernels::Isa isa : {kernels::Isa::kAvx2, kernels::Isa::kNeon}) {
+    if (kernels::isa_supported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+// True bit-level equality (ASSERT_EQ on floats treats -0 == +0 and fails
+// on NaN == NaN; the contract here is about the exact bits).
+void expect_bits_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (Index i = 0; i < a.numel(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, a.data() + i, 4);
+    std::memcpy(&bb, b.data() + i, 4);
+    ASSERT_EQ(ba, bb) << what << " element " << i << ": " << a[i] << " vs "
+                      << b[i];
+  }
+}
+
+enum class Fill { kRandom, kPruned, kScaled };
+
+Tensor make_input(Index rows, Index cols, std::uint64_t seed, Fill fill) {
+  con::util::Rng rng(seed);
+  Tensor t({rows, cols});
+  con::tensor::fill_normal(t, rng, 0.0f, 1.0f);
+  if (fill == Fill::kPruned) {
+    for (float& v : t.flat()) {
+      if (rng.uniform() < 0.6) v = 0.0f;
+    }
+  } else if (fill == Fill::kScaled) {
+    // Adversarial dynamic range: magnitudes spread over ~2^40 so partial
+    // sums cancel catastrophically if a kernel reorders beyond contract.
+    for (float& v : t.flat()) {
+      const int e = static_cast<int>(rng.uniform() * 40.0) - 20;
+      v = std::ldexp(v, e);
+    }
+  }
+  return t;
+}
+
+// |simd − scalar| ≤ 2·γ_K·Σ_k|a_ik·b_kj| with γ_K = K·2⁻²⁴ (dispatch.h):
+// both results are individually within γ_K·Σ|ab| of the exact product, the
+// scalar one by the standard sequential-summation bound, the SIMD one
+// because FMA with two interleaved chains only removes roundings.
+void expect_within_gemm_bound(const Tensor& a, const Tensor& b,
+                              const Tensor& scalar_c, const Tensor& simd_c) {
+  ASSERT_EQ(scalar_c.shape(), simd_c.shape());
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  const double gamma = static_cast<double>(k) * std::ldexp(1.0, -24);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      double sum_abs = 0.0;
+      for (Index t = 0; t < k; ++t) {
+        sum_abs += std::fabs(static_cast<double>(a[i * k + t]) *
+                             static_cast<double>(b[t * n + j]));
+      }
+      const double diff = std::fabs(static_cast<double>(scalar_c[i * n + j]) -
+                                    static_cast<double>(simd_c[i * n + j]));
+      ASSERT_LE(diff, 2.0 * gamma * sum_abs + 1e-30)
+          << "(" << i << "," << j << ") scalar=" << scalar_c[i * n + j]
+          << " simd=" << simd_c[i * n + j];
+    }
+  }
+}
+
+// ---- dispatch surface -------------------------------------------------------
+
+TEST(KernelDispatch, ParseIsaAcceptsKnownNamesAndThrowsOnTypos) {
+  EXPECT_EQ(kernels::parse_isa("scalar"), kernels::Isa::kScalar);
+  EXPECT_EQ(kernels::parse_isa("avx2"), kernels::Isa::kAvx2);
+  EXPECT_EQ(kernels::parse_isa("neon"), kernels::Isa::kNeon);
+  EXPECT_THROW(kernels::parse_isa("avx512"), std::invalid_argument);
+  EXPECT_THROW(kernels::parse_isa(""), std::invalid_argument);
+  EXPECT_THROW(kernels::parse_isa("AVX2"), std::invalid_argument);
+}
+
+TEST(KernelDispatch, EnvResolutionFallsBackToScalarGracefully) {
+  // Unset and empty mean scalar (the default contract: SIMD is opt-in).
+  EXPECT_EQ(kernels::resolve_env_request(nullptr), kernels::Isa::kScalar);
+  EXPECT_EQ(kernels::resolve_env_request(""), kernels::Isa::kScalar);
+  // A typo in the environment must not crash a generic binary.
+  EXPECT_EQ(kernels::resolve_env_request("bogus"), kernels::Isa::kScalar);
+  // Supported ISAs resolve to themselves, unsupported ones to scalar.
+  for (kernels::Isa isa : {kernels::Isa::kAvx2, kernels::Isa::kNeon}) {
+    const kernels::Isa got = kernels::resolve_env_request(kernels::isa_name(isa));
+    EXPECT_EQ(got, kernels::isa_supported(isa) ? isa : kernels::Isa::kScalar);
+  }
+}
+
+TEST(KernelDispatch, SetIsaReportsTheActivatedTable) {
+  for (kernels::Isa isa : {kernels::Isa::kAvx2, kernels::Isa::kNeon}) {
+    const kernels::Isa got = kernels::set_isa(isa);
+    if (kernels::isa_supported(isa)) {
+      EXPECT_EQ(got, isa);
+      EXPECT_EQ(kernels::active_isa(), isa);
+    } else {
+      EXPECT_EQ(got, kernels::Isa::kScalar);
+      EXPECT_EQ(kernels::active_isa(), kernels::Isa::kScalar);
+    }
+    kernels::set_isa(kernels::Isa::kScalar);
+  }
+}
+
+TEST(KernelDispatch, ScopedIsaRestoresThePreviousTable) {
+  ASSERT_EQ(kernels::active_isa(), kernels::Isa::kScalar);
+  for (kernels::Isa isa : supported_simd_isas()) {
+    {
+      kernels::ScopedIsa scoped(isa);
+      EXPECT_EQ(kernels::active_isa(), isa);
+    }
+    EXPECT_EQ(kernels::active_isa(), kernels::Isa::kScalar);
+  }
+}
+
+TEST(KernelDispatch, EveryActivatedTableIsFullyPopulated) {
+  std::vector<kernels::Isa> isas = {kernels::Isa::kScalar};
+  for (kernels::Isa isa : supported_simd_isas()) isas.push_back(isa);
+  for (kernels::Isa isa : isas) {
+    kernels::ScopedIsa scoped(isa);
+    const kernels::KernelTable& kt = kernels::active();
+    EXPECT_EQ(kt.isa, isa);
+    EXPECT_GT(kt.small_gemm_flops, 0);
+    EXPECT_NE(kt.nn_4x8, nullptr);
+    EXPECT_NE(kt.nt_2x8, nullptr);
+    EXPECT_NE(kt.axpy, nullptr);
+    EXPECT_NE(kt.axpy_out, nullptr);
+    EXPECT_NE(kt.add, nullptr);
+    EXPECT_NE(kt.sub, nullptr);
+    EXPECT_NE(kt.mul, nullptr);
+    EXPECT_NE(kt.scale, nullptr);
+    EXPECT_NE(kt.clamp, nullptr);
+    EXPECT_NE(kt.relu, nullptr);
+    EXPECT_NE(kt.sign, nullptr);
+    EXPECT_NE(kt.relu_bwd, nullptr);
+    EXPECT_NE(kt.pack_row, nullptr);
+  }
+}
+
+// ---- float GEMM: within the analytic bound ---------------------------------
+
+// Shapes covering every mv (1..4) and nv (1..8) tile remainder, the panel
+// boundary, and k parities (the even/odd interleave has a lone-k tail when
+// K is odd).
+struct GemmCase {
+  Index m, k, n;
+};
+const GemmCase kGemmCases[] = {
+    {1, 1, 1},  {2, 3, 5},   {3, 7, 8},   {4, 8, 9},   {5, 9, 16},
+    {7, 16, 7}, {8, 17, 24}, {9, 32, 31}, {16, 33, 40}, {33, 64, 65},
+};
+
+TEST(KernelOracle, FloatGemmWithinAnalyticBound) {
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (Fill fill : {Fill::kRandom, Fill::kPruned, Fill::kScaled}) {
+      for (const GemmCase& c : kGemmCases) {
+        const Tensor a = make_input(c.m, c.k, 1000 + c.m * 7 + c.k, fill);
+        const Tensor b = make_input(c.k, c.n, 2000 + c.k * 7 + c.n, fill);
+        // The packed-A entry never takes the small-size fallback, so the
+        // table kernel runs at every shape.
+        const auto pa = gemm::pack_rowmajor(a, gemm::kStripA);
+        const Tensor want = gemm::matmul_nn(pa, b);
+        kernels::ScopedIsa scoped(isa);
+        const Tensor got = gemm::matmul_nn(pa, b);
+        expect_within_gemm_bound(a, b, want, got);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(KernelOracle, FloatGemmZeroSkipStripsAgree) {
+  // Whole strip columns of zeros exercise the klist path (and its odd-length
+  // tail) in every table; elided terms all have a zero factor, so the
+  // bound argument is unchanged.
+  for (kernels::Isa isa : supported_simd_isas()) {
+    Tensor a = make_input(9, 40, 77, Fill::kRandom);
+    for (Index i = 0; i < 9; ++i) {
+      for (Index k = 0; k < 40; ++k) {
+        if ((k % 3) != 1) a[i * 40 + k] = 0.0f;  // kill 2/3 of the k range
+      }
+    }
+    const Tensor b = make_input(40, 23, 78, Fill::kRandom);
+    const auto pa = gemm::pack_rowmajor(a, gemm::kStripA);
+    const Tensor want = gemm::matmul_nn(pa, b);
+    kernels::ScopedIsa scoped(isa);
+    const Tensor got = gemm::matmul_nn(pa, b);
+    expect_within_gemm_bound(a, b, want, got);
+  }
+}
+
+// ---- NT double kernel: bit-identical ---------------------------------------
+
+TEST(KernelOracle, NtGemmBitIdentical) {
+  // Double accumulators make float·float products exact, so fused and
+  // unfused accumulation round identically: every ISA must match scalar
+  // bit for bit (the Linear-forward contract).
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (const GemmCase& c : kGemmCases) {
+      const Tensor x = make_input(c.m, c.k, 3000 + c.m, Fill::kScaled);
+      const Tensor w = make_input(c.n, c.k, 4000 + c.n, Fill::kScaled);
+      const auto pw = gemm::pack_rowmajor(w, gemm::kStripB);
+      const Tensor want = gemm::matmul_nt(x, pw);
+      kernels::ScopedIsa scoped(isa);
+      const Tensor got = gemm::matmul_nt(x, pw);
+      expect_bits_equal(want, got, "matmul_nt");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---- sparse row-axpy: bit-identical ----------------------------------------
+
+TEST(KernelOracle, SparseAxpyPathBitIdentical) {
+  // 90% pruned A against raw k-major B drops below the density threshold
+  // and takes the row-axpy path; the table's axpy entry never fuses, so
+  // the result must be bit-identical on every ISA.
+  for (kernels::Isa isa : supported_simd_isas()) {
+    con::util::Rng rng(55);
+    Tensor a = make_input(64, 48, 56, Fill::kRandom);
+    for (float& v : a.flat()) {
+      if (rng.uniform() < 0.9) v = 0.0f;
+    }
+    const Tensor b = make_input(48, 100, 57, Fill::kScaled);
+    const auto pa = gemm::pack_rowmajor(a, gemm::kStripA);
+    ASSERT_LE(pa.nnz * 100, static_cast<std::int64_t>(64) * 48 * 25)
+        << "input not sparse enough to exercise the axpy path";
+    const Tensor want = gemm::matmul_nn(pa, b);
+    kernels::ScopedIsa scoped(isa);
+    const Tensor got = gemm::matmul_nn(pa, b);
+    expect_bits_equal(want, got, "sparse axpy");
+  }
+}
+
+// ---- elementwise: bit-identical, including ±0 ------------------------------
+
+Tensor elementwise_input(Index n, std::uint64_t seed) {
+  con::util::Rng rng(seed);
+  Tensor t({n});
+  con::tensor::fill_normal(t, rng, 0.0f, 2.0f);
+  // Sprinkle the special values the contract calls out: exact zeros of
+  // both signs (relu(-0) must be +0 everywhere) and denormal-range floats.
+  for (Index i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.1) t[i] = 0.0f;
+    else if (u < 0.2) t[i] = -0.0f;
+    else if (u < 0.25) t[i] = std::ldexp(t[i], -120);
+  }
+  return t;
+}
+
+const Index kElemSizes[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1003};
+
+TEST(KernelOracle, ElementwiseBitIdentical) {
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (Index n : kElemSizes) {
+      const Tensor a = elementwise_input(n, 600 + n);
+      const Tensor b = elementwise_input(n, 700 + n);
+      auto run = [&](auto&& fn) {
+        Tensor scalar_out = fn();
+        kernels::ScopedIsa scoped(isa);
+        Tensor simd_out = fn();
+        return std::pair<Tensor, Tensor>(std::move(scalar_out),
+                                         std::move(simd_out));
+      };
+      {
+        auto [want, got] = run([&] { return con::tensor::add(a, b); });
+        expect_bits_equal(want, got, "add");
+      }
+      {
+        auto [want, got] = run([&] { return con::tensor::sub(a, b); });
+        expect_bits_equal(want, got, "sub");
+      }
+      {
+        auto [want, got] = run([&] { return con::tensor::mul(a, b); });
+        expect_bits_equal(want, got, "mul");
+      }
+      {
+        auto [want, got] = run([&] { return con::tensor::scale(a, 1.7f); });
+        expect_bits_equal(want, got, "scale");
+      }
+      {
+        auto [want, got] =
+            run([&] { return con::tensor::add_scaled(a, b, -0.3f); });
+        expect_bits_equal(want, got, "add_scaled");
+      }
+      {
+        auto [want, got] = run([&] {
+          Tensor out({n});
+          con::tensor::add_scaled_into(out, a, b, 2.5f);
+          return out;
+        });
+        expect_bits_equal(want, got, "add_scaled_into");
+      }
+      {
+        auto [want, got] =
+            run([&] { return con::tensor::clamp(a, -0.5f, 0.5f); });
+        expect_bits_equal(want, got, "clamp");
+      }
+      {
+        auto [want, got] = run([&] { return con::tensor::sign(a); });
+        expect_bits_equal(want, got, "sign");
+      }
+      {
+        auto [want, got] = run([&] { return con::tensor::relu(a); });
+        expect_bits_equal(want, got, "relu");
+        // relu(-0) == +0: no negative zeros may survive.
+        for (Index i = 0; i < n; ++i) {
+          EXPECT_FALSE(std::signbit(got[i])) << "relu produced -0 at " << i;
+        }
+      }
+      {
+        auto [want, got] = run([&] {
+          Tensor g = b;
+          con::tensor::relu_backward_inplace(g, a);
+          return g;
+        });
+        expect_bits_equal(want, got, "relu_backward");
+      }
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(KernelOracle, ReluToleratesAliasedInPlaceUse) {
+  for (kernels::Isa isa : supported_simd_isas()) {
+    const Tensor a = elementwise_input(257, 42);
+    Tensor want = a;
+    con::tensor::relu_inplace(want);
+    kernels::ScopedIsa scoped(isa);
+    Tensor got = a;
+    con::tensor::relu_inplace(got);
+    expect_bits_equal(want, got, "relu_inplace");
+  }
+}
+
+TEST(KernelOracle, BiasAddAndColumnSumsBitIdentical) {
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (Index cols : {1, 7, 8, 9, 33}) {
+      const Tensor m = make_input(5, cols, 800 + cols, Fill::kScaled);
+      con::util::Rng rng(900 + static_cast<std::uint64_t>(cols));
+      Tensor bias({cols});
+      con::tensor::fill_normal(bias, rng, 0.0f, 1.0f);
+      Tensor want_m = m, got_m = m;
+      Tensor want_acc({cols}), got_acc({cols});
+      want_acc.fill(0.125f);
+      got_acc.fill(0.125f);
+      con::tensor::bias_add_inplace(want_m, bias);
+      con::tensor::column_sums_add_inplace(want_acc, m);
+      kernels::ScopedIsa scoped(isa);
+      con::tensor::bias_add_inplace(got_m, bias);
+      con::tensor::column_sums_add_inplace(got_acc, m);
+      expect_bits_equal(want_m, got_m, "bias_add");
+      expect_bits_equal(want_acc, got_acc, "column_sums_add");
+    }
+  }
+}
+
+// ---- pack_row: identical panels and flags ----------------------------------
+
+TEST(KernelOracle, PackRowMatchesScalarBytesAndFlags) {
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (Index jn : {1, 7, 8, 9, 16, 17, 63, 64, 65}) {
+      const Index depth = 5, k = 3;
+      const Index ns = (jn + 7) / 8;
+      Tensor src = elementwise_input(jn, 1100 + jn);
+      std::vector<float> want_panel(static_cast<std::size_t>(ns * depth * 8),
+                                    -7.0f);
+      std::vector<float> got_panel = want_panel;
+      std::vector<char> want_flags(static_cast<std::size_t>(ns * depth), 9);
+      std::vector<char> got_flags = want_flags;
+      kernels::scalar::pack_row8(want_panel.data(), src.data(), jn, depth, k,
+                                 want_flags.data());
+      kernels::ScopedIsa scoped(isa);
+      kernels::active().pack_row(got_panel.data(), src.data(), jn, depth, k,
+                                 got_flags.data());
+      ASSERT_EQ(std::memcmp(want_panel.data(), got_panel.data(),
+                            want_panel.size() * sizeof(float)),
+                0)
+          << "panel bytes differ at jn=" << jn;
+      ASSERT_TRUE(std::equal(want_flags.begin(), want_flags.end(),
+                             got_flags.begin(),
+                             [](char a, char b) { return (a != 0) == (b != 0); }))
+          << "flags differ at jn=" << jn;
+    }
+  }
+}
+
+// ---- allocation regression (the dynamic side of the hotpath lint) ----------
+
+TEST(KernelRegression, BlockedGemmAllocatesOnlyTheOutput) {
+  std::vector<kernels::Isa> isas = {kernels::Isa::kScalar};
+  for (kernels::Isa isa : supported_simd_isas()) isas.push_back(isa);
+  const Tensor a = make_input(32, 64, 71, Fill::kRandom);
+  const Tensor b = make_input(64, 300, 72, Fill::kRandom);
+  const auto pa = gemm::pack_rowmajor(a, gemm::kStripA);
+  for (kernels::Isa isa : isas) {
+    kernels::ScopedIsa scoped(isa);
+    (void)gemm::matmul_nn(pa, b);  // warm up dispatch + thread scratch
+    const std::uint64_t before = Tensor::buffer_allocations();
+    constexpr int kIters = 4;
+    for (int i = 0; i < kIters; ++i) {
+      (void)gemm::matmul_nn(pa, b);
+    }
+    EXPECT_EQ(Tensor::buffer_allocations() - before,
+              static_cast<std::uint64_t>(kIters))
+        << "dispatch path allocated tensor buffers beyond the output on "
+        << kernels::isa_name(isa);
+  }
+}
+
+}  // namespace

@@ -274,6 +274,35 @@ TEST(IncludeHygiene, CppFilesMayUseUsingNamespace) {
   EXPECT_EQ(count_rule(fl, "include-hygiene"), 0);
 }
 
+TEST(IncludeHygiene, FlagsIntrinsicsHeaderOutsideKernelsTree) {
+  auto fl = run("src/tensor/ops.cpp",
+                "#include <immintrin.h>\n"
+                "int f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 1);
+  auto fl2 = run("src/attacks/fgsm.cpp",
+                 "#include <arm_neon.h>\n"
+                 "int f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl2, "include-hygiene"), 1);
+}
+
+TEST(IncludeHygiene, AllowsIntrinsicsHeadersInsideKernelsTree) {
+  auto fl = run("src/tensor/kernels/kernel_avx2.cpp",
+                "#include <immintrin.h>\n"
+                "int f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 0);
+  auto fl2 = run("src/tensor/kernels/kernel_neon.cpp",
+                 "#include <arm_neon.h>\n"
+                 "int f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl2, "include-hygiene"), 0);
+}
+
+TEST(IncludeHygiene, IntrinsicsRuleCoversHeadersToo) {
+  auto fl = run("src/nn/fast_math.h",
+                "#pragma once\n"
+                "#include <emmintrin.h>\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 1);
+}
+
 // ---- suppression machinery --------------------------------------------------
 
 TEST(Suppression, AllowWithReasonSuppressesSameAndNextLine) {

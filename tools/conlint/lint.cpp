@@ -637,8 +637,34 @@ void rule_hot_path_alloc(const Toks& t, const LexResult& lx, Sink& sink) {
 
 // ---- include-hygiene --------------------------------------------------------
 
-void rule_include_hygiene(const Toks& t, const LexResult& lx, bool is_header,
-                          Sink& sink) {
+void rule_include_hygiene(const std::string& path, const Toks& t,
+                          const LexResult& lx, bool is_header, Sink& sink) {
+  // SIMD intrinsics headers are confined to the per-ISA kernel TUs: only
+  // src/tensor/kernels/ is compiled with ISA flags, so an intrinsic
+  // anywhere else either fails to build or — worse — emits unguarded
+  // vector instructions into code the runtime dispatch never probes
+  // (tensor/kernels/dispatch.h contract).
+  if (!path_contains(path, "src/tensor/kernels/")) {
+    static const char* const kIntrinsicHeaders[] = {
+        "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+        "smmintrin.h", "tmmintrin.h", "avxintrin.h", "avx2intrin.h",
+        "arm_neon.h",  "arm_sve.h"};
+    for (const Token& tok : t) {
+      if (tok.kind != TokKind::kPreproc) continue;
+      if (tok.text.find("include") == std::string::npos) continue;
+      for (const char* h : kIntrinsicHeaders) {
+        if (tok.text.find(h) != std::string::npos) {
+          sink.report(tok.line, "include-hygiene",
+                      std::string("<") + h +
+                          "> outside src/tensor/kernels/: SIMD intrinsics "
+                          "belong in the per-TU-ISA-flagged kernel files "
+                          "behind the runtime dispatch table "
+                          "(tensor/kernels/dispatch.h)");
+          break;
+        }
+      }
+    }
+  }
   if (!is_header) return;
   if (!lx.has_pragma_once) {
     sink.report(1, "include-hygiene", "header is missing #pragma once");
@@ -758,7 +784,7 @@ FileLint lint_source(const std::string& path, const std::string& source,
   rule_layer_reentrancy(lx.tokens, seg, index.derived_from("Layer"), sink);
   if (!determinism_exempt) rule_determinism(lx.tokens, sink);
   rule_hot_path_alloc(lx.tokens, lx, sink);
-  rule_include_hygiene(lx.tokens, lx, is_header, sink);
+  rule_include_hygiene(path, lx.tokens, lx, is_header, sink);
 
   std::sort(out.diagnostics.begin(), out.diagnostics.end());
   std::sort(out.suppressed.begin(), out.suppressed.end());

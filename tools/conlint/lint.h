@@ -14,7 +14,11 @@
 //                      regions (iterative attack loops, GEMM micro-kernels).
 //   include-hygiene  — headers carry #pragma once and never `using
 //                      namespace` (self-containment is enforced separately
-//                      by the generated per-header TU build targets).
+//                      by the generated per-header TU build targets); SIMD
+//                      intrinsics headers (<immintrin.h>, <arm_neon.h>, …)
+//                      appear only under src/tensor/kernels/, the sole
+//                      tree compiled with per-TU ISA flags behind the
+//                      runtime kernel dispatch.
 //   directive        — malformed conlint directives; never suppressible.
 //
 // Every rule except `directive` is suppressible with
