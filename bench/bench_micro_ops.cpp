@@ -8,10 +8,16 @@
 
 #include "attacks/attack.h"
 #include "compress/fixed_point.h"
+#include "compress/integer_exec.h"
+#include "compress/integer_model.h"
 #include "compress/pruner.h"
+#include "compress/quant_activation.h"
 #include "models/model_zoo.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
 #include "nn/loss.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/kernels/dispatch.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
@@ -262,6 +268,199 @@ void BM_GemmTnBlockedAvx2(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 288 * 32 * 8192);
 }
 BENCHMARK(BM_GemmTnBlockedAvx2);
+
+// ---- Deployed int8 backend at CifarNet shapes -------------------------------
+// The bench-smoke target captures the Int8*/FakeQuant* cases into
+// BENCH_int8.json: the deployed integer forward (int8 codes, int32
+// accumulate, requantise — nn/*::forward_int8 via compress::integer_forward)
+// against the two fake-quant float forms it replaces — the simulated model
+// (quantize_model graph, float GEMM + QuantActivation snapping) and the
+// naive integer-exec reference loop the backend is verified against.
+//
+// Shapes: CifarNet fc1 (batch 32: [32, 4096] · W[300, 4096]ᵀ) and CifarNet
+// conv2b (batch 8: W[64, 576] · cols[576, 8·256] on 16×16 images).
+
+constexpr tensor::Index kFcBatch = 32, kFcIn = 64 * 8 * 8, kFcOut = 300;
+constexpr tensor::Index kConvBatch = 8, kConvC = 64, kConvHw = 16;
+
+// Single quantised layer wrapped the way the study builds its 8-bit
+// variants: weights snapped by FixedPointWeightTransform, activations
+// gated by QuantActivation — simultaneously the fake-quant float model and
+// (being <= 8 bit) an integer-executable one.
+nn::Sequential quantized_fc_model() {
+  util::Rng rng(31);
+  nn::Sequential m("bench-int8-fc");
+  m.emplace<nn::Linear>(kFcIn, kFcOut, rng, "fc1");
+  return compress::quantize_model(
+      std::move(m),
+      compress::QuantizeOptions{
+          .format = compress::FixedPointFormat::paper_format(8),
+          .quantize_weights = true,
+          .quantize_activations = true});
+}
+
+nn::Sequential quantized_conv_model() {
+  util::Rng rng(32);
+  nn::Sequential m("bench-int8-conv");
+  m.emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = kConvC, .out_channels = kConvC,
+                     .kernel = 3, .padding = 1},
+      rng, "conv2b");
+  return compress::quantize_model(
+      std::move(m),
+      compress::QuantizeOptions{
+          .format = compress::FixedPointFormat::paper_format(8),
+          .quantize_weights = true,
+          .quantize_activations = true});
+}
+
+Tensor fc_input() { return random_tensor({kFcBatch, kFcIn}, 33); }
+Tensor conv_input() {
+  return random_tensor({kConvBatch, kConvC, kConvHw, kConvHw}, 34);
+}
+
+void run_int8_forward(benchmark::State& state, nn::Sequential& model,
+                      const Tensor& x, std::int64_t macs) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::integer_forward(model, x));
+  }
+  state.SetItemsProcessed(state.iterations() * macs);
+}
+
+void run_float_forward(benchmark::State& state, nn::Sequential& model,
+                       const Tensor& x, std::int64_t macs) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * macs);
+}
+
+constexpr std::int64_t kFcMacs =
+    static_cast<std::int64_t>(kFcBatch) * kFcIn * kFcOut;
+constexpr std::int64_t kConvMacs = static_cast<std::int64_t>(kConvBatch) *
+                                   kConvC * kConvHw * kConvHw * kConvC * 9;
+
+void BM_Int8FcForward(benchmark::State& state) {
+  nn::Sequential m = quantized_fc_model();
+  const Tensor x = fc_input();
+  run_int8_forward(state, m, x, kFcMacs);
+}
+BENCHMARK(BM_Int8FcForward);
+
+void BM_Int8FcForwardAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  nn::Sequential m = quantized_fc_model();
+  const Tensor x = fc_input();
+  run_int8_forward(state, m, x, kFcMacs);
+}
+BENCHMARK(BM_Int8FcForwardAvx2);
+
+void BM_FakeQuantFcForward(benchmark::State& state) {
+  nn::Sequential m = quantized_fc_model();
+  const Tensor x = fc_input();
+  run_float_forward(state, m, x, kFcMacs);
+}
+BENCHMARK(BM_FakeQuantFcForward);
+
+void BM_FakeQuantFcForwardAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  nn::Sequential m = quantized_fc_model();
+  const Tensor x = fc_input();
+  run_float_forward(state, m, x, kFcMacs);
+}
+BENCHMARK(BM_FakeQuantFcForwardAvx2);
+
+void BM_FakeQuantFcReference(benchmark::State& state) {
+  // The integer-exec module's own fake-quant float loop — the semantic
+  // oracle, double accumulation, no blocking.
+  const auto fmt = compress::FixedPointFormat::paper_format(8);
+  const Tensor w = compress::fixed_point_quantize(
+      random_tensor({kFcOut, kFcIn}, 35), fmt);
+  const Tensor b = random_tensor({kFcOut}, 36);
+  const Tensor x = fc_input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compress::fake_quant_linear_forward(w, b, fmt, fmt, x));
+  }
+  state.SetItemsProcessed(state.iterations() * kFcMacs);
+}
+BENCHMARK(BM_FakeQuantFcReference);
+
+void BM_Int8ConvForward(benchmark::State& state) {
+  nn::Sequential m = quantized_conv_model();
+  const Tensor x = conv_input();
+  run_int8_forward(state, m, x, kConvMacs);
+}
+BENCHMARK(BM_Int8ConvForward);
+
+void BM_Int8ConvForwardAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  nn::Sequential m = quantized_conv_model();
+  const Tensor x = conv_input();
+  run_int8_forward(state, m, x, kConvMacs);
+}
+BENCHMARK(BM_Int8ConvForwardAvx2);
+
+void BM_FakeQuantConvForward(benchmark::State& state) {
+  nn::Sequential m = quantized_conv_model();
+  const Tensor x = conv_input();
+  run_float_forward(state, m, x, kConvMacs);
+}
+BENCHMARK(BM_FakeQuantConvForward);
+
+void BM_FakeQuantConvForwardAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  nn::Sequential m = quantized_conv_model();
+  const Tensor x = conv_input();
+  run_float_forward(state, m, x, kConvMacs);
+}
+BENCHMARK(BM_FakeQuantConvForwardAvx2);
+
+// Raw int8 GEMM throughput at the float GEMM shapes, for kernel-level
+// comparison with BM_GemmNnBlocked* (same strips, int16/int8 panels, int32
+// accumulators).
+void run_int8_gemm(benchmark::State& state, const GemmShape& s) {
+  util::Rng rng(37);
+  std::vector<std::int8_t> acodes(static_cast<std::size_t>(s.m * s.k));
+  std::vector<std::int8_t> bcodes(static_cast<std::size_t>(s.k * s.n));
+  for (auto& v : acodes) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform() * 255.f) - 128);
+  }
+  for (auto& v : bcodes) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform() * 255.f) - 128);
+  }
+  const auto pa = tensor::gemm::pack_int8_a(acodes.data(), s.m, s.k);
+  const tensor::gemm::Int8BSource bs{.raw = bcodes.data(), .ld = s.n};
+  std::vector<std::int32_t> c(static_cast<std::size_t>(s.m * s.n));
+  for (auto _ : state) {
+    tensor::gemm::matmul_int8(pa, bs, s.n, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.k * s.n);
+}
+
+void BM_Int8Gemm(benchmark::State& state) {
+  run_int8_gemm(state, gemm_shape_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Int8Gemm)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Int8GemmAvx2(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kAvx2)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kAvx2);
+  run_int8_gemm(state, gemm_shape_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Int8GemmAvx2)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Int8GemmNeon(benchmark::State& state) {
+  if (!force_isa_or_skip(state, tensor::kernels::Isa::kNeon)) return;
+  tensor::kernels::ScopedIsa scoped(tensor::kernels::Isa::kNeon);
+  run_int8_gemm(state, gemm_shape_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Int8GemmNeon)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_Im2col(benchmark::State& state) {
   Tensor img = random_tensor({3, 32, 32}, 6);

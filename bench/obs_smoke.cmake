@@ -4,8 +4,15 @@
 #
 # Usage:
 #   cmake -DBENCH=<exe> -DVALIDATOR=<obs_validate> -DOUT_DIR=<dir>
-#         -DNAME=<manifest name> -DARGS="<bench flags>" -P obs_smoke.cmake
+#         -DNAME=<manifest name> -DARGS="<bench flags>"
+#         [-DVALIDATOR_ARGS="<extra obs_validate flags>"] -P obs_smoke.cmake
+#
+# VALIDATOR_ARGS adds manifest assertions beyond the envelope checks —
+# e.g. --expect-integer-path for the int8_smoke entry, which requires the
+# gemm.dispatch.int8.* / requantize.* counters proving the deployed
+# integer backend actually executed.
 separate_arguments(bench_args UNIX_COMMAND "${ARGS}")
+separate_arguments(validator_args UNIX_COMMAND "${VALIDATOR_ARGS}")
 file(MAKE_DIRECTORY "${OUT_DIR}")
 
 # CON_ARTIFACTS_DIR keeps smoke checkpoints/manifests out of the source
@@ -23,6 +30,7 @@ execute_process(
   COMMAND ${VALIDATOR}
           --trace ${OUT_DIR}/${NAME}_trace.json
           --manifest ${OUT_DIR}/${NAME}_manifest.json
+          ${validator_args}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "obs_smoke: validation failed with ${rc}")

@@ -12,7 +12,13 @@
 // store.evict / store.gc_bytes), which bench::finish_run guarantees in
 // every manifest. With --expect-store-hits-only the manifest must describe
 // a fully warm run: store.miss == 0 and store.hit > 0 (the assertion the
-// store_smoke ctest makes about its second pass).
+// store_smoke ctest makes about its second pass). With
+// --expect-integer-path the manifest must prove the run actually exercised
+// the deployed int8 backend: at least one gemm.dispatch.int8.* counter
+// positive plus the requantize.quant_i8 input-quantisation counter and at
+// least one requantize.{col,row}_bias output-stage counter — an integer
+// "measurement" that silently fell back to the fake-quant float path
+// leaves all of these at zero and must fail loudly.
 // Exit 0 when everything named on the command line validates; 1 otherwise.
 #include <cstdio>
 #include <stdexcept>
@@ -66,7 +72,32 @@ void validate_trace(const std::string& path) {
               path.c_str(), spans, metadata);
 }
 
-void validate_manifest(const std::string& path, bool expect_store_hits_only) {
+// Sum of a counter family, tolerating absent members (a scalar-only run
+// has no avx2/neon dispatch counts).
+std::int64_t counter_or_zero(const Json& counters, const char* key) {
+  const Json* c = counters.find(key);
+  return c == nullptr ? 0 : c->as_int();
+}
+
+void validate_integer_path(const Json& counters) {
+  const std::int64_t dispatched =
+      counter_or_zero(counters, "gemm.dispatch.int8.scalar") +
+      counter_or_zero(counters, "gemm.dispatch.int8.avx2") +
+      counter_or_zero(counters, "gemm.dispatch.int8.neon");
+  require(dispatched > 0,
+          "no gemm.dispatch.int8.* counts — the run never entered an int8 "
+          "GEMM");
+  require(counter_or_zero(counters, "requantize.quant_i8") > 0,
+          "requantize.quant_i8 == 0 — inputs were never quantised to codes");
+  require(counter_or_zero(counters, "requantize.col_bias") +
+                  counter_or_zero(counters, "requantize.row_bias") >
+              0,
+          "no requantize.{col,row}_bias counts — int8 accumulators were "
+          "never requantised");
+}
+
+void validate_manifest(const std::string& path, bool expect_store_hits_only,
+                       bool expect_integer_path) {
   const Json doc = con::obs::parse_json(read_file(path));
   for (const char* key : {"name", "timestamp_unix", "git", "wall_time_s",
                           "threads", "config", "metrics"}) {
@@ -100,6 +131,7 @@ void validate_manifest(const std::string& path, bool expect_store_hits_only) {
     require(counters->find("store.hit")->as_int() > 0,
             "store.hit == 0 — a warm run never touched the store");
   }
+  if (expect_integer_path) validate_integer_path(*counters);
   require(doc.find("metrics")->find("distributions") != nullptr,
           "missing metrics.distributions");
   std::printf("obs_validate: %s OK (run \"%s\", %zu counters)\n", path.c_str(),
@@ -114,15 +146,16 @@ int main(int argc, char** argv) {
   const std::string trace = flags.get_string("trace", "");
   const std::string manifest = flags.get_string("manifest", "");
   const bool hits_only = flags.get_bool("expect-store-hits-only", false);
+  const bool integer_path = flags.get_bool("expect-integer-path", false);
   try {
     flags.check_unused();
     if (trace.empty() && manifest.empty()) {
       throw std::runtime_error(
           "usage: obs_validate [--trace f.json] [--manifest f.json] "
-          "[--expect-store-hits-only]");
+          "[--expect-store-hits-only] [--expect-integer-path]");
     }
     if (!trace.empty()) validate_trace(trace);
-    if (!manifest.empty()) validate_manifest(manifest, hits_only);
+    if (!manifest.empty()) validate_manifest(manifest, hits_only, integer_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "obs_validate: FAIL: %s\n", e.what());
     return 1;

@@ -2,17 +2,21 @@
 //
 // Fake-quantisation (quant_activation.h) simulates fixed-point arithmetic
 // in float; a real edge NPU computes with integers. This module provides
-// the integer path for fully-connected layers — int64 accumulation over
-// integer weight/activation codes, followed by a requantising shift — and
-// the verification that it produces bit-identical results to the
-// fake-quantised float path. That equivalence is what justifies running the
-// whole study in the (much more convenient) fake-quantised form.
+// the integer path for fully-connected and convolution layers — int64
+// accumulation over integer weight/activation codes, followed by a
+// requantising shift — and the verification that it produces bit-identical
+// results to the fake-quantised float path. That equivalence is what
+// justifies running the whole study in the (much more convenient)
+// fake-quantised form. These are deliberately naive loops: they are the
+// semantic oracle the production int8 backend (tensor/gemm_int8.h,
+// nn/*::forward_int8, compress/integer_model.h) must match bit for bit.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "compress/fixed_point.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace con::compress {
@@ -58,5 +62,42 @@ float integer_vs_fake_divergence(const IntegerLinear& layer,
                                  const tensor::Tensor& weights,
                                  const tensor::Tensor& bias,
                                  const tensor::Tensor& x);
+
+// A convolution lowered to integer arithmetic over its im2col form:
+// weight codes are the [out_channels, in_channels·kh·kw] patch matrix
+// (nn/conv2d.h stores weights in exactly this shape), the bias at
+// accumulator scale, the same requantising shift as the linear layer.
+struct IntegerConv2d {
+  FixedPointFormat weight_format;
+  FixedPointFormat activation_format;
+  tensor::Index out_channels = 0;
+  tensor::Index patch_size = 0;  // in_channels · kernel_h · kernel_w
+  std::vector<std::int32_t> weight_codes;  // [out_channels, patch_size]
+  std::vector<std::int64_t> bias_codes;    // [out_channels], acc scale
+};
+
+// Lower quantised conv weights/bias to integer codes. Same grid contract
+// and off-grid diagnostics as lower_linear.
+IntegerConv2d lower_conv2d(const tensor::Tensor& weights,
+                           const tensor::Tensor& bias,
+                           const FixedPointFormat& weight_format,
+                           const FixedPointFormat& activation_format);
+
+// Integer conv forward: quantise x [N,C,H,W] to codes, im2col (padding is
+// code 0), int64 patch products plus bias codes, requantise. Returns
+// [N, outC, oh, ow] float values on the activation grid.
+tensor::Tensor integer_conv2d_forward(const IntegerConv2d& layer,
+                                      const tensor::Tensor& x,
+                                      const tensor::Conv2dGeometry& g);
+
+// Reference float path for the convolution, mirroring
+// fake_quant_linear_forward: quantise x, float im2col product with the
+// quantised weights, snapped bias, quantise the result.
+tensor::Tensor fake_quant_conv2d_forward(const tensor::Tensor& weights,
+                                         const tensor::Tensor& bias,
+                                         const FixedPointFormat& wfmt,
+                                         const FixedPointFormat& afmt,
+                                         const tensor::Tensor& x,
+                                         const tensor::Conv2dGeometry& g);
 
 }  // namespace con::compress

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "attacks/params.h"
+#include "compress/fixed_point.h"
 #include "core/study.h"
 #include "core/transfer.h"
 #include "store/derivation.h"
@@ -70,6 +71,20 @@ store::Derivation transfer_cell_derivation(const store::Hash& baseline_drv,
                                            attacks::AttackKind attack,
                                            const attacks::AttackParams& params,
                                            const std::string& name);
+
+// One deployed-integer transfer cell: the four scenario accuracies with
+// the compressed model executed on the int8 backend
+// (core::evaluate_scenarios_integer). A distinct kind plus the weight /
+// activation fixed-point formats as attributes keep integer cells at
+// addresses that can never alias the fake-quant float cells above, and
+// re-address every cell when either format axis moves; the kernel ISA
+// attribute rides along exactly as for the float cells.
+store::Derivation integer_cell_derivation(
+    const store::Hash& baseline_drv, const store::Hash& variant_drv,
+    const store::Hash& dataset, tensor::Index attack_size,
+    attacks::AttackKind attack, const attacks::AttackParams& params,
+    const std::string& name, const compress::FixedPointFormat& weight_format,
+    const compress::FixedPointFormat& activation_format);
 
 // Tiny binary payload for a stored cell (magic + version + four doubles);
 // loading a stored cell is provably equivalent to recomputing it because

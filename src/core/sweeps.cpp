@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "compress/integer_model.h"
 #include "core/artifacts.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -114,6 +115,70 @@ ScenarioPoint stored_cell(Study& study, const ModelArtifact& variant,
   return *point;
 }
 
+// The integer twin of stored_cell: same realise-or-load shape, but the
+// cell computes evaluate_scenarios_integer and is addressed by
+// integer_cell_derivation (kind + fixed-point format attrs), so it can
+// never serve or shadow a float cell.
+ScenarioPoint stored_integer_cell(Study& study, ModelArtifact& variant,
+                                  attacks::AttackKind attack,
+                                  const attacks::AttackParams& params,
+                                  const tensor::Tensor& baseline_adv,
+                                  store::Hash* cell_hash) {
+  store::Store* s = study.store();
+  if (s == nullptr || variant.drv.is_zero()) {
+    return evaluate_scenarios_integer(study.baseline(), variant.model, attack,
+                                      params, study.attack_set(), baseline_adv);
+  }
+  const auto formats = compress::integer_formats(variant.model);
+  const store::Derivation drv = integer_cell_derivation(
+      study.baseline_drv_hash(), variant.drv, study.dataset_hash(),
+      study.config().attack_size, attack, params, variant.model.name(),
+      formats.first, formats.second);
+  std::optional<ScenarioPoint> point;
+  const std::string path = s->realise(drv, [&](const std::string& tmp) {
+    point = evaluate_scenarios_integer(study.baseline(), variant.model, attack,
+                                       params, study.attack_set(),
+                                       baseline_adv);
+    save_scenario_point(*point, tmp);
+  });
+  if (!point) point = load_scenario_point(path);
+  if (cell_hash != nullptr) *cell_hash = drv.hash();
+  return *point;
+}
+
+// Realise the sweep-index artifact over `cell_hashes` and point the
+// `root_name` GC root at it, keeping the sweep's closure alive. No-op
+// unless every cell went through the store.
+void root_sweep_index(Study& study, attacks::AttackKind attack,
+                      const attacks::AttackParams& params,
+                      const std::vector<store::Hash>& cell_hashes,
+                      const std::string& root_name) {
+  store::Store* s = study.store();
+  bool all_stored = s != nullptr;
+  for (const store::Hash& h : cell_hashes) {
+    all_stored = all_stored && !h.is_zero();
+  }
+  if (!all_stored) return;
+  store::Derivation index("sweep-index", root_name);
+  index.set("cells", static_cast<std::int64_t>(cell_hashes.size()));
+  for (const store::Hash& h : cell_hashes) index.add_input(h);
+  index.add_input(
+      adversarial_derivation(study.baseline_drv_hash(), study.dataset_hash(),
+                             study.config().attack_size, attack, params,
+                             study.config().network)
+          .hash());
+  std::vector<std::string> lines;
+  lines.reserve(cell_hashes.size());
+  for (const store::Hash& h : cell_hashes) lines.push_back(h.short_hex());
+  std::sort(lines.begin(), lines.end());
+  const std::string path = s->realise(index, [&](const std::string& tmp) {
+    std::ofstream f(tmp, std::ios::trunc);
+    for (const std::string& line : lines) f << line << "\n";
+    if (!f) throw std::runtime_error("sweep index write failed");
+  });
+  s->add_root("sweep-" + root_name, path);
+}
+
 }  // namespace
 
 ScenarioPoint evaluate_scenarios_stored(Study& study,
@@ -145,40 +210,53 @@ std::vector<ScenarioPoint> sweep_scenarios(
     cells.add(1);
   });
 
-  store::Store* s = study.store();
-  bool all_stored = s != nullptr;
-  for (const store::Hash& h : cell_hashes) {
-    all_stored = all_stored && !h.is_zero();
+  // The sweep index is a tiny text artifact whose inputs are every cell
+  // (and, transitively via the cells' own provenance, the variants and
+  // baseline) plus the shared adversarial batch. Rooting it keeps the
+  // sweep's full closure alive; a sweep with any changed axis produces a
+  // new index and re-points the root, stranding the old closure for gc().
+  root_sweep_index(study, attack, params, cell_hashes,
+                   study.config().network + "-" + attacks::attack_name(attack));
+  return points;
+}
+
+ScenarioPoint evaluate_scenarios_integer_stored(
+    Study& study, ModelArtifact& variant, attacks::AttackKind attack,
+    const attacks::AttackParams& params) {
+  const tensor::Tensor baseline_adv = study.baseline_adversarial(attack, params);
+  return stored_integer_cell(study, variant, attack, params, baseline_adv,
+                             nullptr);
+}
+
+std::vector<ScenarioPoint> sweep_scenarios_integer(
+    Study& study, std::vector<ModelArtifact>& family,
+    attacks::AttackKind attack, const attacks::AttackParams& params) {
+  std::vector<ScenarioPoint> points(family.size());
+  if (family.empty()) return points;
+  // Reject non-executable members up front, before spending any attack
+  // generation: a throw from a worker thread would lose the blocker text.
+  for (ModelArtifact& m : family) {
+    std::string why = compress::integer_blocker(m.model);
+    if (!why.empty()) {
+      throw std::invalid_argument("sweep_scenarios_integer: " +
+                                  m.model.name() + ": " + why);
+    }
   }
-  if (all_stored) {
-    // The sweep index is a tiny text artifact whose inputs are every cell
-    // (and, transitively via the cells' own provenance, the variants and
-    // baseline) plus the shared adversarial batch. Rooting it keeps the
-    // sweep's full closure alive; a sweep with any changed axis produces a
-    // new index and re-points the root, stranding the old closure for gc().
-    store::Derivation index(
-        "sweep-index",
-        study.config().network + "-" + attacks::attack_name(attack));
-    index.set("cells", static_cast<std::int64_t>(cell_hashes.size()));
-    for (const store::Hash& h : cell_hashes) index.add_input(h);
-    index.add_input(
-        adversarial_derivation(study.baseline_drv_hash(), study.dataset_hash(),
-                               study.config().attack_size, attack, params,
-                               study.config().network)
-            .hash());
-    std::vector<std::string> lines;
-    lines.reserve(cell_hashes.size());
-    for (const store::Hash& h : cell_hashes) lines.push_back(h.short_hex());
-    std::sort(lines.begin(), lines.end());
-    const std::string path = s->realise(index, [&](const std::string& tmp) {
-      std::ofstream f(tmp, std::ios::trunc);
-      for (const std::string& line : lines) f << line << "\n";
-      if (!f) throw std::runtime_error("sweep index write failed");
-    });
-    s->add_root("sweep-" + study.config().network + "-" +
-                    attacks::attack_name(attack),
-                path);
-  }
+  const tensor::Tensor baseline_adv =
+      study.baseline_adversarial(attack, params);
+  study.dataset_hash();
+  study.baseline_drv_hash();
+  std::vector<store::Hash> cell_hashes(family.size());
+  static obs::Counter& cells = obs::counter("sweep.cells.int8");
+  util::parallel_for(0, family.size(), [&](std::size_t i) {
+    obs::Span span(family[i].model.name(), "sweep_cell_int8");
+    points[i] = stored_integer_cell(study, family[i], attack, params,
+                                    baseline_adv, &cell_hashes[i]);
+    cells.add(1);
+  });
+  root_sweep_index(study, attack, params, cell_hashes,
+                   "int8-" + study.config().network + "-" +
+                       attacks::attack_name(attack));
   return points;
 }
 

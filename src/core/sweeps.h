@@ -69,6 +69,25 @@ std::vector<ScenarioPoint> sweep_scenarios(Study& study,
                                            attacks::AttackKind attack,
                                            const attacks::AttackParams& params);
 
+// Deployed-integer scenario axis through the store. Same cell semantics
+// as evaluate_scenarios_integer (the compressed model runs on the int8
+// backend; attacks are crafted against the simulated graph), addressed by
+// integer_cell_derivation so integer cells never collide with the float
+// cells of the same (variant, attack) pair. Variants must be
+// integer-executable — filter the family with compress::integer_executable
+// first (of the paper's bitwidth grid, exactly the 4- and 8-bit members
+// qualify). Non-const: the integer entry points populate per-layer packed
+// code panels.
+ScenarioPoint evaluate_scenarios_integer_stored(
+    Study& study, ModelArtifact& variant, attacks::AttackKind attack,
+    const attacks::AttackParams& params);
+
+// Store-backed integer sweep; the index artifact roots the closure as
+// sweep-int8-<network>-<attack>, parallel to the float sweep's root.
+std::vector<ScenarioPoint> sweep_scenarios_integer(
+    Study& study, std::vector<ModelArtifact>& family,
+    attacks::AttackKind attack, const attacks::AttackParams& params);
+
 // The paper's default sweep grids.
 std::vector<double> paper_density_grid();
 std::vector<int> paper_bitwidth_grid();

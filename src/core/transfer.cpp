@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "compress/integer_model.h"
 #include "nn/trainer.h"
 
 namespace con::core {
@@ -54,6 +55,44 @@ ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
   p.comp_to_full = nn::evaluate_accuracy(baseline, adv_comp, eval_set.labels);
   p.full_to_comp =
       nn::evaluate_accuracy(compressed, baseline_adv, eval_set.labels);
+  return p;
+}
+
+ScenarioPoint evaluate_scenarios_integer(const nn::Sequential& baseline,
+                                         nn::Sequential& compressed,
+                                         attacks::AttackKind attack,
+                                         const attacks::AttackParams& params,
+                                         const data::Dataset& eval_set) {
+  tensor::Tensor adv_full = attacks::run_attack_batched(
+      attack, baseline, eval_set.images, eval_set.labels, params,
+      eval_set.num_classes());
+  return evaluate_scenarios_integer(baseline, compressed, attack, params,
+                                    eval_set, adv_full);
+}
+
+ScenarioPoint evaluate_scenarios_integer(const nn::Sequential& baseline,
+                                         nn::Sequential& compressed,
+                                         attacks::AttackKind attack,
+                                         const attacks::AttackParams& params,
+                                         const data::Dataset& eval_set,
+                                         const tensor::Tensor& baseline_adv) {
+  if (baseline_adv.shape() != eval_set.images.shape()) {
+    throw std::invalid_argument(
+        "evaluate_scenarios_integer: baseline_adv shape mismatch");
+  }
+  ScenarioPoint p;
+  p.base_accuracy = compress::integer_accuracy(compressed, eval_set.images,
+                                               eval_set.labels);
+  // Samples are crafted against the simulated fake-quant graph (the only
+  // differentiable form) and measured against the deployed integer model.
+  tensor::Tensor adv_comp = attacks::run_attack_batched(
+      attack, compressed, eval_set.images, eval_set.labels, params,
+      eval_set.num_classes());
+  p.comp_to_comp =
+      compress::integer_accuracy(compressed, adv_comp, eval_set.labels);
+  p.comp_to_full = nn::evaluate_accuracy(baseline, adv_comp, eval_set.labels);
+  p.full_to_comp =
+      compress::integer_accuracy(compressed, baseline_adv, eval_set.labels);
   return p;
 }
 

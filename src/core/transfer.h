@@ -45,6 +45,29 @@ ScenarioPoint evaluate_scenarios(const nn::Sequential& baseline,
                                  const data::Dataset& eval_set,
                                  const tensor::Tensor& baseline_adv);
 
+// Deployed-integer scenario axis: the same four accuracies, but every
+// evaluation of the compressed model runs on the real int8 backend
+// (compress::integer_forward) instead of the simulated fake-quant float
+// graph. Attack generation is unchanged — gradients only exist on the
+// simulated model, which is exactly the white-box threat model for a
+// deployed integer network: the attacker differentiates the published
+// fake-quant graph and the samples transfer (or not) to the int32
+// accumulate / requantise deployment. `compressed` must be
+// integer-executable (compress::integer_blocker); throws otherwise.
+// `compressed` is non-const because the integer entry points hang packed
+// code panels off the layers' caches; logical state is untouched.
+ScenarioPoint evaluate_scenarios_integer(const nn::Sequential& baseline,
+                                         nn::Sequential& compressed,
+                                         attacks::AttackKind attack,
+                                         const attacks::AttackParams& params,
+                                         const data::Dataset& eval_set);
+ScenarioPoint evaluate_scenarios_integer(const nn::Sequential& baseline,
+                                         nn::Sequential& compressed,
+                                         attacks::AttackKind attack,
+                                         const attacks::AttackParams& params,
+                                         const data::Dataset& eval_set,
+                                         const tensor::Tensor& baseline_adv);
+
 // Transfer rate as used for the §3.3 cross-initialisation check: of the
 // samples that fool `source`, the fraction that also fool `target`.
 double transfer_rate(const nn::Sequential& source, const nn::Sequential& target,

@@ -1,7 +1,9 @@
 #include "nn/conv2d.h"
 
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/obs.h"
 #include "tensor/gemm.h"
@@ -20,6 +22,12 @@ namespace {
 void pack_conv(PackedWeights& pw) {
   pw.fwd = tensor::gemm::pack_rowmajor(pw.effective, tensor::gemm::kStripA);
   pw.bwd = tensor::gemm::pack_colmajor(pw.effective, tensor::gemm::kStripA);
+}
+
+// out = W · cols puts the weight codes on the left: A panels, rows = outC.
+void pack_conv_int8(PackedInt8Weights& pw, const std::int8_t* codes,
+                    Index rows, Index depth) {
+  pw.a = tensor::gemm::pack_int8_a(codes, rows, depth);
 }
 
 }  // namespace
@@ -81,6 +89,63 @@ Tensor Conv2d::forward(const Tensor& x, bool train, TapeSlot& slot) const {
       float* dst = yd + (i * spec_.out_channels + c) * plane;
       const float b = bd[c];
       for (Index p = 0; p < plane; ++p) dst[p] = src[p] + b;
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::forward_int8(const Tensor& x, const Int8FormatKey& key) const {
+  if (x.rank() != 4 || x.dim(1) != spec_.in_channels) {
+    throw std::invalid_argument(name_ + ": expected input [N, " +
+                                std::to_string(spec_.in_channels) +
+                                ", H, W], got " + x.shape().to_string());
+  }
+  obs::Span span(name_, "int8");
+  const Index n = x.dim(0);
+  const tensor::Conv2dGeometry geom{
+      .in_channels = spec_.in_channels,
+      .in_h = x.dim(2),
+      .in_w = x.dim(3),
+      .kernel_h = spec_.kernel,
+      .kernel_w = spec_.kernel,
+      .stride = spec_.stride,
+      .padding = spec_.padding,
+  };
+  const Index oh = geom.out_h(), ow = geom.out_w();
+  const Index plane = oh * ow;
+  const Index total = n * plane;
+  const Index patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const auto pw = cache_.get_int8(weight_, bias_, key, &pack_conv_int8);
+
+  // Input codes, lowered to the k-major im2col layout the int8 GEMM
+  // consumes as a raw right operand.
+  std::vector<std::int8_t> xcodes(static_cast<std::size_t>(x.numel()));
+  tensor::gemm::quantize_codes(xcodes.data(), x.data(), pw->act_inv_step,
+                               pw->act_lo, pw->act_hi, x.numel());
+  std::vector<std::int8_t> cols(static_cast<std::size_t>(patch * total));
+  tensor::gemm::im2col_int8_batch(xcodes.data(), n, geom, cols.data());
+
+  // acc[outC, N*P] in int32, requantised with the per-row (channel) bias —
+  // the bias is folded at accumulator scale, so nothing is re-added below.
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(spec_.out_channels * total));
+  tensor::gemm::Int8BSource bs{.raw = cols.data(), .ld = total};
+  tensor::gemm::matmul_int8(pw->a, bs, total, acc.data());
+  Tensor out({spec_.out_channels, total});
+  tensor::gemm::requantize_row_bias(out.data(), acc.data(),
+                                    pw->bias_codes.data(), pw->shift,
+                                    pw->out_lo, pw->out_hi, pw->out_scale,
+                                    spec_.out_channels, total);
+
+  // Scatter [outC, N*P] into NCHW order.
+  Tensor y({n, spec_.out_channels, oh, ow});
+  const float* od = out.data();
+  float* yd = y.data();
+  for (Index i = 0; i < n; ++i) {
+    for (Index c = 0; c < spec_.out_channels; ++c) {
+      std::memcpy(yd + (i * spec_.out_channels + c) * plane,
+                  od + c * total + i * plane,
+                  static_cast<std::size_t>(plane) * sizeof(float));
     }
   }
   return y;

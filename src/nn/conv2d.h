@@ -28,6 +28,13 @@ class Conv2d : public Layer {
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override;
 
+  // Deployed-integer forward (inference only, no tape): quantises x to the
+  // key's activation grid, lowers the codes via int8 im2col (padding is
+  // code 0), multiplies against cached packed weight-code panels with
+  // int32 accumulators, and requantises — bit-identical to the
+  // compress::integer_exec oracle for any --threads and any CON_KERNEL.
+  Tensor forward_int8(const Tensor& x, const Int8FormatKey& key) const;
+
   const Conv2dSpec& spec() const { return spec_; }
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }

@@ -1,6 +1,8 @@
 #include "nn/linear.h"
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/obs.h"
 #include "tensor/gemm.h"
@@ -18,6 +20,12 @@ namespace {
 void pack_linear(PackedWeights& pw) {
   pw.fwd = tensor::gemm::pack_rowmajor(pw.effective, tensor::gemm::kStripB);
   pw.bwd = tensor::gemm::pack_colmajor(pw.effective, tensor::gemm::kStripB);
+}
+
+// y = x·Wᵀ puts the weight codes on the right: B panels, rows = out.
+void pack_linear_int8(PackedInt8Weights& pw, const std::int8_t* codes,
+                      Index rows, Index depth) {
+  pw.b = tensor::gemm::pack_int8_b(codes, rows, depth);
 }
 
 }  // namespace
@@ -49,6 +57,34 @@ Tensor Linear::forward(const Tensor& x, bool train, TapeSlot& slot) const {
   // y[N, out] = x[N, in] * W[out, in]^T
   Tensor y = tensor::gemm::matmul_nt(x, slot.packed->fwd);
   tensor::bias_add_inplace(y, bias_.value);
+  return y;
+}
+
+Tensor Linear::forward_int8(const Tensor& x, const Int8FormatKey& key) const {
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    throw std::invalid_argument(name_ + ": expected input [N, " +
+                                std::to_string(in_features_) + "], got " +
+                                x.shape().to_string());
+  }
+  obs::Span span(name_, "int8");
+  const Index n = x.dim(0);
+  const auto pw = cache_.get_int8(weight_, bias_, key, &pack_linear_int8);
+  // Input codes, packed as the left operand.
+  std::vector<std::int8_t> xcodes(static_cast<std::size_t>(x.numel()));
+  tensor::gemm::quantize_codes(xcodes.data(), x.data(), pw->act_inv_step,
+                               pw->act_lo, pw->act_hi, x.numel());
+  const tensor::gemm::PackedInt8A pa =
+      tensor::gemm::pack_int8_a(xcodes.data(), n, in_features_);
+  // acc[N, out] in int32, then requantise with the per-column bias.
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(n * out_features_));
+  tensor::gemm::Int8BSource bs{.packed = &pw->b};
+  tensor::gemm::matmul_int8(pa, bs, out_features_, acc.data());
+  Tensor y({n, out_features_});
+  tensor::gemm::requantize_col_bias(y.data(), acc.data(),
+                                    pw->bias_codes.data(), pw->shift,
+                                    pw->out_lo, pw->out_hi, pw->out_scale, n,
+                                    out_features_);
   return y;
 }
 

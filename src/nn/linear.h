@@ -19,6 +19,14 @@ class Linear : public Layer {
   std::string name() const override { return name_; }
   std::unique_ptr<Layer> clone() const override;
 
+  // Deployed-integer forward (inference only, no tape): quantises x to the
+  // key's activation grid, multiplies int8 codes against cached packed
+  // weight-code panels with int32 accumulators, and requantises with a
+  // round-half-even shift — bit-identical to the compress::integer_exec
+  // oracle for any --threads and any CON_KERNEL (tensor/gemm_int8.h).
+  // Requires weight_'s transform to snap onto exactly the key's grid.
+  Tensor forward_int8(const Tensor& x, const Int8FormatKey& key) const;
+
   tensor::Index in_features() const { return in_features_; }
   tensor::Index out_features() const { return out_features_; }
   Parameter& weight() { return weight_; }

@@ -50,6 +50,10 @@ const KernelTable* scalar_table() {
     k.sign = &scalar::sign;
     k.relu_bwd = &scalar::relu_bwd;
     k.pack_row = &scalar::pack_row8;
+    k.int8_4x16 = &scalar::int8_4x16;
+    k.quant_i8 = &scalar::quant_i8;
+    k.requant_col_bias = &scalar::requant_col_bias;
+    k.requant_row_bias = &scalar::requant_row_bias;
     return k;
   }();
   return &t;

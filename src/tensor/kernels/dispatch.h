@@ -28,6 +28,11 @@
 //    NT kernel (float products are exact in double, so fused and unfused
 //    rounding agree), the sparse row-axpy, and the elementwise entries
 //    (vectorized with separate multiply and add — never contracted).
+//  - The int8 entries (`int8_4x16`, `quant_i8`, `requant_*`) are integer
+//    arithmetic end to end, so every ISA is bit-identical to the scalar
+//    oracle by construction — no tolerance, no opt-in (DESIGN.md §5,
+//    "Integer precision contract"). The only float steps are exact:
+//    power-of-two scaling and int→float conversion of values ≤ 2⁷.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +70,44 @@ using ClampFn = void (*)(float* dst, float lo, float hi, Index n);
 using UnaryFn = void (*)(float* dst, const float* src, Index n);
 // grad[i] = input[i] <= 0 ? 0 : grad[i]
 using ReluBwdFn = void (*)(float* grad, const float* input, Index n);
+// Int8 register-tile GEMM micro-kernel with int32 accumulators: one 4×16
+// tile over pair-of-k interleaved panels (tensor/gemm_int8.h). The left
+// operand stores int8-range codes widened to int16 so a k-pair of one row
+// is a single 32-bit broadcast: ap[(p*4 + i)*2 + u] = code(row i, k 2p+u).
+// The right operand stays int8: bp[(p*16 + t)*2 + u] = code(col t, k 2p+u).
+// `klist == nullptr` runs the dense loop over all `kpairs`; otherwise only
+// the listed pairs are visited (every elided pair is all-zero — see
+// gemm_int8.h). Writes the mv×nv valid corner of the int32 tile to c.
+// Codes are int8-range, so |acc| ≤ K·2¹⁴ — callers must bound K (and the
+// bias folded in afterwards) so the int32 accumulator cannot overflow.
+using Int8MicroKernelFn = void (*)(Index kpairs, const std::int16_t* ap,
+                                   const std::int8_t* bp,
+                                   const std::int32_t* klist, Index nk,
+                                   std::int32_t* c, Index ldc, Index mv,
+                                   Index nv);
+
+// Quantise float values to int8 fixed-point codes:
+// dst[i] = nearbyint(clamp(src[i], lo, hi) * inv_step) with round-half-even
+// (the default FP environment). `lo`/`hi` are the format's representable
+// value bounds (lo_code·step / hi_code·step — exactly representable), and
+// inv_step is a power of two, so the product is exact and every ISA rounds
+// the same real number: bit-identical to compress::integer_exec's
+// quantize_to_code for finite inputs.
+using QuantI8Fn = void (*)(std::int8_t* dst, const float* src, float inv_step,
+                           float lo, float hi, Index n);
+
+// Requantise an int32 accumulator matrix [rows, cols] to float values on
+// the activation grid: y = sat(rshift_rne(acc + bias, shift), lo, hi) *
+// scale, where rshift_rne is the round-half-even arithmetic right shift of
+// compress::integer_exec and `scale` is the activation step (power of two,
+// so the final int→float multiply is exact). The two entries differ only in
+// bias indexing: per-column (Linear layout, acc [N, out]) or per-row (Conv
+// layout, acc [outC, N·P]).
+using RequantFn = void (*)(float* y, const std::int32_t* acc,
+                           const std::int32_t* bias, int shift,
+                           std::int32_t lo, std::int32_t hi, float scale,
+                           Index rows, Index cols);
+
 // Scatters one k-row of a right-operand panel into its 8-wide strip
 // columns: strip s receives src[s*8 + t] in lane t of column k (panel
 // layout (s*depth + k)*8 + t, gemm.h), and flags[s*depth + k] records
@@ -93,6 +136,11 @@ struct KernelTable {
   UnaryFn sign = nullptr;
   ReluBwdFn relu_bwd = nullptr;
   PackRowFn pack_row = nullptr;
+  // Deployed-integer inference entries (bit-identical on every ISA).
+  Int8MicroKernelFn int8_4x16 = nullptr;
+  QuantI8Fn quant_i8 = nullptr;
+  RequantFn requant_col_bias = nullptr;
+  RequantFn requant_row_bias = nullptr;
 };
 
 // The active table. First call probes the host and reads $CON_KERNEL; the

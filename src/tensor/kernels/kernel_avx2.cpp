@@ -281,6 +281,180 @@ void relu_bwd_avx2(float* g, const float* in, Index n) {
   scalar::relu_bwd(g + i, in + i, n - i);
 }
 
+// ---- int8 integer path: exact integer arithmetic, bit-identical to the
+// scalar oracle on every input (dispatch.h). ---------------------------------
+
+// Int8 register-tile kernel, MR=4, NR=16, int32 accumulators. Per k-pair:
+// the 32-byte B block is two vpmovsxbw widenings, one A row pair is a
+// single 32-bit broadcast straight from the int16 panel, and vpmaddwd
+// computes a0·b0 + a1·b1 for eight columns at once — exact int32, never
+// saturating (|a·b| ≤ 2¹⁴ per term, one pair per madd). Integer addition
+// is associative, so the pair-at-a-time order matches the scalar oracle
+// bit for bit; zero pairs contribute exact zeros (no branch needed).
+void int8_4x16_avx2(Index kpairs, const std::int16_t* __restrict ap,
+                    const std::int8_t* __restrict bp,
+                    const std::int32_t* __restrict klist, Index nk,
+                    std::int32_t* c, Index ldc, Index mv, Index nv) {
+  __m256i acc00 = _mm256_setzero_si256(), acc01 = acc00;  // row 0: cols 0-7/8-15
+  __m256i acc10 = acc00, acc11 = acc00;
+  __m256i acc20 = acc00, acc21 = acc00;
+  __m256i acc30 = acc00, acc31 = acc00;
+  const std::int32_t* ap32 = reinterpret_cast<const std::int32_t*>(ap);
+  auto step = [&](Index p) {
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + p * 32));
+    const __m256i blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(b));
+    const __m256i bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(b, 1));
+    const std::int32_t* a = ap32 + p * 4;
+    const __m256i a0 = _mm256_set1_epi32(a[0]);
+    acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(a0, blo));
+    acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(a0, bhi));
+    const __m256i a1 = _mm256_set1_epi32(a[1]);
+    acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(a1, blo));
+    acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(a1, bhi));
+    const __m256i a2 = _mm256_set1_epi32(a[2]);
+    acc20 = _mm256_add_epi32(acc20, _mm256_madd_epi16(a2, blo));
+    acc21 = _mm256_add_epi32(acc21, _mm256_madd_epi16(a2, bhi));
+    const __m256i a3 = _mm256_set1_epi32(a[3]);
+    acc30 = _mm256_add_epi32(acc30, _mm256_madd_epi16(a3, blo));
+    acc31 = _mm256_add_epi32(acc31, _mm256_madd_epi16(a3, bhi));
+  };
+  if (klist == nullptr) {
+    for (Index p = 0; p < kpairs; ++p) step(p);
+  } else {
+    for (Index t = 0; t < nk; ++t) step(klist[t]);
+  }
+  if (mv == 4 && nv == 16) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc + 0), acc00);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 0 * ldc + 8), acc01);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc + 0), acc10);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 1 * ldc + 8), acc11);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc + 0), acc20);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 2 * ldc + 8), acc21);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc + 0), acc30);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + 3 * ldc + 8), acc31);
+  } else {
+    alignas(32) std::int32_t tile[4][16];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[0] + 0), acc00);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[0] + 8), acc01);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[1] + 0), acc10);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[1] + 8), acc11);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[2] + 0), acc20);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[2] + 8), acc21);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[3] + 0), acc30);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tile[3] + 8), acc31);
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) c[i * ldc + j] = tile[i][j];
+    }
+  }
+}
+
+// Float → int8 code quantisation. Clamp to the exactly-representable value
+// bounds first, scale by the power-of-two inv_step (exact), then
+// vcvtps2dq — round-half-even in the default FP environment, the same real
+// rounded to the same integer as the scalar std::nearbyint. The pack
+// instructions saturate, but the values are already inside [-128, 127], so
+// saturation never fires.
+void quant_i8_avx2(std::int8_t* d, const float* s, float inv_step, float lo,
+                   float hi, Index n) {
+  const __m256 lov = _mm256_set1_ps(lo);
+  const __m256 hiv = _mm256_set1_ps(hi);
+  const __m256 inv = _mm256_set1_ps(inv_step);
+  Index i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 v0 =
+        _mm256_min_ps(_mm256_max_ps(_mm256_loadu_ps(s + i), lov), hiv);
+    const __m256 v1 =
+        _mm256_min_ps(_mm256_max_ps(_mm256_loadu_ps(s + i + 8), lov), hiv);
+    const __m256i i0 = _mm256_cvtps_epi32(_mm256_mul_ps(v0, inv));
+    const __m256i i1 = _mm256_cvtps_epi32(_mm256_mul_ps(v1, inv));
+    // packs interleaves 128-bit lanes; permute restores element order.
+    const __m256i p16 = _mm256_permute4x64_epi64(
+        _mm256_packs_epi32(i0, i1), _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i p8 = _mm_packs_epi16(_mm256_castsi256_si128(p16),
+                                       _mm256_extracti128_si256(p16, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + i), p8);
+  }
+  scalar::quant_i8(d + i, s + i, inv_step, lo, hi, n - i);
+}
+
+// Vectorized round-half-even right shift + saturate + exact int→float
+// scale (dispatch.h). Shared by both bias layouts.
+inline __m256i requant8_avx2(__m256i v, __m128i shiftv, int shift,
+                             __m256i half, __m256i one, __m256i lov,
+                             __m256i hiv) {
+  __m256i q;
+  if (shift == 0) {
+    q = v;
+  } else {
+    q = _mm256_sra_epi32(v, shiftv);
+    const __m256i rem = _mm256_sub_epi32(v, _mm256_sll_epi32(q, shiftv));
+    const __m256i gt = _mm256_cmpgt_epi32(rem, half);
+    const __m256i eq = _mm256_cmpeq_epi32(rem, half);
+    const __m256i odd =
+        _mm256_cmpeq_epi32(_mm256_and_si256(q, one), one);
+    const __m256i inc = _mm256_or_si256(gt, _mm256_and_si256(eq, odd));
+    q = _mm256_sub_epi32(q, inc);  // inc lanes are -1 where we round up
+  }
+  q = _mm256_max_epi32(q, lov);
+  q = _mm256_min_epi32(q, hiv);
+  return q;
+}
+
+void requant_col_bias_avx2(float* y, const std::int32_t* acc,
+                           const std::int32_t* bias, int shift,
+                           std::int32_t lo, std::int32_t hi, float scale,
+                           Index rows, Index cols) {
+  const __m128i shiftv = _mm_cvtsi32_si128(shift);
+  const __m256i half =
+      _mm256_set1_epi32(shift == 0 ? 0 : std::int32_t{1} << (shift - 1));
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i lov = _mm256_set1_epi32(lo);
+  const __m256i hiv = _mm256_set1_epi32(hi);
+  const __m256 sc = _mm256_set1_ps(scale);
+  for (Index r = 0; r < rows; ++r) {
+    const std::int32_t* arow = acc + r * cols;
+    float* yrow = y + r * cols;
+    Index j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m256i v = _mm256_add_epi32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arow + j)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bias + j)));
+      const __m256i q = requant8_avx2(v, shiftv, shift, half, one, lov, hiv);
+      _mm256_storeu_ps(yrow + j, _mm256_mul_ps(_mm256_cvtepi32_ps(q), sc));
+    }
+    scalar::requant_col_bias(yrow + j, arow + j, bias + j, shift, lo, hi,
+                             scale, 1, cols - j);
+  }
+}
+
+void requant_row_bias_avx2(float* y, const std::int32_t* acc,
+                           const std::int32_t* bias, int shift,
+                           std::int32_t lo, std::int32_t hi, float scale,
+                           Index rows, Index cols) {
+  const __m128i shiftv = _mm_cvtsi32_si128(shift);
+  const __m256i half =
+      _mm256_set1_epi32(shift == 0 ? 0 : std::int32_t{1} << (shift - 1));
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i lov = _mm256_set1_epi32(lo);
+  const __m256i hiv = _mm256_set1_epi32(hi);
+  const __m256 sc = _mm256_set1_ps(scale);
+  for (Index r = 0; r < rows; ++r) {
+    const std::int32_t* arow = acc + r * cols;
+    float* yrow = y + r * cols;
+    const __m256i bv = _mm256_set1_epi32(bias[r]);
+    Index j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m256i v = _mm256_add_epi32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(arow + j)), bv);
+      const __m256i q = requant8_avx2(v, shiftv, shift, half, one, lov, hiv);
+      _mm256_storeu_ps(yrow + j, _mm256_mul_ps(_mm256_cvtepi32_ps(q), sc));
+    }
+    scalar::requant_row_bias(yrow + j, arow + j, bias + r, shift, lo, hi,
+                             scale, 1, cols - j);
+  }
+}
+
 // The panel-pack row scatter: one 8-float load/store plus a NEQ mask per
 // strip column. _CMP_NEQ_UQ (unordered) makes NaN lanes count as nonzero,
 // matching the scalar `!= 0.0f` test.
@@ -332,6 +506,10 @@ const KernelTable* avx2_table() {
     k.sign = &sign_avx2;
     k.relu_bwd = &relu_bwd_avx2;
     k.pack_row = &pack_row8_avx2;
+    k.int8_4x16 = &int8_4x16_avx2;
+    k.quant_i8 = &quant_i8_avx2;
+    k.requant_col_bias = &requant_col_bias_avx2;
+    k.requant_row_bias = &requant_row_bias_avx2;
     return k;
   }();
   return &t;

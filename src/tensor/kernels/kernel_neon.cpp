@@ -225,6 +225,153 @@ void relu_bwd_neon(float* g, const float* in, Index n) {
   scalar::relu_bwd(g + i, in + i, n - i);
 }
 
+// ---- int8 integer path: exact integer arithmetic, bit-identical to the
+// scalar oracle on every input (dispatch.h). ---------------------------------
+
+// Int8 register-tile kernel, MR=4, NR=16, int32 accumulators, via widening
+// multiplies: vmull_s16 over the pair-interleaved panels produces exact
+// int32 products and vpaddq_s32 folds each k-pair — a0·b0 + a1·b1 per
+// column, the same exact terms as the scalar oracle in a different (and
+// therefore, for integers, irrelevant) order.
+void int8_4x16_neon(Index kpairs, const std::int16_t* __restrict ap,
+                    const std::int8_t* __restrict bp,
+                    const std::int32_t* __restrict klist, Index nk,
+                    std::int32_t* c, Index ldc, Index mv, Index nv) {
+  int32x4_t acc[4][4];  // [row][4-column group]
+  for (int i = 0; i < 4; ++i) {
+    for (int g = 0; g < 4; ++g) acc[i][g] = vdupq_n_s32(0);
+  }
+  const std::int32_t* ap32 = reinterpret_cast<const std::int32_t*>(ap);
+  auto step = [&](Index p) {
+    const int8x16_t b0 = vld1q_s8(bp + p * 32);       // cols 0-7, pairs
+    const int8x16_t b1 = vld1q_s8(bp + p * 32 + 16);  // cols 8-15, pairs
+    const int16x8_t grp[4] = {
+        vmovl_s8(vget_low_s8(b0)), vmovl_s8(vget_high_s8(b0)),
+        vmovl_s8(vget_low_s8(b1)), vmovl_s8(vget_high_s8(b1))};
+    for (int i = 0; i < 4; ++i) {
+      // (a0, a1, a0, a1): one pair of A codes against two column pairs.
+      const int16x4_t av = vreinterpret_s16_s32(vdup_n_s32(ap32[p * 4 + i]));
+      for (int g = 0; g < 4; ++g) {
+        const int32x4_t plo = vmull_s16(vget_low_s16(grp[g]), av);
+        const int32x4_t phi = vmull_s16(vget_high_s16(grp[g]), av);
+        acc[i][g] = vaddq_s32(acc[i][g], vpaddq_s32(plo, phi));
+      }
+    }
+  };
+  if (klist == nullptr) {
+    for (Index p = 0; p < kpairs; ++p) step(p);
+  } else {
+    for (Index t = 0; t < nk; ++t) step(klist[t]);
+  }
+  if (mv == 4 && nv == 16) {
+    for (int i = 0; i < 4; ++i) {
+      for (int g = 0; g < 4; ++g) vst1q_s32(c + i * ldc + g * 4, acc[i][g]);
+    }
+  } else {
+    std::int32_t tile[4][16];
+    for (int i = 0; i < 4; ++i) {
+      for (int g = 0; g < 4; ++g) vst1q_s32(tile[i] + g * 4, acc[i][g]);
+    }
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) c[i * ldc + j] = tile[i][j];
+    }
+  }
+}
+
+// Float → int8 codes: clamp, exact power-of-two scale, vcvtnq (round to
+// nearest even, matching std::nearbyint). The saturating narrows never
+// saturate — values are already inside [-128, 127].
+void quant_i8_neon(std::int8_t* d, const float* s, float inv_step, float lo,
+                   float hi, Index n) {
+  const float32x4_t lov = vdupq_n_f32(lo);
+  const float32x4_t hiv = vdupq_n_f32(hi);
+  const float32x4_t inv = vdupq_n_f32(inv_step);
+  Index i = 0;
+  for (; i + 16 <= n; i += 16) {
+    int16x8_t h[2];
+    for (int half = 0; half < 2; ++half) {
+      const float32x4_t v0 = vminq_f32(
+          vmaxq_f32(vld1q_f32(s + i + half * 8), lov), hiv);
+      const float32x4_t v1 = vminq_f32(
+          vmaxq_f32(vld1q_f32(s + i + half * 8 + 4), lov), hiv);
+      const int32x4_t q0 = vcvtnq_s32_f32(vmulq_f32(v0, inv));
+      const int32x4_t q1 = vcvtnq_s32_f32(vmulq_f32(v1, inv));
+      h[half] = vcombine_s16(vqmovn_s32(q0), vqmovn_s32(q1));
+    }
+    vst1q_s8(d + i, vcombine_s8(vqmovn_s16(h[0]), vqmovn_s16(h[1])));
+  }
+  scalar::quant_i8(d + i, s + i, inv_step, lo, hi, n - i);
+}
+
+// Vectorized round-half-even right shift + saturate + exact int→float
+// scale; vshlq_s32 with a negative count is an arithmetic right shift.
+inline int32x4_t requant4_neon(int32x4_t v, int shift, int32x4_t half,
+                               int32x4_t one, int32x4_t lov, int32x4_t hiv) {
+  int32x4_t q;
+  if (shift == 0) {
+    q = v;
+  } else {
+    q = vshlq_s32(v, vdupq_n_s32(-shift));
+    const int32x4_t rem = vsubq_s32(v, vshlq_s32(q, vdupq_n_s32(shift)));
+    const uint32x4_t gt = vcgtq_s32(rem, half);
+    const uint32x4_t eq = vceqq_s32(rem, half);
+    const uint32x4_t odd = vceqq_s32(vandq_s32(q, one), one);
+    const uint32x4_t inc = vorrq_u32(gt, vandq_u32(eq, odd));
+    q = vsubq_s32(q, vreinterpretq_s32_u32(inc));  // -1 lanes round up
+  }
+  return vminq_s32(vmaxq_s32(q, lov), hiv);
+}
+
+void requant_col_bias_neon(float* y, const std::int32_t* acc,
+                           const std::int32_t* bias, int shift,
+                           std::int32_t lo, std::int32_t hi, float scale,
+                           Index rows, Index cols) {
+  const int32x4_t half =
+      vdupq_n_s32(shift == 0 ? 0 : std::int32_t{1} << (shift - 1));
+  const int32x4_t one = vdupq_n_s32(1);
+  const int32x4_t lov = vdupq_n_s32(lo);
+  const int32x4_t hiv = vdupq_n_s32(hi);
+  const float32x4_t sc = vdupq_n_f32(scale);
+  for (Index r = 0; r < rows; ++r) {
+    const std::int32_t* arow = acc + r * cols;
+    float* yrow = y + r * cols;
+    Index j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const int32x4_t v =
+          vaddq_s32(vld1q_s32(arow + j), vld1q_s32(bias + j));
+      const int32x4_t q = requant4_neon(v, shift, half, one, lov, hiv);
+      vst1q_f32(yrow + j, vmulq_f32(vcvtq_f32_s32(q), sc));
+    }
+    scalar::requant_col_bias(yrow + j, arow + j, bias + j, shift, lo, hi,
+                             scale, 1, cols - j);
+  }
+}
+
+void requant_row_bias_neon(float* y, const std::int32_t* acc,
+                           const std::int32_t* bias, int shift,
+                           std::int32_t lo, std::int32_t hi, float scale,
+                           Index rows, Index cols) {
+  const int32x4_t half =
+      vdupq_n_s32(shift == 0 ? 0 : std::int32_t{1} << (shift - 1));
+  const int32x4_t one = vdupq_n_s32(1);
+  const int32x4_t lov = vdupq_n_s32(lo);
+  const int32x4_t hiv = vdupq_n_s32(hi);
+  const float32x4_t sc = vdupq_n_f32(scale);
+  for (Index r = 0; r < rows; ++r) {
+    const std::int32_t* arow = acc + r * cols;
+    float* yrow = y + r * cols;
+    const int32x4_t bv = vdupq_n_s32(bias[r]);
+    Index j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const int32x4_t v = vaddq_s32(vld1q_s32(arow + j), bv);
+      const int32x4_t q = requant4_neon(v, shift, half, one, lov, hiv);
+      vst1q_f32(yrow + j, vmulq_f32(vcvtq_f32_s32(q), sc));
+    }
+    scalar::requant_row_bias(yrow + j, arow + j, bias + r, shift, lo, hi,
+                             scale, 1, cols - j);
+  }
+}
+
 // The panel-pack row scatter: two 4-float copies plus an equality mask per
 // strip column; lanes that are not equal to zero (including NaN, which
 // compares not-equal) set the flag, matching the scalar `!= 0.0f` test.
@@ -277,6 +424,10 @@ const KernelTable* neon_table() {
     k.sign = &sign_neon;
     k.relu_bwd = &relu_bwd_neon;
     k.pack_row = &pack_row8_neon;
+    k.int8_4x16 = &int8_4x16_neon;
+    k.quant_i8 = &quant_i8_neon;
+    k.requant_col_bias = &requant_col_bias_neon;
+    k.requant_row_bias = &requant_row_bias_neon;
     return k;
   }();
   return &t;

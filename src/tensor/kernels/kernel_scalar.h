@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "tensor/tensor.h"
@@ -77,6 +78,99 @@ inline void nt_2x8(Index depth, const float* ap, const float* bp,
                    Index mv, Index nv) {
   micro_kernel<2, 8, double>(depth, ap, bp, klist, nk, c, ldc, mv, nv);
 }
+
+// ---- int8 integer path (the bit-exact oracle for every ISA) -----------------
+// Integer arithmetic end to end: the SIMD variants reorder freely (integer
+// addition is associative) and still match these loops bit for bit. See
+// dispatch.h for the layouts and compress/integer_exec.cpp for the int64
+// reference these agree with whenever the int32 accumulator cannot
+// overflow (K·2¹⁴ + |bias| < 2³¹, validated at lowering).
+
+// Round-half-even arithmetic right shift — the int32 twin of
+// compress::integer_exec's rshift_round_half_even. shift must be > 0 when
+// called from the loop below (the 0 case is handled by the caller).
+inline std::int32_t rshift_rne_i32(std::int32_t v, int shift) {
+  const std::int32_t q = v >> shift;  // arithmetic shift: floor division
+  const std::int32_t r = v - (q << shift);
+  const std::int32_t half = std::int32_t{1} << (shift - 1);
+  if (r > half || (r == half && (q & 1))) return q + 1;
+  return q;
+}
+
+// conlint:hotpath begin
+inline void int8_4x16(Index kpairs, const std::int16_t* __restrict ap,
+                      const std::int8_t* __restrict bp,
+                      const std::int32_t* __restrict klist, Index nk,
+                      std::int32_t* __restrict c, Index ldc, Index mv,
+                      Index nv) {
+  std::int32_t acc[4][16] = {};
+  const Index np = klist == nullptr ? kpairs : nk;
+  for (Index t = 0; t < np; ++t) {
+    const Index p = klist == nullptr ? t : klist[t];
+    const std::int16_t* __restrict av = ap + p * 8;
+    const std::int8_t* __restrict bv = bp + p * 32;
+    for (int i = 0; i < 4; ++i) {
+      const std::int32_t a0 = av[i * 2 + 0];
+      const std::int32_t a1 = av[i * 2 + 1];
+      if ((a0 | a1) == 0) continue;  // pruned row within a live strip pair
+      for (int j = 0; j < 16; ++j) {
+        acc[i][j] += a0 * bv[j * 2 + 0] + a1 * bv[j * 2 + 1];
+      }
+    }
+  }
+  if (mv == 4 && nv == 16) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 16; ++j) c[i * ldc + j] = acc[i][j];
+    }
+  } else {
+    for (Index i = 0; i < mv; ++i) {
+      for (Index j = 0; j < nv; ++j) c[i * ldc + j] = acc[i][j];
+    }
+  }
+}
+
+inline void quant_i8(std::int8_t* __restrict d, const float* __restrict s,
+                     float inv_step, float lo, float hi, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    const float v = std::min(hi, std::max(lo, s[i]));
+    d[i] = static_cast<std::int8_t>(
+        static_cast<std::int32_t>(std::nearbyint(v * inv_step)));
+  }
+}
+
+inline void requant_col_bias(float* __restrict y,
+                             const std::int32_t* __restrict acc,
+                             const std::int32_t* __restrict bias, int shift,
+                             std::int32_t lo, std::int32_t hi, float scale,
+                             Index rows, Index cols) {
+  for (Index r = 0; r < rows; ++r) {
+    for (Index j = 0; j < cols; ++j) {
+      const std::int32_t v = acc[r * cols + j] + bias[j];
+      std::int32_t q = shift == 0 ? v : rshift_rne_i32(v, shift);
+      if (q < lo) q = lo;
+      if (q > hi) q = hi;
+      y[r * cols + j] = static_cast<float>(q) * scale;
+    }
+  }
+}
+
+inline void requant_row_bias(float* __restrict y,
+                             const std::int32_t* __restrict acc,
+                             const std::int32_t* __restrict bias, int shift,
+                             std::int32_t lo, std::int32_t hi, float scale,
+                             Index rows, Index cols) {
+  for (Index r = 0; r < rows; ++r) {
+    const std::int32_t b = bias[r];
+    for (Index j = 0; j < cols; ++j) {
+      const std::int32_t v = acc[r * cols + j] + b;
+      std::int32_t q = shift == 0 ? v : rshift_rne_i32(v, shift);
+      if (q < lo) q = lo;
+      if (q > hi) q = hi;
+      y[r * cols + j] = static_cast<float>(q) * scale;
+    }
+  }
+}
+// conlint:hotpath end
 
 // ---- elementwise (the exact tensor/ops.cpp loops) ---------------------------
 

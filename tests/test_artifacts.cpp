@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "attacks/params.h"
+#include "compress/fixed_point.h"
 #include "core/artifacts.h"
 #include "core/study.h"
 #include "data/synth_digits.h"
@@ -149,6 +150,61 @@ TEST(ArtifactClosures, TransferCellDistinguishesModelRoles) {
             core::transfer_cell_derivation(b, a, ds, 12, AttackKind::kIfgsm, p,
                                            "cell")
                 .hash());
+}
+
+TEST(Int8ArtifactClosures, IntegerCellsNeverAliasFloatCells) {
+  // The deployed-int8 measurement is a different experiment from the
+  // fake-quant float one: with byte-identical inputs and attack axes, the
+  // two cells must live at different store addresses (distinct kind).
+  const store::Hash ds = fake_hash("dataset");
+  const store::Hash base = fake_hash("baseline-drv");
+  const store::Hash variant = fake_hash("variant-drv");
+  AttackParams p{.epsilon = 0.1f, .iterations = 4};
+  const auto f8 = compress::FixedPointFormat::paper_format(8);
+  EXPECT_NE(core::integer_cell_derivation(base, variant, ds, 12,
+                                          AttackKind::kIfgsm, p, "cell", f8, f8)
+                .hash(),
+            core::transfer_cell_derivation(base, variant, ds, 12,
+                                           AttackKind::kIfgsm, p, "cell")
+                .hash());
+}
+
+TEST(Int8ArtifactClosures, FormatAxesReaddressIntegerCells) {
+  const store::Hash ds = fake_hash("dataset");
+  const store::Hash base = fake_hash("baseline-drv");
+  const store::Hash variant = fake_hash("variant-drv");
+  AttackParams p{.epsilon = 0.1f, .iterations = 4};
+  const auto f8 = compress::FixedPointFormat::paper_format(8);
+  const auto f4 = compress::FixedPointFormat::paper_format(4);
+  const store::Hash cell =
+      core::integer_cell_derivation(base, variant, ds, 12, AttackKind::kIfgsm,
+                                    p, "cell", f8, f8)
+          .hash();
+  EXPECT_NE(cell, core::integer_cell_derivation(base, variant, ds, 12,
+                                                AttackKind::kIfgsm, p, "cell",
+                                                f4, f8)
+                      .hash())
+      << "the weight format is a closure input of the integer cell";
+  EXPECT_NE(cell, core::integer_cell_derivation(base, variant, ds, 12,
+                                                AttackKind::kIfgsm, p, "cell",
+                                                f8, f4)
+                      .hash())
+      << "the activation format is a closure input of the integer cell";
+  // The attack axes keep re-addressing exactly as for float cells.
+  AttackParams p2{.epsilon = 0.2f, .iterations = 4};
+  EXPECT_NE(cell, core::integer_cell_derivation(base, variant, ds, 12,
+                                                AttackKind::kIfgsm, p2, "cell",
+                                                f8, f8)
+                      .hash());
+  EXPECT_NE(cell, core::integer_cell_derivation(base, variant, ds, 12,
+                                                AttackKind::kFgsm, p, "cell",
+                                                f8, f8)
+                      .hash());
+  // Role attrs still break the sorted-input-set symmetry.
+  EXPECT_NE(cell, core::integer_cell_derivation(variant, base, ds, 12,
+                                                AttackKind::kIfgsm, p, "cell",
+                                                f8, f8)
+                      .hash());
 }
 
 TEST(ArtifactClosures, DatasetHashIsContentSensitive) {

@@ -22,10 +22,13 @@
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/kernels/dispatch.h"
 #include "tensor/kernels/kernel_scalar.h"
 #include "tensor/ops.h"
@@ -185,6 +188,10 @@ TEST(KernelDispatch, EveryActivatedTableIsFullyPopulated) {
     EXPECT_NE(kt.sign, nullptr);
     EXPECT_NE(kt.relu_bwd, nullptr);
     EXPECT_NE(kt.pack_row, nullptr);
+    EXPECT_NE(kt.int8_4x16, nullptr);
+    EXPECT_NE(kt.quant_i8, nullptr);
+    EXPECT_NE(kt.requant_col_bias, nullptr);
+    EXPECT_NE(kt.requant_row_bias, nullptr);
   }
 }
 
@@ -435,6 +442,288 @@ TEST(KernelOracle, PackRowMatchesScalarBytesAndFlags) {
           << "flags differ at jn=" << jn;
     }
   }
+}
+
+// ---- int8 integer path: bit-identical, no tolerance ------------------------
+// The int8 entries are integer arithmetic end to end (dispatch.h), so the
+// contract is stricter than the float GEMM's analytic bound: every ISA must
+// reproduce the scalar oracle exactly, at every tile remainder, with and
+// without pair skip lists.
+
+std::vector<std::int8_t> random_int8_codes(Index n, std::uint64_t seed,
+                                           double zero_prob = 0.0) {
+  con::util::Rng rng(seed);
+  std::vector<std::int8_t> out(static_cast<std::size_t>(n));
+  for (auto& c : out) {
+    if (zero_prob > 0.0 && rng.uniform() < zero_prob) {
+      c = 0;
+    } else {
+      c = static_cast<std::int8_t>(static_cast<int>(rng.uniform() * 255.0) -
+                                   127);
+    }
+  }
+  return out;
+}
+
+TEST(Int8KernelOracle, MicroKernelBitIdenticalAtEveryTileCorner) {
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (Index kpairs : {Index(1), Index(2), Index(3), Index(7), Index(8)}) {
+      // One strip pair of panels in the dispatch.h layout: ap is 4 rows of
+      // int16-widened codes, bp 16 columns of int8 codes, pair-interleaved.
+      std::vector<std::int16_t> ap(static_cast<std::size_t>(kpairs * 8));
+      {
+        const auto codes = random_int8_codes(kpairs * 8, 9000 + kpairs);
+        for (std::size_t i = 0; i < codes.size(); ++i) ap[i] = codes[i];
+      }
+      const auto bp = random_int8_codes(kpairs * 32, 9100 + kpairs);
+      for (Index mv = 1; mv <= 4; ++mv) {
+        for (Index nv = 1; nv <= 16; ++nv) {
+          // Sentinel-filled tiles: the kernel must write exactly the mv×nv
+          // corner and leave the rest untouched, on every ISA.
+          std::vector<std::int32_t> want(4 * 16, -12345);
+          std::vector<std::int32_t> got = want;
+          kernels::scalar::int8_4x16(kpairs, ap.data(), bp.data(), nullptr, 0,
+                                     want.data(), 16, mv, nv);
+          kernels::ScopedIsa scoped(isa);
+          kernels::active().int8_4x16(kpairs, ap.data(), bp.data(), nullptr, 0,
+                                      got.data(), 16, mv, nv);
+          ASSERT_EQ(want, got) << kernels::isa_name(isa) << " kpairs=" << kpairs
+                               << " mv=" << mv << " nv=" << nv;
+        }
+      }
+      // Pair skip list (every other pair, including an odd-length list):
+      // the elided pairs contribute junk in this synthetic setup, so both
+      // oracles must honour exactly the listed pairs.
+      std::vector<std::int32_t> klist;
+      for (Index p = 0; p < kpairs; p += 2) klist.push_back(p);
+      std::vector<std::int32_t> want(4 * 16, 0);
+      std::vector<std::int32_t> got = want;
+      kernels::scalar::int8_4x16(kpairs, ap.data(), bp.data(), klist.data(),
+                                 static_cast<Index>(klist.size()), want.data(),
+                                 16, 3, 11);
+      kernels::ScopedIsa scoped(isa);
+      kernels::active().int8_4x16(kpairs, ap.data(), bp.data(), klist.data(),
+                                  static_cast<Index>(klist.size()), got.data(),
+                                  16, 3, 11);
+      ASSERT_EQ(want, got) << kernels::isa_name(isa) << " klist kpairs="
+                           << kpairs;
+    }
+  }
+}
+
+struct Int8GemmCase {
+  Index m, k, n;
+};
+// Every A strip remainder (m mod 4), B strip remainder (n mod 16), and k
+// parity (odd k exercises the zero-padded final pair).
+const Int8GemmCase kInt8GemmCases[] = {
+    {1, 1, 1},  {2, 3, 5},   {3, 8, 15},  {4, 9, 16},   {5, 16, 17},
+    {7, 17, 31}, {8, 31, 32}, {9, 33, 33}, {17, 64, 47},
+};
+
+TEST(Int8KernelOracle, MatmulBitIdenticalAcrossIsasAndSources) {
+  for (const Int8GemmCase& c : kInt8GemmCases) {
+    // 60% zeros exercise the pair skip lists on both operands.
+    const auto a_codes = random_int8_codes(c.m * c.k, 9200 + c.m * 13 + c.k,
+                                           0.6);
+    const auto b_codes = random_int8_codes(c.n * c.k, 9300 + c.n * 13 + c.k,
+                                           0.6);
+    const auto pa = gemm::pack_int8_a(a_codes.data(), c.m, c.k);
+    const auto pb = gemm::pack_int8_b(b_codes.data(), c.n, c.k);
+    // The same logical B as raw k-major storage (the im2col orientation).
+    std::vector<std::int8_t> raw(static_cast<std::size_t>(c.k * c.n));
+    for (Index j = 0; j < c.n; ++j) {
+      for (Index k = 0; k < c.k; ++k) raw[k * c.n + j] = b_codes[j * c.k + k];
+    }
+    const auto run = [&](const gemm::Int8BSource& src) {
+      std::vector<std::int32_t> out(static_cast<std::size_t>(c.m * c.n));
+      gemm::matmul_int8(pa, src, c.n, out.data());
+      return out;
+    };
+    const gemm::Int8BSource packed_src{.packed = &pb};
+    const gemm::Int8BSource raw_src{.raw = raw.data(), .ld = c.n};
+    const std::vector<std::int32_t> want = run(packed_src);
+    ASSERT_EQ(want, run(raw_src))
+        << "raw k-major source diverged from packed panels at m=" << c.m
+        << " k=" << c.k << " n=" << c.n;
+    for (kernels::Isa isa : supported_simd_isas()) {
+      kernels::ScopedIsa scoped(isa);
+      ASSERT_EQ(want, run(packed_src)) << kernels::isa_name(isa);
+      ASSERT_EQ(want, run(raw_src)) << kernels::isa_name(isa) << " (raw)";
+    }
+  }
+}
+
+TEST(Int8KernelOracle, MatmulBumpsThePerIsaDispatchCounter) {
+  const auto a_codes = random_int8_codes(4 * 8, 9400);
+  const auto b_codes = random_int8_codes(16 * 8, 9401);
+  const auto pa = gemm::pack_int8_a(a_codes.data(), 4, 8);
+  const auto pb = gemm::pack_int8_b(b_codes.data(), 16, 8);
+  std::vector<std::int32_t> out(4 * 16);
+  std::vector<kernels::Isa> isas = {kernels::Isa::kScalar};
+  for (kernels::Isa isa : supported_simd_isas()) isas.push_back(isa);
+  for (kernels::Isa isa : isas) {
+    const std::string name =
+        std::string("gemm.dispatch.int8.") + kernels::isa_name(isa);
+    const std::uint64_t before = con::obs::counter(name).value();
+    kernels::ScopedIsa scoped(isa);
+    gemm::matmul_int8(pa, gemm::Int8BSource{.packed = &pb}, 16, out.data());
+    EXPECT_EQ(con::obs::counter(name).value(), before + 1) << name;
+  }
+}
+
+TEST(Int8KernelOracle, PackingPadsOddDepthAndRecordsExactSkipLists) {
+  const Index rows = 6, depth = 5;  // odd depth: final pair pads u = 1
+  auto codes = random_int8_codes(rows * depth, 9500);
+  // Kill pair 1 (k = 2, 3) of every row so the skip lists must elide it.
+  for (Index r = 0; r < rows; ++r) {
+    codes[r * depth + 2] = 0;
+    codes[r * depth + 3] = 0;
+  }
+  const auto pa = gemm::pack_int8_a(codes.data(), rows, depth);
+  EXPECT_EQ(pa.kpairs, 3);
+  const Index kpairs = pa.kpairs;
+  for (Index s = 0; s < pa.num_strips(); ++s) {
+    for (Index i = 0; i < 4; ++i) {
+      const Index r = s * 4 + i;
+      for (Index p = 0; p < kpairs; ++p) {
+        for (Index u = 0; u < 2; ++u) {
+          const Index k = 2 * p + u;
+          const std::int16_t want =
+              (r < rows && k < depth) ? codes[r * depth + k] : 0;
+          EXPECT_EQ(pa.data[((s * kpairs + p) * 4 + i) * 2 + u], want)
+              << "strip " << s << " row " << i << " pair " << p << " lane "
+              << u;
+        }
+      }
+    }
+    const std::vector<std::int32_t> strip_pairs(
+        pa.nnz_p.begin() + pa.nnz_ptr[static_cast<std::size_t>(s)],
+        pa.nnz_p.begin() + pa.nnz_ptr[static_cast<std::size_t>(s) + 1]);
+    EXPECT_EQ(strip_pairs, (std::vector<std::int32_t>{0, 2}))
+        << "pair 1 is all-zero in strip " << s;
+  }
+  const auto pb = gemm::pack_int8_b(codes.data(), rows, depth);
+  EXPECT_EQ(pb.kpairs, 3);
+  for (Index t = 0; t < rows; ++t) {
+    for (Index p = 0; p < kpairs; ++p) {
+      for (Index u = 0; u < 2; ++u) {
+        const Index k = 2 * p + u;
+        const std::int8_t want = k < depth ? codes[t * depth + k] : 0;
+        EXPECT_EQ(pb.data[((0 * kpairs + p) * 16 + t) * 2 + u], want);
+      }
+    }
+  }
+}
+
+TEST(Int8KernelOracle, QuantI8BitIdenticalIncludingHalfwayTies) {
+  // 4-bit 1-int-bit activation grid: step 2⁻³, values clamp to [-1, 0.875].
+  const float inv_step = 8.0f, lo = -1.0f, hi = 0.875f;
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (Index n : kElemSizes) {
+      con::util::Rng rng(9600 + static_cast<std::uint64_t>(n));
+      std::vector<float> src(static_cast<std::size_t>(n));
+      for (Index i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        if (u < 0.3) {
+          // Exact halfway point between two codes: round-half-even makes
+          // (k + 0.5)/8 round down for even k and up for odd k — any ISA
+          // that rounds half-away diverges here.
+          const int k = static_cast<int>(rng.uniform() * 14.0) - 7;
+          src[static_cast<std::size_t>(i)] =
+              (static_cast<float>(k) + 0.5f) / 8.0f;
+        } else if (u < 0.4) {
+          src[static_cast<std::size_t>(i)] = rng.uniform_f(-4.0f, 4.0f);  // clamps
+        } else {
+          src[static_cast<std::size_t>(i)] = rng.uniform_f(-1.2f, 1.2f);
+        }
+      }
+      std::vector<std::int8_t> want(static_cast<std::size_t>(n), 99);
+      std::vector<std::int8_t> got = want;
+      kernels::scalar::quant_i8(want.data(), src.data(), inv_step, lo, hi, n);
+      kernels::ScopedIsa scoped(isa);
+      kernels::active().quant_i8(got.data(), src.data(), inv_step, lo, hi, n);
+      ASSERT_EQ(want, got) << kernels::isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(Int8KernelOracle, RequantBitIdenticalIncludingShiftZeroAndTies) {
+  const Index rows = 5, cols = 17;  // off the 8/16 vector widths
+  con::util::Rng rng(9700);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(rows * cols));
+  for (Index i = 0; i < rows * cols; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.3) {
+      // Exact tie at the shift-4 rounding point: v = 16q + 8 with q of
+      // either parity (round-half-even keeps even q, bumps odd q).
+      const int q = static_cast<int>(rng.uniform() * 40.0) - 20;
+      acc[static_cast<std::size_t>(i)] = q * 16 + 8;
+    } else if (u < 0.4) {
+      acc[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>(rng.uniform() * 2e6) - 1000000;  // saturates
+    } else {
+      acc[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>(rng.uniform() * 4000.0) - 2000;
+    }
+  }
+  std::vector<std::int32_t> cbias(static_cast<std::size_t>(cols));
+  std::vector<std::int32_t> rbias(static_cast<std::size_t>(rows));
+  for (auto& b : cbias) b = static_cast<std::int32_t>(rng.uniform() * 64) - 32;
+  for (auto& b : rbias) b = static_cast<std::int32_t>(rng.uniform() * 64) - 32;
+  const std::int32_t lo = -128, hi = 127;
+  const float scale = 0.0078125f;  // 2⁻⁷, exact
+  for (kernels::Isa isa : supported_simd_isas()) {
+    for (int shift : {0, 4, 7}) {
+      std::vector<float> want(static_cast<std::size_t>(rows * cols));
+      std::vector<float> got = want;
+      kernels::scalar::requant_col_bias(want.data(), acc.data(), cbias.data(),
+                                        shift, lo, hi, scale, rows, cols);
+      {
+        kernels::ScopedIsa scoped(isa);
+        kernels::active().requant_col_bias(got.data(), acc.data(),
+                                           cbias.data(), shift, lo, hi, scale,
+                                           rows, cols);
+      }
+      ASSERT_EQ(std::memcmp(want.data(), got.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << kernels::isa_name(isa) << " col_bias shift=" << shift;
+      kernels::scalar::requant_row_bias(want.data(), acc.data(), rbias.data(),
+                                        shift, lo, hi, scale, rows, cols);
+      {
+        kernels::ScopedIsa scoped(isa);
+        kernels::active().requant_row_bias(got.data(), acc.data(),
+                                           rbias.data(), shift, lo, hi, scale,
+                                           rows, cols);
+      }
+      ASSERT_EQ(std::memcmp(want.data(), got.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << kernels::isa_name(isa) << " row_bias shift=" << shift;
+    }
+  }
+}
+
+TEST(Int8KernelOracle, RequantRoundsHalfToEvenAndSaturates) {
+  // Direct semantics of the scalar oracle (DESIGN.md §5 integer contract):
+  // ties go to the even quotient, saturation clamps to the code range.
+  const std::int32_t acc[] = {8, 24, -8, -24, 1 << 20, -(1 << 20)};
+  const std::int32_t bias[] = {0, 0, 0, 0, 0, 0};
+  float y[6];
+  kernels::scalar::requant_col_bias(y, acc, bias, /*shift=*/4, -128, 127,
+                                    1.0f, 1, 6);
+  EXPECT_EQ(y[0], 0.0f);    // 8/16 = 0.5 → 0 (even)
+  EXPECT_EQ(y[1], 2.0f);    // 24/16 = 1.5 → 2 (even)
+  EXPECT_EQ(y[2], 0.0f);    // -0.5 → 0
+  EXPECT_EQ(y[3], -2.0f);   // -1.5 → -2
+  EXPECT_EQ(y[4], 127.0f);  // saturate high
+  EXPECT_EQ(y[5], -128.0f); // saturate low
+  // shift == 0 bypasses the rounding formula entirely (1 << -1 is UB).
+  kernels::scalar::requant_col_bias(y, acc, bias, /*shift=*/0, -128, 127,
+                                    1.0f, 1, 6);
+  EXPECT_EQ(y[0], 8.0f);
+  EXPECT_EQ(y[4], 127.0f);
 }
 
 // ---- allocation regression (the dynamic side of the hotpath lint) ----------

@@ -303,6 +303,34 @@ TEST(IncludeHygiene, IntrinsicsRuleCoversHeadersToo) {
   EXPECT_EQ(count_rule(fl, "include-hygiene"), 1);
 }
 
+TEST(IncludeHygiene, Int8GemmDriverStaysIntrinsicsFree) {
+  // The int8 GEMM driver (gemm_int8.cpp) reaches SIMD only through the
+  // kernel table; a direct intrinsics include there would execute without
+  // the per-TU ISA flags and bypass the runtime dispatch contract.
+  auto fl = run("src/tensor/gemm_int8.cpp",
+                "#include <immintrin.h>\n"
+                "int f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 1);
+  auto fl2 = run("src/tensor/gemm_int8.h",
+                 "#pragma once\n"
+                 "#include <arm_neon.h>\n");
+  EXPECT_EQ(count_rule(fl2, "include-hygiene"), 1);
+}
+
+TEST(IncludeHygiene, ContainmentIsTheKernelsDirectoryNotAFileList) {
+  // New kernel TUs (e.g. a split-out int8 micro-kernel file) inherit the
+  // exemption from the directory prefix — no lint change needed to add
+  // one.
+  auto fl = run("src/tensor/kernels/kernel_avx2_int8.cpp",
+                "#include <immintrin.h>\n"
+                "int f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl, "include-hygiene"), 0);
+  auto fl2 = run("src/tensor/kernels/kernel_neon_int8.cpp",
+                 "#include <arm_neon.h>\n"
+                 "int f() { return 1; }\n");
+  EXPECT_EQ(count_rule(fl2, "include-hygiene"), 0);
+}
+
 // ---- suppression machinery --------------------------------------------------
 
 TEST(Suppression, AllowWithReasonSuppressesSameAndNextLine) {
