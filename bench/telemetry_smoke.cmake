@@ -1,0 +1,77 @@
+# Live-telemetry smoke: run one bench with --telemetry + --stats-socket,
+# query the stats socket ONCE MID-FLIGHT with con-stats (the bench runs in
+# the background while the probe polls), then validate the JSONL stream and
+# its final-record/manifest byte-identity with obs_validate.
+#
+# Usage:
+#   cmake -DBENCH=<exe> -DVALIDATOR=<obs_validate> -DCONSTATS=<con-stats>
+#         -DOUT_DIR=<dir> -DNAME=<manifest name> -DARGS="<bench flags>"
+#         -P telemetry_smoke.cmake
+#
+# The probe loop and the background bench live in one `sh -c` script:
+# CMake's execute_process has no job control, the shell does. Only `${}`
+# is interpolated by CMake, so the shell's $!, $bench_pid etc. pass
+# through untouched.
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(SOCKET ${OUT_DIR}/stats.sock)
+set(TELEMETRY ${OUT_DIR}/${NAME}_telemetry.jsonl)
+
+set(script "
+'${BENCH}' ${ARGS} --manifest \
+  --telemetry '${TELEMETRY}' --telemetry-interval 50 \
+  --stats-socket '${SOCKET}' > '${OUT_DIR}/bench.log' 2>&1 &
+bench_pid=$!
+snap=''
+i=0
+while [ $i -lt 400 ]; do
+  if [ -S '${SOCKET}' ] && \
+     '${CONSTATS}' '${SOCKET}' > '${OUT_DIR}/snapshot.json' 2>/dev/null; then
+    snap=ok
+    break
+  fi
+  sleep 0.025
+  i=$((i + 1))
+done
+if ! wait $bench_pid; then
+  echo 'telemetry_smoke: bench failed:' >&2
+  cat '${OUT_DIR}/bench.log' >&2
+  exit 1
+fi
+if [ -z \"$snap\" ]; then
+  echo 'telemetry_smoke: no mid-flight snapshot from ${SOCKET}' >&2
+  cat '${OUT_DIR}/bench.log' >&2
+  exit 1
+fi
+echo 'telemetry_smoke: mid-flight snapshot:'
+cat '${OUT_DIR}/snapshot.json'
+")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env CON_ARTIFACTS_DIR=${OUT_DIR}
+          sh -c "${script}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "telemetry_smoke: bench/probe phase failed with ${rc}")
+endif()
+
+# The stream itself, plus the quiesce contract: the final record's counters
+# must be byte-identical to the manifest's metrics.counters.
+execute_process(
+  COMMAND ${VALIDATOR}
+          --telemetry ${TELEMETRY}
+          --manifest ${OUT_DIR}/${NAME}_manifest.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "telemetry_smoke: validation failed with ${rc}")
+endif()
+
+# A mid-flight socket drop would have been caught above; an end-of-run
+# re-query must now fail cleanly — the socket is unlinked on finish_run.
+execute_process(
+  COMMAND ${CONSTATS} ${SOCKET}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "telemetry_smoke: stats socket still answering after finish_run")
+endif()

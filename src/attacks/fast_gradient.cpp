@@ -68,8 +68,11 @@ void fast_gradient_range(const nn::Sequential& model, const Tensor& images,
   const Index n = adv.numel();
   const float eps = params.epsilon;
   static obs::Counter& steps = obs::counter("attack.fast_gradient.steps");
+  static obs::Histogram& step_hist =
+      obs::histogram("attack.fast_gradient.step_ns");
   // conlint:hotpath begin
   for (int it = 0; it < params.iterations; ++it) {
+    obs::ScopedTimer step_timer(step_hist);
     steps.add(1);
     grad = loss_input_gradient(model, adv, chunk_labels, tape);
     tensor::scale_inplace(grad, batch_scale);

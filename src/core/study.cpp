@@ -64,6 +64,7 @@ void Study::train_model(nn::Sequential& model, std::uint64_t shuffle_seed) {
                  model.name().c_str(), config_.baseline_epochs,
                  static_cast<long long>(config_.train_size));
   obs::Span span(model.name(), "train_baseline");
+  obs::ScopedPhase phase("train-baseline");
   nn::TrainConfig tc;
   tc.epochs = config_.baseline_epochs;
   tc.batch_size = config_.batch_size;
@@ -210,6 +211,7 @@ ModelArtifact Study::clustered_variant(int bits) {
 tensor::Tensor Study::baseline_adversarial(attacks::AttackKind attack,
                                            const attacks::AttackParams& params) {
   nn::Sequential& base = baseline();
+  obs::ScopedPhase phase("baseline-adversarial");
   if (!store_) {
     return attacks::run_attack_batched(attack, base, attack_set_.images,
                                        attack_set_.labels, params,

@@ -47,6 +47,7 @@ std::vector<ScenarioPoint> sweep_scenarios(
     const data::Dataset& eval_set) {
   std::vector<ScenarioPoint> points(family.size());
   if (family.empty()) return points;
+  obs::ScopedPhase phase("sweep");
   // The scenario-2 batch (attack on the baseline) is identical for every
   // family member: generate it once up front and share it, instead of
   // paying one full attack generation per member.
@@ -194,6 +195,7 @@ std::vector<ScenarioPoint> sweep_scenarios(
     attacks::AttackKind attack, const attacks::AttackParams& params) {
   std::vector<ScenarioPoint> points(family.size());
   if (family.empty()) return points;
+  obs::ScopedPhase phase("sweep");
   // Warm all lazily-memoized study state on this thread; worker threads
   // below only read it.
   const tensor::Tensor baseline_adv =
@@ -233,6 +235,7 @@ std::vector<ScenarioPoint> sweep_scenarios_integer(
     attacks::AttackKind attack, const attacks::AttackParams& params) {
   std::vector<ScenarioPoint> points(family.size());
   if (family.empty()) return points;
+  obs::ScopedPhase phase("sweep");
   // Reject non-executable members up front, before spending any attack
   // generation: a throw from a worker thread would lose the blocker text.
   for (ModelArtifact& m : family) {

@@ -55,7 +55,8 @@ Tensor Conv2d::forward(const Tensor& x, bool train, TapeSlot& slot) const {
                                 ", H, W], got " + x.shape().to_string());
   }
   obs::Span span(name_, "fwd");
-  obs::ScopedTimer timer(fwd_time_.get(name_ + ".forward_s"));
+  obs::ScopedTimer timer(fwd_time_.get(name_ + ".forward_s"),
+                         fwd_hist_.get(name_ + ".forward_ns"));
   const Index n = x.dim(0);
   slot.geom = tensor::Conv2dGeometry{
       .in_channels = spec_.in_channels,
@@ -162,7 +163,8 @@ Tensor Conv2d::backward(const Tensor& grad_out, TapeSlot& slot) const {
                                 grad_out.shape().to_string());
   }
   obs::Span span(name_, "bwd");
-  obs::ScopedTimer timer(bwd_time_.get(name_ + ".backward_s"));
+  obs::ScopedTimer timer(bwd_time_.get(name_ + ".backward_s"),
+                         bwd_hist_.get(name_ + ".backward_ns"));
   // Gather the NCHW gradient into the [outC, N*P] layout of the forward
   // GEMM output.
   const Index total = n * plane;

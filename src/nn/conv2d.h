@@ -50,9 +50,12 @@ class Conv2d : public Layer {
   // Packed effective-weight panels, rebuilt when weight_'s fingerprint
   // changes (internally mutable: packing is not logical layer state).
   PackedWeightsCache cache_;
-  // Per-layer wall-time distributions ("<name>.forward_s" / ".backward_s").
+  // Per-layer wall-time distributions ("<name>.forward_s" / ".backward_s")
+  // plus log2-bucketed latency histograms (".forward_ns" / ".backward_ns").
   mutable obs::LazyDist fwd_time_;  // conlint:allow(layer-reentrancy): LazyDist is internally synchronized telemetry, not layer state
   mutable obs::LazyDist bwd_time_;  // conlint:allow(layer-reentrancy): LazyDist is internally synchronized telemetry, not layer state
+  mutable obs::LazyHist fwd_hist_;  // conlint:allow(layer-reentrancy): LazyHist is internally synchronized telemetry, not layer state
+  mutable obs::LazyHist bwd_hist_;  // conlint:allow(layer-reentrancy): LazyHist is internally synchronized telemetry, not layer state
 };
 
 }  // namespace con::nn

@@ -48,7 +48,8 @@ Tensor Linear::forward(const Tensor& x, bool train, TapeSlot& slot) const {
                                 x.shape().to_string());
   }
   obs::Span span(name_, "fwd");
-  obs::ScopedTimer timer(fwd_time_.get(name_ + ".forward_s"));
+  obs::ScopedTimer timer(fwd_time_.get(name_ + ".forward_s"),
+                         fwd_hist_.get(name_ + ".forward_ns"));
   slot.input = x;
   slot.packed = cache_.get(weight_, &pack_linear);
   // The optimizer reads grad_gate at step() time; only a training forward
@@ -95,7 +96,8 @@ Tensor Linear::backward(const Tensor& grad_out, TapeSlot& slot) const {
                                 grad_out.shape().to_string());
   }
   obs::Span span(name_, "bwd");
-  obs::ScopedTimer timer(bwd_time_.get(name_ + ".backward_s"));
+  obs::ScopedTimer timer(bwd_time_.get(name_ + ".backward_s"),
+                         bwd_hist_.get(name_ + ".backward_ns"));
   if (slot.accumulate_param_grads) {
     // dW[out, in] = grad_out[N, out]^T * x[N, in]
     Tensor dw = tensor::matmul_tn(grad_out, slot.input);

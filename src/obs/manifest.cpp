@@ -1,9 +1,10 @@
 #include "obs/manifest.h"
 
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 
-#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace con::obs {
 
@@ -27,6 +28,61 @@ const std::string& git_describe() {
   return described;
 }
 
+Json counters_json(
+    const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, std::uint64_t>>& extra_counters) {
+  Json counters = Json::object();
+  for (const auto& [name, value] : snap.counters) counters.set(name, value);
+  for (const auto& [name, value] : extra_counters) counters.set(name, value);
+  return counters;
+}
+
+Json distributions_json(const MetricsSnapshot& snap) {
+  Json dists = Json::object();
+  for (const auto& d : snap.distributions) {
+    Json entry = Json::object();
+    entry.set("count", d.count);
+    entry.set("sum", d.sum);
+    entry.set("min", d.min);
+    entry.set("max", d.max);
+    const double mean =
+        d.count == 0 ? 0.0 : d.sum / static_cast<double>(d.count);
+    entry.set("mean", mean);
+    const double var =
+        d.count == 0
+            ? 0.0
+            : d.sumsq / static_cast<double>(d.count) - mean * mean;
+    entry.set("stddev", var > 0.0 ? std::sqrt(var) : 0.0);
+    dists.set(d.name, std::move(entry));
+  }
+  return dists;
+}
+
+Json histograms_json(const MetricsSnapshot& snap) {
+  Json hists = Json::object();
+  for (const auto& h : snap.histograms) {
+    Json entry = Json::object();
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : h.buckets) total += c;
+    entry.set("count", total);
+    entry.set("p50", Histogram::percentile_of(h.buckets, 0.50));
+    entry.set("p90", Histogram::percentile_of(h.buckets, 0.90));
+    entry.set("p99", Histogram::percentile_of(h.buckets, 0.99));
+    entry.set("p999", Histogram::percentile_of(h.buckets, 0.999));
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      Json pair = Json::array();
+      pair.push_back(static_cast<std::int64_t>(i));
+      pair.push_back(h.buckets[i]);
+      buckets.push_back(std::move(pair));
+    }
+    entry.set("buckets", std::move(buckets));
+    hists.set(h.name, std::move(entry));
+  }
+  return hists;
+}
+
 Json manifest_json(const RunManifest& m) {
   Json doc = Json::object();
   doc.set("name", m.name);
@@ -40,22 +96,28 @@ Json manifest_json(const RunManifest& m) {
   for (const auto& [key, value] : m.config) config.set(key, value);
   doc.set("config", std::move(config));
 
-  const MetricsSnapshot snap = snapshot_metrics();
-  Json counters = Json::object();
-  for (const auto& [name, value] : snap.counters) counters.set(name, value);
-  for (const auto& [name, value] : m.extra_counters) counters.set(name, value);
-  Json dists = Json::object();
-  for (const auto& d : snap.distributions) {
-    Json entry = Json::object();
-    entry.set("count", d.count);
-    entry.set("sum", d.sum);
-    entry.set("min", d.min);
-    entry.set("max", d.max);
-    dists.set(d.name, std::move(entry));
+  // Trace-ring drop accounting: dropped spans were counted but invisible
+  // unless a Chrome trace was exported — surface them so obs_validate can
+  // warn that the run's trace is incomplete.
+  Json trace = Json::object();
+  std::uint64_t dropped_total = 0;
+  Json by_thread = Json::object();
+  for (const RingDropCount& rd : trace_ring_drops()) {
+    dropped_total += rd.dropped;
+    if (rd.dropped > 0) {
+      by_thread.set(rd.thread_name + " (t" + std::to_string(rd.tid) + ")",
+                    rd.dropped);
+    }
   }
+  trace.set("dropped_total", dropped_total);
+  trace.set("dropped_by_thread", std::move(by_thread));
+  doc.set("trace", std::move(trace));
+
+  const MetricsSnapshot snap = snapshot_metrics();
   Json metrics = Json::object();
-  metrics.set("counters", std::move(counters));
-  metrics.set("distributions", std::move(dists));
+  metrics.set("counters", counters_json(snap, m.extra_counters));
+  metrics.set("distributions", distributions_json(snap));
+  metrics.set("histograms", histograms_json(snap));
   doc.set("metrics", std::move(metrics));
   return doc;
 }

@@ -51,6 +51,7 @@ void Distribution::record(double x) {
   if (!metrics_enabled()) return;
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, x);
+  atomic_add(sumsq_, x * x);
   atomic_min(min_, x);
   atomic_max(max_, x);
 }
@@ -65,21 +66,64 @@ double Distribution::max() const {
 void Distribution::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  sumsq_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
 }
 
-ScopedTimer::ScopedTimer(Distribution& d) {
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(kHistogramBuckets);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::percentile_of(
+    const std::vector<std::uint64_t>& buckets, double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested quantile, 1-based; ceil so p=0.5 of two
+  // observations lands on the first.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(total) + 0.9999999);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(buckets.size() - 1);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Distribution* d, Histogram* h) {
   if (!metrics_enabled()) return;
-  dist_ = &d;
+  dist_ = d;
+  hist_ = h;
   start_ns_ = now_ns();
 }
 
 ScopedTimer::~ScopedTimer() {
-  if (dist_ == nullptr) return;
-  dist_->record(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+  if (dist_ == nullptr && hist_ == nullptr) return;
+  const std::uint64_t ns = now_ns() - start_ns_;
+  if (dist_ != nullptr) dist_->record(static_cast<double>(ns) * 1e-9);
+  if (hist_ != nullptr) hist_->record(ns);
 }
 
 Distribution& LazyDist::get(const std::string& name) {
@@ -93,10 +137,20 @@ Distribution& LazyDist::get(const std::string& name) {
   return *d;
 }
 
+Histogram& LazyHist::get(const std::string& name) {
+  Histogram* h = cached_.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = &MetricsRegistry::instance().histogram(name);
+    cached_.store(h, std::memory_order_release);
+  }
+  return *h;
+}
+
 struct MetricsRegistry::Impl {
   mutable std::mutex mu;
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Distribution>> dists;
+  std::map<std::string, std::unique_ptr<Histogram>> hists;
 };
 
 MetricsRegistry::Impl& MetricsRegistry::impl() const {
@@ -125,6 +179,14 @@ Distribution& MetricsRegistry::distribution(const std::string& name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.hists[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
@@ -136,7 +198,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.distributions.reserve(im.dists.size());
   for (const auto& [name, d] : im.dists) {
     snap.distributions.push_back(
-        {name, d->count(), d->sum(), d->min(), d->max()});
+        {name, d->count(), d->sum(), d->sum_squares(), d->min(), d->max()});
+  }
+  snap.histograms.reserve(im.hists.size());
+  for (const auto& [name, h] : im.hists) {
+    snap.histograms.push_back({name, h->buckets()});
   }
   return snap;
 }
@@ -146,6 +212,7 @@ void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(im.mu);
   for (auto& [name, c] : im.counters) c->reset();
   for (auto& [name, d] : im.dists) d->reset();
+  for (auto& [name, h] : im.hists) h->reset();
 }
 
 }  // namespace con::obs

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace con::obs {
 
@@ -115,6 +116,38 @@ bool write_chrome_trace(const std::string& path);
 // a ring was full.
 std::size_t trace_event_count();
 std::uint64_t trace_dropped_count();
+
+// Per-thread drop accounting, for run manifests: a nonzero entry means that
+// thread's trace is incomplete (the ring filled and newer spans were
+// discarded), which obs_validate surfaces as a warning.
+struct RingDropCount {
+  int tid = 0;
+  std::string thread_name;
+  std::uint64_t dropped = 0;
+};
+// One entry per registered ring, in tid order (zero-drop rings included).
+std::vector<RingDropCount> trace_ring_drops();
+
+// ---- phase ------------------------------------------------------------------
+
+// Coarse "what is the process doing right now" label, reported by the
+// telemetry sampler and the stats server. Set it at top-level operations
+// (baseline training, sweeps) from the orchestrating thread; it is
+// observational only and never feeds results.
+void set_phase(const std::string& phase);
+std::string current_phase();
+
+// RAII phase scope: restores the previous phase on exit.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const std::string& phase);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  std::string prev_;
+};
 
 // Discard all recorded events (rings stay allocated). Caller must quiesce
 // recording first.

@@ -215,7 +215,9 @@ void gemm_blocked(const kernels::KernelTable& kt, kernels::MicroKernelFn mk,
   const std::int32_t* annz = a.nnz_k.data();
   const std::int64_t* aptr = a.nnz_ptr.data();
 
+  static obs::Histogram& panel_hist = obs::histogram("gemm.panel_ns");
   util::parallel_for(0, static_cast<std::size_t>(npanels), [&](std::size_t pi) {
+    obs::ScopedTimer panel_timer(panel_hist);
     const Index j0 = static_cast<Index>(pi) * kNC;
     const Index jn = std::min<Index>(kNC, n - j0);
     const Index nb_strips = (jn + kStripB - 1) / kStripB;

@@ -9,19 +9,27 @@
 // exists, and cost only a relaxed load + branch when tracing is off.
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/sampler.h"
+#include "obs/stats_server.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
 
@@ -374,6 +382,364 @@ TEST(ObsManifest, WritesAndParsesBack) {
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->find("count")->as_int(), 1);
   EXPECT_EQ(d->find("sum")->as_double(), 1.5);
+}
+
+// ---- histograms -------------------------------------------------------------
+
+TEST(ObsHistogram, BucketIndexAndBoundsPartitionTheRange) {
+  using con::obs::Histogram;
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  // The last bucket absorbs everything past 2^62.
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 62),
+            Histogram::kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(Histogram::kHistogramBuckets - 1),
+            ~std::uint64_t{0});
+  // Every value lands in the bucket whose bounds contain it.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 100ull, 65535ull,
+                          (1ull << 40) + 17ull}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_LE(v, Histogram::bucket_upper(i));
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(i - 1));
+    }
+  }
+}
+
+TEST(ObsHistogram, PercentilesReadInclusiveBucketUpperBounds) {
+  con::obs::reset_metrics();
+  con::obs::Histogram& h = con::obs::histogram("obs_test.hist_pct");
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty reads as 0
+  h.record(std::uint64_t{0});
+  h.record(std::uint64_t{1});
+  h.record(std::uint64_t{5});
+  h.record(std::uint64_t{5});  // bucket 3: [4, 7]
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.percentile(0.25), 0u);
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(0.75), 7u);
+  EXPECT_EQ(h.percentile(0.99), 7u);
+  EXPECT_EQ(h.percentile(1.0), 7u);
+  // Double observations round to the nearest integer; negatives clamp to 0.
+  h.record(2.6);
+  EXPECT_EQ(h.bucket(2), 1u);
+  h.record(-3.0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsHistogram, RecordIsAllocationAndLockFree) {
+  con::obs::Histogram& h = con::obs::histogram("obs_test.hist_alloc");
+  // The per-bucket counters must be lock-free atomics for the hot-path
+  // claim to hold at all.
+  std::atomic<std::uint64_t> probe{0};
+  EXPECT_TRUE(probe.is_lock_free());
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    h.record(static_cast<std::uint64_t>(i));
+    h.record(static_cast<double>(i) + 0.25);
+  }
+  EXPECT_EQ(allocation_count() - before, 0u);
+}
+
+// The tentpole determinism claim: for a fixed multiset of integer
+// observations, the bucket vector is identical however the observations are
+// partitioned across threads. Raw std::threads (not the global pool — its
+// size is process-wide and already pinned by other suites) at 1/4/8.
+TEST(ObsHistogram, BucketsAreIdenticalForAnyThreadCount) {
+  con::obs::reset_metrics();
+  const std::size_t n = 20000;
+  const auto observation = [](std::size_t i) {
+    return static_cast<std::uint64_t>((i * i + 3 * i) % 100003);
+  };
+  std::vector<std::vector<std::uint64_t>> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    con::obs::Histogram& h = con::obs::histogram(
+        "obs_test.hist_threads_" + std::to_string(threads));
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = t; i < n; i += threads) h.record(observation(i));
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(h.count(), n);
+    results.push_back(h.buckets());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ObsMetrics, DistributionTracksSumOfSquares) {
+  con::obs::reset_metrics();
+  con::obs::Distribution& d = con::obs::dist("obs_test.sumsq");
+  d.record(1.0);
+  d.record(2.0);
+  d.record(3.0);
+  EXPECT_EQ(d.sum_squares(), 14.0);
+  con::obs::reset_metrics();
+  EXPECT_EQ(d.sum_squares(), 0.0);
+}
+
+TEST(ObsMetrics, LazyHistResolvesOnceAndSurvivesCopy) {
+  con::obs::reset_metrics();
+  con::obs::LazyHist lazy;
+  lazy.get("obs_test.lazy_hist").record(std::uint64_t{1});
+  con::obs::LazyHist copy = lazy;  // copy resets the cached pointer
+  copy.get("obs_test.lazy_hist").record(std::uint64_t{2});
+  EXPECT_EQ(con::obs::histogram("obs_test.lazy_hist").count(), 2u);
+}
+
+TEST(ObsMetrics, ScopedTimerFeedsDistributionAndHistogramTogether) {
+  con::obs::reset_metrics();
+  con::obs::Distribution& d = con::obs::dist("obs_test.timer_pair");
+  con::obs::Histogram& h = con::obs::histogram("obs_test.timer_pair_ns");
+  { con::obs::ScopedTimer t(d, h); }
+  { con::obs::ScopedTimer t(h); }
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+// ---- manifest sections ------------------------------------------------------
+
+TEST(ObsManifest, DistributionsCarryMeanAndStddev) {
+  con::obs::reset_metrics();
+  con::obs::Distribution& d = con::obs::dist("obs_test.meanstd");
+  d.record(2.0);
+  d.record(4.0);
+  const Json dists = con::obs::distributions_json(con::obs::snapshot_metrics());
+  const Json* entry = dists.find("obs_test.meanstd");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("count")->as_int(), 2);
+  EXPECT_EQ(entry->find("mean")->as_double(), 3.0);
+  EXPECT_EQ(entry->find("stddev")->as_double(), 1.0);
+}
+
+TEST(ObsManifest, HistogramsSectionListsNonZeroBuckets) {
+  con::obs::reset_metrics();
+  con::obs::Histogram& h = con::obs::histogram("obs_test.hist_manifest");
+  h.record(std::uint64_t{0});
+  h.record(std::uint64_t{1});
+  h.record(std::uint64_t{1});
+  h.record(std::uint64_t{8});  // bucket 4
+  const Json hists = con::obs::histograms_json(con::obs::snapshot_metrics());
+  const Json* entry = hists.find("obs_test.hist_manifest");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("count")->as_int(), 4);
+  EXPECT_EQ(entry->find("p50")->as_int(), 1);
+  EXPECT_EQ(entry->find("p99")->as_int(), 15);  // bucket 4 upper bound
+  const auto& buckets = entry->find("buckets")->items();
+  ASSERT_EQ(buckets.size(), 3u);  // only the non-zero buckets appear
+  EXPECT_EQ(buckets[0].items()[0].as_int(), 0);
+  EXPECT_EQ(buckets[0].items()[1].as_int(), 1);
+  EXPECT_EQ(buckets[1].items()[0].as_int(), 1);
+  EXPECT_EQ(buckets[1].items()[1].as_int(), 2);
+  EXPECT_EQ(buckets[2].items()[0].as_int(), 4);
+  EXPECT_EQ(buckets[2].items()[1].as_int(), 1);
+}
+
+TEST(ObsManifest, TraceDropAccountingReachesManifestAndApi) {
+  con::obs::set_tracing(true);
+  con::obs::clear_trace();
+  for (std::size_t i = 0; i < con::obs::kRingCapacity + 7; ++i) {
+    con::obs::Span s("drop-spin");
+  }
+  // The API view: this thread's ring reports its drops.
+  bool found = false;
+  for (const con::obs::RingDropCount& rd : con::obs::trace_ring_drops()) {
+    if (rd.tid == con::obs::this_thread_id()) {
+      EXPECT_GE(rd.dropped, 7u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // The manifest view: trace.dropped_total and the per-thread map.
+  con::obs::RunManifest m;
+  m.name = "drop_test";
+  const Json doc = con::obs::manifest_json(m);
+  const Json* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GE(trace->find("dropped_total")->as_int(), 7);
+  EXPECT_FALSE(trace->find("dropped_by_thread")->members().empty());
+  con::obs::clear_trace();
+  con::obs::set_tracing(false);
+}
+
+// ---- phases -----------------------------------------------------------------
+
+TEST(ObsPhase, ScopedPhaseNestsAndRestores) {
+  con::obs::set_phase("outer");
+  EXPECT_EQ(con::obs::current_phase(), "outer");
+  {
+    con::obs::ScopedPhase inner("inner");
+    EXPECT_EQ(con::obs::current_phase(), "inner");
+    {
+      con::obs::ScopedPhase deeper("deeper");
+      EXPECT_EQ(con::obs::current_phase(), "deeper");
+    }
+    EXPECT_EQ(con::obs::current_phase(), "inner");
+  }
+  EXPECT_EQ(con::obs::current_phase(), "outer");
+  con::obs::set_phase("");
+}
+
+// ---- telemetry sampler ------------------------------------------------------
+
+namespace {
+std::string temp_dir() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  return tmpdir != nullptr ? tmpdir : "/tmp";
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+std::vector<Json> parse_jsonl(const std::string& text) {
+  std::vector<Json> records;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    EXPECT_NE(end, std::string::npos);
+    records.push_back(con::obs::parse_json(text.substr(start, end - start)));
+    start = end + 1;
+  }
+  return records;
+}
+}  // namespace
+
+TEST(ObsSampler, StreamsDeltasAndFinalSnapshotMatchesManifestBytes) {
+  con::obs::reset_metrics();
+  const std::string path = temp_dir() + "/obs_test_sampler.jsonl";
+  con::obs::Counter& c = con::obs::counter("obs_test.sampler_counter");
+  c.add(5);
+  std::vector<std::pair<std::string, std::uint64_t>> extras;
+  extras.emplace_back("tensor.buffer_allocations", std::uint64_t{99});
+  {
+    con::obs::Sampler sampler({path, /*interval_ms=*/10});
+    ASSERT_TRUE(sampler.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    c.add(2);
+    sampler.finish(extras);
+    // Idempotent: a second finish (and the destructor) must not append.
+    sampler.finish(extras);
+  }
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  const std::vector<Json> records = parse_jsonl(text);
+  ASSERT_GE(records.size(), 2u);  // at least one periodic tick + the final
+  double prev_elapsed = 0.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].find("seq")->as_int(), static_cast<std::int64_t>(i));
+    EXPECT_GE(records[i].find("elapsed_s")->as_double(), prev_elapsed);
+    prev_elapsed = records[i].find("elapsed_s")->as_double();
+    if (i + 1 < records.size()) {
+      EXPECT_EQ(records[i].find("final"), nullptr);
+      ASSERT_NE(records[i].find("counters_delta"), nullptr);
+    }
+  }
+  // Delta encoding: the first periodic tick reports the pre-start value as
+  // its delta (prev starts empty), and unchanged counters never reappear.
+  const Json* first_delta = records[0].find("counters_delta");
+  const Json* seen = first_delta->find("obs_test.sampler_counter");
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(seen->as_int(), 5);
+  // The final record: marked, full sections, and its counters object must
+  // be byte-identical to what the manifest emitter produces for the same
+  // quiesced registry + the same extras.
+  const Json& final_rec = records.back();
+  ASSERT_NE(final_rec.find("final"), nullptr);
+  EXPECT_TRUE(final_rec.find("final")->as_bool());
+  const std::string manifest_bytes =
+      con::obs::counters_json(con::obs::snapshot_metrics(), extras).dump();
+  EXPECT_EQ(final_rec.find("counters")->dump(), manifest_bytes);
+  ASSERT_NE(final_rec.find("distributions"), nullptr);
+  ASSERT_NE(final_rec.find("histograms"), nullptr);
+  ASSERT_NE(final_rec.find("trace_dropped"), nullptr);
+}
+
+// ---- stats server -----------------------------------------------------------
+
+namespace {
+std::string query_socket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  EXPECT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::string body;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return body;
+}
+}  // namespace
+
+TEST(ObsStatsServer, ServesOneJsonSnapshotPerConnection) {
+  con::obs::reset_metrics();
+  con::obs::counter("obs_test.stats_counter").add(11);
+  con::obs::set_phase("stats-test");
+  const std::string path = temp_dir() + "/obs_test_stats.sock";
+  con::obs::StatsServer server(path, {"unit-test-run", 3});
+  ASSERT_TRUE(server.ok());
+  const std::string body = query_socket(path);
+  ASSERT_FALSE(body.empty());
+  const Json doc = con::obs::parse_json(body);
+  EXPECT_EQ(doc.find("pid")->as_int(), static_cast<std::int64_t>(::getpid()));
+  EXPECT_EQ(doc.find("run")->as_string(), "unit-test-run");
+  EXPECT_EQ(doc.find("threads")->as_int(), 3);
+  EXPECT_GE(doc.find("elapsed_s")->as_double(), 0.0);
+  EXPECT_EQ(doc.find("phase")->as_string(), "stats-test");
+  const Json* counters = doc.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("obs_test.stats_counter")->as_int(), 11);
+  ASSERT_NE(doc.find("metrics")->find("distributions"), nullptr);
+  ASSERT_NE(doc.find("metrics")->find("histograms"), nullptr);
+  // Wait until the serve loop has accounted the request (the client sees
+  // EOF slightly before the server increments), then stop: the socket must
+  // be unlinked and refuse further connections.
+  for (int i = 0; i < 200 && server.requests_served() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.stop();
+  EXPECT_TRUE(query_socket(path).empty());
+  con::obs::set_phase("");
+}
+
+TEST(ObsStatsServer, OverlongSocketPathDisablesInsteadOfThrowing) {
+  const std::string path = temp_dir() + "/" + std::string(200, 'x') + ".sock";
+  con::obs::StatsServer server(path, {"x", 1});
+  EXPECT_FALSE(server.ok());
 }
 
 // ---- logging satellites -----------------------------------------------------
