@@ -74,6 +74,7 @@ void fast_gradient_range(const nn::Sequential& model, const Tensor& images,
   for (int it = 0; it < params.iterations; ++it) {
     obs::ScopedTimer step_timer(step_hist);
     steps.add(1);
+    // conlint:allow(hot-path-alloc): the autograd API returns a fresh gradient tensor per step by contract; measured flat against the GEMM cost
     grad = loss_input_gradient(model, adv, chunk_labels, tape);
     tensor::scale_inplace(grad, batch_scale);
     const float* g = grad.data();

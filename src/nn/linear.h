@@ -45,10 +45,10 @@ class Linear : public Layer {
   PackedWeightsCache cache_;
   // Per-layer wall-time distributions ("<name>.forward_s" / ".backward_s")
   // plus log2-bucketed latency histograms (".forward_ns" / ".backward_ns").
-  mutable obs::LazyDist fwd_time_;  // conlint:allow(layer-reentrancy): LazyDist is internally synchronized telemetry, not layer state
-  mutable obs::LazyDist bwd_time_;  // conlint:allow(layer-reentrancy): LazyDist is internally synchronized telemetry, not layer state
-  mutable obs::LazyHist fwd_hist_;  // conlint:allow(layer-reentrancy): LazyHist is internally synchronized telemetry, not layer state
-  mutable obs::LazyHist bwd_hist_;  // conlint:allow(layer-reentrancy): LazyHist is internally synchronized telemetry, not layer state
+  mutable obs::LazyDist fwd_time_;
+  mutable obs::LazyDist bwd_time_;
+  mutable obs::LazyHist fwd_hist_;
+  mutable obs::LazyHist bwd_hist_;
 };
 
 }  // namespace con::nn

@@ -34,11 +34,13 @@ namespace detail {
 extern std::atomic<bool> g_metrics;
 }  // namespace detail
 
+// conlint:lockfree(single on/off flag polled per record; a stale read only delays enable/disable by one observation)
 inline bool metrics_enabled() {
   return detail::g_metrics.load(std::memory_order_relaxed);
 }
 void set_metrics(bool enabled);
 
+// conlint:lockfree(monotonic tally on one atomic slot; readers tolerate stale totals and nothing synchronises-with a bump)
 class Counter {
  public:
   void add(std::uint64_t delta = 1) {
@@ -51,6 +53,7 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+// conlint:lockfree(independent per-field accumulators; snapshots tolerate torn cross-field reads, per-field sums stay exact)
 class Distribution {
  public:
   Distribution();
@@ -91,6 +94,7 @@ class Distribution {
 // the full bucket vector is byte-identical for any --threads value on
 // integer-valued observations (same multiset of observations, any order),
 // extending the counter determinism contract to shape, not just totals.
+// conlint:lockfree(fixed atomic bucket slots; exact integer sums in any interleaving, readers tolerate in-flight records)
 class Histogram {
  public:
   static constexpr std::size_t kHistogramBuckets = 64;
@@ -166,6 +170,7 @@ class ScopedTimer {
 // layer's "<name>.forward_s"). Copyable: copies reset the cached pointer,
 // and since registry entries are keyed by name, a clone resolving the same
 // name lands on the same distribution.
+// conlint:lockfree(pointer cache over idempotent name lookup; racing fills resolve to the same registry entry)
 class LazyDist {
  public:
   LazyDist() = default;
@@ -179,6 +184,7 @@ class LazyDist {
 };
 
 // Lazily-resolved histogram handle, same contract as LazyDist.
+// conlint:lockfree(pointer cache over idempotent name lookup; racing fills resolve to the same registry entry)
 class LazyHist {
  public:
   LazyHist() = default;

@@ -59,6 +59,7 @@ void pack_int8_panel(const std::int8_t* raw, Index ld, Index depth,
   const Index ns = (jn + kStripBInt8 - 1) / kStripBInt8;
   const std::size_t need =
       static_cast<std::size_t>(ns * kpairs * 2 * kStripBInt8);
+  // conlint:allow(hot-path-alloc): grows thread_local scratch to its high-water mark once; steady-state panels reuse capacity
   if (data.size() < need) data.resize(need);
   flags.assign(static_cast<std::size_t>(ns * kpairs), 0);
   if (jn % kStripBInt8 != 0) {
@@ -92,16 +93,16 @@ void pack_int8_panel(const std::int8_t* raw, Index ld, Index depth,
       for (Index t = 0; t < kStripBInt8; ++t) blk[t * 2 + 1] = 0;
     }
   }
-  ptr.clear();
-  ptr.reserve(static_cast<std::size_t>(ns) + 1);
-  ptr.push_back(0);
+  ptr.assign(static_cast<std::size_t>(ns) + 1, 0);
   nnz.clear();
   for (Index s = 0; s < ns; ++s) {
     const char* fl = flags.data() + s * kpairs;
     for (Index p = 0; p < kpairs; ++p) {
+      // conlint:allow(hot-path-alloc): appends into thread_local scratch that reaches its high-water mark after the first panel
       if (fl[p]) nnz.push_back(static_cast<std::int32_t>(p));
     }
-    ptr.push_back(static_cast<std::int64_t>(nnz.size()));
+    ptr[static_cast<std::size_t>(s) + 1] =
+        static_cast<std::int64_t>(nnz.size());
   }
 }
 
@@ -216,10 +217,10 @@ void matmul_int8(const PackedInt8A& a, const Int8BSource& bsrc, Index n,
     const Index nb_strips = (jn + kStripBInt8 - 1) / kStripBInt8;
     // Per-worker scratch, reused across panels (gemm.cpp idiom): the
     // buffers stop allocating after the first panel on each thread.
-    thread_local std::vector<std::int8_t> scratch;  // conlint:allow(hot-path-alloc): thread_local, capacity persists across panels
-    thread_local std::vector<char> sflags;  // conlint:allow(hot-path-alloc): thread_local, capacity persists across panels
-    thread_local std::vector<std::int32_t> snnz;  // conlint:allow(hot-path-alloc): thread_local, capacity persists across panels
-    thread_local std::vector<std::int64_t> sptr;  // conlint:allow(hot-path-alloc): thread_local, capacity persists across panels
+    thread_local std::vector<std::int8_t> scratch;
+    thread_local std::vector<char> sflags;
+    thread_local std::vector<std::int32_t> snnz;
+    thread_local std::vector<std::int64_t> sptr;
     const std::int8_t* bstrips;
     const std::int32_t* bnnz;
     const std::int64_t* bptr;

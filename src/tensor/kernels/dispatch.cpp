@@ -153,6 +153,7 @@ Isa resolve_env_request(const char* value) {
 const KernelTable& active() {
   const KernelTable* t = g_active.load(std::memory_order_acquire);
   if (t == nullptr) {
+    // conlint:allow(hot-path-alloc): one-time table resolution on the first call; every later call takes the cached-pointer branch
     t = resolve_initial();
     g_active.store(t, std::memory_order_release);
   }

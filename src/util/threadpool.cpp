@@ -186,6 +186,7 @@ void parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
+  // conlint:allow(hot-path-alloc): one shared control block per parallel region, amortised over the whole index range
   auto job = std::make_shared<ParallelJob>();
   job->fn = [&fn, begin](std::size_t i) { fn(begin + i); };
   job->end = n;

@@ -39,18 +39,25 @@
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
+
+// conlint:lockfree(monotonic allocation tally; assertions compare totals across quiesced phases)
+void count_global_alloc() {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+// conlint:lockfree(reads the monotonic allocation tally; no ordering against the counted allocations is needed)
 std::uint64_t allocation_count() {
   return g_allocations.load(std::memory_order_relaxed);
 }
 }  // namespace
 
 void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  count_global_alloc();
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  count_global_alloc();
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }

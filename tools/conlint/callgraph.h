@@ -1,0 +1,132 @@
+// Pass 2 foundation: transitive queries over the ProjectIndex.
+//
+// Resolution is by spelled name. Free and `ns::`-qualified calls resolve to
+// every indexed function of that name (preferring methods of the caller's
+// own class / its bases for unqualified calls); `.`/`->` member calls
+// resolve to every indexed method of that name. Rules choose how much
+// over-approximation they can afford: transitive-hot-path-alloc excludes
+// member calls (virtual dispatch by name alone is too coarse to accuse a
+// hot loop), while lock-order and transitive-determinism include them
+// (missing a deadlock edge is worse than walking a few extra candidates).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.h"
+
+namespace conlint {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const ProjectIndex& index);
+
+  // Candidate callee ids for `call` made from `caller`.
+  std::vector<std::size_t> resolve(const FunctionDef& caller,
+                                   const CallSite& call,
+                                   bool include_member_calls) const;
+
+  // --- transitive-hot-path-alloc --------------------------------------------
+
+  // If an allocation is reachable from `call` (free/qualified calls only),
+  // returns the offending chain rendered as
+  //   "f (file:line) -> g (file:line) -> <what> at file:line";
+  // empty string when nothing is reachable.
+  std::string alloc_chain(const FunctionDef& caller,
+                          const CallSite& call) const;
+
+  // --- transitive-determinism -----------------------------------------------
+
+  struct TaintResult {
+    bool found = false;
+    bool source_exempt = false;  // the randomness sits in an exempt file
+    std::string chain;
+    std::string what;
+  };
+  TaintResult taint_chain(const FunctionDef& caller,
+                          const CallSite& call) const;
+
+  // --- interprocedural param-version ----------------------------------------
+
+  // True when every indexed caller of `fn` (transitively) pairs the call
+  // with bump_version(): the mutation in the helper is versioned by its
+  // callers.
+  bool bump_excused(std::size_t fn) const;
+  // Why bump_excused() said no: "no indexed callers" or the first caller
+  // chain that never bumps.
+  std::string bump_excuse_failure(std::size_t fn) const;
+
+  // --- lock-order -------------------------------------------------------------
+
+  struct LockEdge {
+    std::string from;      // mutex id held
+    std::string to;        // mutex id acquired under it
+    std::string file;      // where the `to` acquisition happens (or starts)
+    int line = 0;
+    std::string note;      // human evidence, incl. interprocedural hops
+  };
+  // Cycles in the acquisition-order graph, canonicalised (each cycle starts
+  // at its lexicographically smallest mutex; one cycle per SCC).
+  const std::vector<std::vector<LockEdge>>& lock_cycles() const {
+    return cycles_;
+  }
+
+  // Resolved mutex identity for functions()[fn].locks[lock]:
+  // "Class::member", "file#function::local", "file::global", or
+  // "" when unresolvable (such sites form no edges).
+  const std::string& mutex_id(std::size_t fn, std::size_t lock) const {
+    return lock_ids_[fn][lock];
+  }
+
+  // Allow annotations consumed as propagation *barriers* during transitive
+  // allocation walks, keyed by file: (line, rule-as-written) pairs in
+  // UsedAllows shape. An allow(hot-path-alloc) on an allocation or call
+  // inside a helper stops the walk there, so ONE annotation at the source
+  // covers every hot-path caller — but it also kills the local finding that
+  // would otherwise mark the allow used, so the CLI must merge this set
+  // into the used-allow map before stale-suppression reporting.
+  const std::map<std::string, std::set<std::pair<int, std::string>>>&
+  barrier_allows_used() const {
+    return barrier_allows_used_;
+  }
+
+ private:
+  struct Reach {               // memoised reachability of a property
+    int state = 0;             // 0 unknown / 1 visiting / 2 no / 3 yes
+    int via_call = -1;         // index into calls when reached transitively
+    int via_target = -1;       // the resolved callee that carries it
+    int site = -1;             // index into allocs/randoms when direct
+  };
+
+  bool alloc_reachable(std::size_t fn, std::vector<Reach>& memo) const;
+  bool taint_reachable(std::size_t fn, std::vector<Reach>& memo) const;
+  // The hot-path-alloc-family allow covering `line` (same line or the line
+  // above) in `file`, or null.
+  const Allow* hotpath_barrier(const std::string& file, int line) const;
+  void resolve_mutexes(const ProjectIndex& index);
+  void build_lock_graph();
+  void find_cycles();
+
+  const ProjectIndex& index_;
+  std::vector<std::vector<std::string>> lock_ids_;  // parallel to locks
+  std::map<std::size_t, std::vector<std::size_t>> callers_;
+  mutable std::vector<Reach> alloc_memo_;
+  mutable std::vector<Reach> taint_memo_;
+  // Transitively acquired mutexes per function: id -> (file, line, chain).
+  struct Acquire {
+    std::string file;
+    int line = 0;
+    std::string chain;  // "" for a direct acquisition
+  };
+  std::vector<std::map<std::string, Acquire>> closure_;
+  std::set<std::string> recursive_ids_;  // ids of recursive_mutex members
+  std::map<std::string, std::map<std::string, LockEdge>> lock_graph_;
+  std::vector<std::vector<LockEdge>> cycles_;
+  mutable std::map<std::string, std::set<std::pair<int, std::string>>>
+      barrier_allows_used_;
+};
+
+}  // namespace conlint

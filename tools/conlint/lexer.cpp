@@ -74,6 +74,23 @@ void parse_directive(const std::string& body, int line, LexResult& out,
     out.allows.push_back(Allow{rule, trim(tail.substr(1)), line});
     return;
   }
+  if (rest.rfind("lockfree(", 0) == 0) {
+    std::size_t close = rest.rfind(')');
+    std::string reason =
+        close == std::string::npos || close < std::strlen("lockfree(")
+            ? ""
+            : trim(rest.substr(std::strlen("lockfree("),
+                               close - std::strlen("lockfree(")));
+    if (reason.empty()) {
+      out.directive_errors.push_back(
+          {line,
+           "conlint:lockfree requires a reason: \"// "
+           "conlint:lockfree(<why unsynchronised access is sound>)\""});
+      return;
+    }
+    out.lockfrees.push_back(Lockfree{reason, line});
+    return;
+  }
   out.directive_errors.push_back(
       {line, "unrecognised conlint directive: '" + rest + "'"});
 }
@@ -205,12 +222,17 @@ LexResult lex(const std::string& source) {
       advance(q - i);
       continue;
     }
-    // Number (pp-number: digits, letters, dots, exponent signs).
+    // Number (pp-number: digits, letters, dots, exponent signs, and digit
+    // separators — 1'000'000 is one token, not a number followed by a char
+    // literal).
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < n &&
          std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
       std::size_t q = i;
       while (q < n && (ident_char(source[q]) || source[q] == '.' ||
+                       (source[q] == '\'' && q + 1 < n &&
+                        std::isalnum(static_cast<unsigned char>(
+                            source[q + 1]))) ||
                        ((source[q] == '+' || source[q] == '-') && q > i &&
                         (source[q - 1] == 'e' || source[q - 1] == 'E' ||
                          source[q - 1] == 'p' || source[q - 1] == 'P')))) {

@@ -45,6 +45,18 @@ struct HotpathRegion {
   int end_line = 0;  // 0 while unterminated
 };
 
+// A // conlint:lockfree(<reason>) directive. Attaches to the class or
+// function whose head is on this line or the next (comment-above style), or
+// — as a fallback — to the innermost definition containing the line. Marks
+// the type/function as a reviewed lock-free design: relaxed atomics are
+// permitted inside it, and `mutable` members of a lockfree type are exempt
+// from layer-reentrancy. Attachment happens during indexing (index.h); a
+// directive that attaches to nothing is a `directive` error.
+struct Lockfree {
+  std::string reason;
+  int line = 0;
+};
+
 // Problems with conlint's own directives (unknown form, missing reason,
 // unbalanced hotpath markers). Reported under the `directive` rule and not
 // suppressible.
@@ -57,6 +69,7 @@ struct LexResult {
   std::vector<Token> tokens;
   std::vector<Allow> allows;
   std::vector<HotpathRegion> hotpaths;
+  std::vector<Lockfree> lockfrees;
   std::vector<DirectiveError> directive_errors;
   bool has_pragma_once = false;
 };

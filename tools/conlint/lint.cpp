@@ -7,442 +7,87 @@ namespace conlint {
 
 namespace {
 
-using Toks = std::vector<Token>;
-
-bool is_ident(const Toks& t, std::size_t i, const char* text) {
-  return i < t.size() && t[i].kind == TokKind::kIdent && t[i].text == text;
-}
-
-bool is_punct(const Toks& t, std::size_t i, const char* text) {
-  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == text;
-}
-
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Matching-delimiter search. `open`/`close` are single-char punct ("(",
-// ")"). Returns the index of the matching delimiter, or npos.
-constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
-std::size_t match_forward(const Toks& t, std::size_t i, const char* open,
-                          const char* close) {
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (is_punct(t, j, open)) ++depth;
-    else if (is_punct(t, j, close) && --depth == 0) return j;
-  }
-  return npos;
+bool path_contains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
 }
 
-std::size_t match_backward(const Toks& t, std::size_t i, const char* open,
-                           const char* close) {
-  int depth = 0;
-  for (std::size_t j = i + 1; j-- > 0;) {
-    if (is_punct(t, j, close)) ++depth;
-    else if (is_punct(t, j, open) && --depth == 0) return j;
+// Rules come in direct/transitive families: an allow(hot-path-alloc) on a
+// line also covers a transitive-hot-path-alloc finding there (one
+// annotation per site, not one per analysis depth).
+std::string family_base(const std::string& rule) {
+  const std::string prefix = "transitive-";
+  if (rule.compare(0, prefix.size(), prefix) == 0) {
+    return rule.substr(prefix.size());
   }
-  return npos;
+  return rule;
 }
-
-// ---- function/class segmentation -------------------------------------------
-
-struct FunctionInfo {
-  std::string name;
-  std::string class_name;  // enclosing class or X:: qualifier; "" for free
-  std::size_t open = 0;    // index of the body '{'
-  std::size_t close = 0;   // index of the matching '}'
-};
-
-struct ClassRange {
-  std::string name;
-  std::size_t open = 0;
-  std::size_t close = 0;
-};
-
-enum class BraceKind { kFunction, kClass, kNamespace, kOther };
-
-// Walks backwards from the body '{' of a suspected function definition
-// through a constructor member-initialiser list, if one is present, until
-// the constructor's parameter-list ')'. `j` points at the token before the
-// '{'. Returns the index of the ')' closing the parameter list, or npos if
-// the shape is not an init list ending in ')'.
-std::size_t skip_init_list_backward(const Toks& t, std::size_t j) {
-  while (true) {
-    // Expect the tail of a member initialiser: name(...) or name{...}.
-    std::size_t g;
-    if (is_punct(t, j, ")")) {
-      g = match_backward(t, j, "(", ")");
-    } else if (is_punct(t, j, "}")) {
-      g = match_backward(t, j, "{", "}");
-    } else {
-      return npos;
-    }
-    if (g == npos || g == 0) return npos;
-    std::size_t name = g - 1;
-    if (name >= t.size() || t[name].kind != TokKind::kIdent) return npos;
-    if (name == 0) return npos;
-    std::size_t before = name - 1;
-    // Template arguments in the member type? Not a member init we produce.
-    if (is_punct(t, before, ",")) {
-      j = before - 1;
-      continue;  // previous initialiser in the list
-    }
-    if (is_punct(t, before, ":")) {
-      // Start of the init list; before it must sit the ctor's ')'.
-      if (before == 0) return npos;
-      std::size_t p = before - 1;
-      // noexcept / attribute gap between ')' and ':' is possible; skip
-      // simple qualifier idents.
-      while (p > 0 && t[p].kind == TokKind::kIdent) --p;
-      if (!is_punct(t, p, ")")) return npos;
-      return p;
-    }
-    return npos;
-  }
-}
-
-// Classifies the '{' at token index `i` (known not to be inside a function
-// body). On kFunction, fills `fn` (close index left 0). On kClass, fills
-// `class_name`.
-BraceKind classify_brace(const Toks& t, std::size_t i, FunctionInfo* fn,
-                         std::string* class_name) {
-  // Scan the statement backwards for class/struct/namespace first: their
-  // heads are unambiguous.
-  for (std::size_t j = i; j-- > 0;) {
-    const Token& tok = t[j];
-    if (tok.kind == TokKind::kPunct &&
-        (tok.text == ";" || tok.text == "{" || tok.text == "}" ||
-         tok.text == ")")) {
-      break;
-    }
-    if (tok.kind == TokKind::kIdent &&
-        (tok.text == "class" || tok.text == "struct" ||
-         tok.text == "union" || tok.text == "enum")) {
-      if (tok.text == "enum" || tok.text == "union") return BraceKind::kOther;
-      // name = first ident after the keyword (skips attributes poorly, but
-      // the codebase does not attribute class heads).
-      if (j + 1 < t.size() && t[j + 1].kind == TokKind::kIdent) {
-        *class_name = t[j + 1].text;
-        return BraceKind::kClass;
-      }
-      return BraceKind::kOther;
-    }
-    if (tok.kind == TokKind::kIdent && tok.text == "namespace") {
-      return BraceKind::kNamespace;
-    }
-  }
-
-  // Function shape: ')' [qualifiers|trailing-return] '{', or a constructor
-  // with ')' ':' init-list '{'.
-  if (i == 0) return BraceKind::kOther;
-  std::size_t j = i - 1;
-  // Skip qualifiers and trailing-return-type tokens between ')' and '{'.
-  bool saw_arrow = false;
-  while (j > 0) {
-    const Token& tok = t[j];
-    if (tok.kind == TokKind::kIdent &&
-        (tok.text == "const" || tok.text == "noexcept" ||
-         tok.text == "override" || tok.text == "final" ||
-         tok.text == "mutable")) {
-      --j;
-      continue;
-    }
-    if (is_punct(t, j, "->")) {
-      saw_arrow = true;
-      --j;
-      continue;
-    }
-    // Trailing return type tokens are only skippable once we know an arrow
-    // is coming further left; tentatively skip and validate below.
-    if (tok.kind == TokKind::kIdent || is_punct(t, j, "::") ||
-        is_punct(t, j, "<") || is_punct(t, j, ">") || is_punct(t, j, "&") ||
-        is_punct(t, j, "*")) {
-      // Look further left for '->' before a ')' shows up.
-      std::size_t k = j;
-      bool arrow = false;
-      while (k > 0) {
-        if (is_punct(t, k, "->")) { arrow = true; break; }
-        if (is_punct(t, k, ")") || is_punct(t, k, ";") ||
-            is_punct(t, k, "{") || is_punct(t, k, "}")) {
-          break;
-        }
-        --k;
-      }
-      if (!arrow && !saw_arrow) return BraceKind::kOther;
-      --j;
-      continue;
-    }
-    break;
-  }
-  std::size_t close = npos;
-  if (is_punct(t, j, ")")) {
-    close = j;
-  } else if (is_punct(t, j, "}") || is_punct(t, j, ")")) {
-    close = skip_init_list_backward(t, j);
-  } else if (is_punct(t, j, ":") || is_punct(t, j, ",")) {
-    return BraceKind::kOther;
-  }
-  if (close == npos && is_punct(t, j, "}")) {
-    close = skip_init_list_backward(t, j);
-  }
-  if (close == npos) return BraceKind::kOther;
-
-  // `close` closes either the parameter list or a member initialiser; a
-  // member initialiser is followed (leftwards) by ident then ':'/','.
-  std::size_t open = match_backward(t, close, "(", ")");
-  if (open == npos || open == 0) return BraceKind::kOther;
-  std::size_t name = open - 1;
-  if (t[name].kind != TokKind::kIdent) {
-    // operator overloads: `operator` + punct before '('.
-    if (t[name].kind == TokKind::kPunct && name > 0 &&
-        is_ident(t, name - 1, "operator")) {
-      fn->name = "operator" + t[name].text;
-      fn->class_name.clear();
-      fn->open = i;
-      return BraceKind::kFunction;
-    }
-    return BraceKind::kOther;
-  }
-  // A member initialiser name would be preceded by ':' or ','; walk to the
-  // constructor's parameter list in that case.
-  if (name > 0 && (is_punct(t, name - 1, ":") || is_punct(t, name - 1, ","))) {
-    std::size_t ctor_close = skip_init_list_backward(t, j);
-    if (ctor_close == npos) return BraceKind::kOther;
-    open = match_backward(t, ctor_close, "(", ")");
-    if (open == npos || open == 0) return BraceKind::kOther;
-    name = open - 1;
-    if (t[name].kind != TokKind::kIdent) return BraceKind::kOther;
-  }
-  const std::string& n = t[name].text;
-  if (n == "if" || n == "for" || n == "while" || n == "switch" ||
-      n == "catch" || n == "return" || n == "sizeof" || n == "alignof" ||
-      n == "decltype" || n == "noexcept") {
-    return BraceKind::kOther;
-  }
-  fn->name = n;
-  fn->class_name.clear();
-  // X::name qualifier (out-of-line member definition).
-  if (name >= 2 && is_punct(t, name - 1, "::") &&
-      t[name - 2].kind == TokKind::kIdent) {
-    fn->class_name = t[name - 2].text;
-  }
-  fn->open = i;
-  return BraceKind::kFunction;
-}
-
-struct Segmentation {
-  std::vector<FunctionInfo> functions;
-  std::vector<ClassRange> classes;
-};
-
-Segmentation segment(const Toks& t) {
-  Segmentation out;
-  struct Scope {
-    BraceKind kind;
-    std::size_t fn_index = 0;     // into out.functions
-    std::size_t class_index = 0;  // into out.classes
-  };
-  std::vector<Scope> stack;
-  auto inside_function = [&] {
-    for (const Scope& s : stack) {
-      if (s.kind == BraceKind::kFunction) return true;
-    }
-    return false;
-  };
-  std::vector<std::string> class_stack;  // enclosing class names
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (is_punct(t, i, "{")) {
-      if (inside_function()) {
-        stack.push_back({BraceKind::kOther});
-        continue;
-      }
-      FunctionInfo fn;
-      std::string cls;
-      BraceKind kind = classify_brace(t, i, &fn, &cls);
-      Scope scope{kind};
-      if (kind == BraceKind::kFunction) {
-        if (fn.class_name.empty() && !class_stack.empty()) {
-          fn.class_name = class_stack.back();
-        }
-        scope.fn_index = out.functions.size();
-        out.functions.push_back(fn);
-      } else if (kind == BraceKind::kClass) {
-        scope.class_index = out.classes.size();
-        out.classes.push_back(ClassRange{cls, i, 0});
-        class_stack.push_back(cls);
-      }
-      stack.push_back(scope);
-      continue;
-    }
-    if (is_punct(t, i, "}")) {
-      if (stack.empty()) continue;
-      Scope s = stack.back();
-      stack.pop_back();
-      if (s.kind == BraceKind::kFunction) {
-        out.functions[s.fn_index].close = i;
-      } else if (s.kind == BraceKind::kClass) {
-        out.classes[s.class_index].close = i;
-        class_stack.pop_back();
-      }
-    }
-  }
-  // Unterminated scopes (lexer never fails, so just close at EOF).
-  for (FunctionInfo& f : out.functions) {
-    if (f.close == 0) f.close = t.size() - 1;
-  }
-  for (ClassRange& c : out.classes) {
-    if (c.close == 0) c.close = t.size() - 1;
-  }
-  return out;
-}
-
-// ---- rule helpers -----------------------------------------------------------
 
 struct Sink {
   const std::string* file;
   std::map<int, std::set<std::string>> allows;  // line -> rules allowed
-  std::set<int> used_allow_lines;
+  UsedAllows* used_allows;
   std::vector<Diagnostic>* active;
   std::vector<Diagnostic>* suppressed;
 
   void report(int line, const std::string& rule, std::string message) {
     Diagnostic d{*file, line, rule, std::move(message)};
+    const std::string base = family_base(rule);
     for (int l : {line, line - 1}) {
       auto it = allows.find(l);
-      if (it != allows.end() && it->second.count(rule) != 0) {
-        used_allow_lines.insert(l);
-        suppressed->push_back(std::move(d));
-        return;
+      if (it == allows.end()) continue;
+      for (const std::string& candidate : {rule, base}) {
+        if (it->second.count(candidate) != 0) {
+          used_allows->insert({l, candidate});
+          suppressed->push_back(std::move(d));
+          return;
+        }
       }
     }
     active->push_back(std::move(d));
   }
 };
 
-bool path_contains(const std::string& path, const char* needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-// ---- param-version ----------------------------------------------------------
-
-// Identifiers declared with (non-const) Parameter type anywhere in the
-// file, e.g. `Parameter& p`, `nn::Parameter* p`, member `Parameter weight_;`
-// or a range-for over Parameter*.
-std::set<std::string> collect_parameter_vars(const Toks& t) {
-  std::set<std::string> vars;
-  std::set<std::string> const_vars;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!is_ident(t, i, "Parameter")) continue;
-    // const-ness: look left past namespace qualifiers.
-    bool is_const = false;
-    {
-      std::size_t j = i;
-      while (j >= 2 && is_punct(t, j - 1, "::") &&
-             t[j - 2].kind == TokKind::kIdent) {
-        j -= 2;
-      }
-      if (j >= 1 && is_ident(t, j - 1, "const")) is_const = true;
-    }
-    std::size_t j = i + 1;
-    while (is_punct(t, j, "*") || is_punct(t, j, "&")) ++j;
-    if (j >= t.size() || t[j].kind != TokKind::kIdent) continue;
-    // `Parameter name(` is a function declaration/ctor call, not a var.
-    if (is_punct(t, j + 1, "(")) continue;
-    (is_const ? const_vars : vars).insert(t[j].text);
-  }
-  // A name that is ever bound non-const is tracked (the const binding of
-  // the same name cannot be the one mutated through).
-  for (const std::string& v : const_vars) {
-    (void)v;  // const-only names are simply not tracked
-  }
-  return vars;
-}
-
-const std::set<std::string>& tensor_mutators() {
-  static const std::set<std::string> m = {"fill", "zero", "resize",
-                                          "shrink_rows", "reset", "swap"};
-  return m;
-}
-
 // True if the statement containing token `i` (scanning back to the nearest
-// ';', '{' or '}') declares a const binding or is a return statement — in
-// which case `.data()` access is a read.
-bool statement_reads_only(const Toks& t, std::size_t i) {
+// ';', '{' or '}') carries thread_local/static storage: one-time or
+// per-thread capacity that persists across iterations is not a hot-path
+// allocation.
+bool one_time_storage_stmt(const Toks& t, std::size_t i) {
   for (std::size_t j = i + 1; j-- > 0;) {
     if (t[j].kind == TokKind::kPunct &&
         (t[j].text == ";" || t[j].text == "{" || t[j].text == "}")) {
       return false;
     }
     if (t[j].kind == TokKind::kIdent &&
-        (t[j].text == "const" || t[j].text == "return")) {
+        (t[j].text == "thread_local" || t[j].text == "static")) {
       return true;
     }
   }
   return false;
 }
 
-void rule_param_version(const Toks& t, const Segmentation& seg, Sink& sink) {
-  std::set<std::string> vars = collect_parameter_vars(t);
-  if (vars.empty()) return;
-  for (const FunctionInfo& fn : seg.functions) {
-    // First sweep: does this function bump at all?
-    bool bumps = false;
-    for (std::size_t i = fn.open; i <= fn.close; ++i) {
-      if (is_ident(t, i, "bump_version")) {
-        bumps = true;
-        break;
-      }
-    }
-    if (bumps) continue;
-    for (std::size_t i = fn.open; i + 2 <= fn.close; ++i) {
-      if (t[i].kind != TokKind::kIdent || vars.count(t[i].text) == 0) continue;
-      if (!(is_punct(t, i + 1, ".") || is_punct(t, i + 1, "->"))) continue;
-      const std::size_t f = i + 2;
-      if (!(is_ident(t, f, "value") || is_ident(t, f, "mask") ||
-            is_ident(t, f, "transform"))) {
-        continue;
-      }
-      std::size_t j = f + 1;
-      bool mutation = false;
-      std::string what = t[i].text + (t[i + 1].text == "." ? "." : "->") +
-                         t[f].text;
-      if (is_punct(t, j, "=")) {
-        mutation = true;
-      } else if (is_punct(t, j, "[")) {
-        std::size_t close = match_forward(t, j, "[", "]");
-        if (close != npos &&
-            (is_punct(t, close + 1, "=") || is_punct(t, close + 1, "+=") ||
-             is_punct(t, close + 1, "-=") || is_punct(t, close + 1, "*=") ||
-             is_punct(t, close + 1, "/="))) {
-          mutation = true;
-        }
-      } else if (is_punct(t, j, ".") && j + 1 <= fn.close &&
-                 t[j + 1].kind == TokKind::kIdent) {
-        const std::string& m = t[j + 1].text;
-        if (tensor_mutators().count(m) != 0) {
-          mutation = true;
-        } else if (m == "data" && !statement_reads_only(t, i)) {
-          mutation = true;
-          what += ".data() bound to a mutable pointer";
-        }
-      }
-      // First argument of an *_inplace op is written.
-      if (!mutation && i >= 2 && is_punct(t, i - 1, "(") &&
-          t[i - 2].kind == TokKind::kIdent &&
-          ends_with(t[i - 2].text, "_inplace")) {
-        mutation = true;
-        what = t[i - 2].text + "(" + what + ", ...)";
-      }
-      if (!mutation) continue;
+// ---- param-version (interprocedural) ---------------------------------------
+
+void rule_param_version(const std::string& path, const ProjectIndex& index,
+                        const CallGraph& graph, Sink& sink) {
+  const FileIndex* fi = index.file(path);
+  if (fi == nullptr) return;
+  for (std::size_t id : fi->function_ids) {
+    const FunctionDef& fn = index.functions()[id];
+    if (fn.bumps || fn.mutations.empty()) continue;
+    if (graph.bump_excused(id)) continue;
+    const std::string why = graph.bump_excuse_failure(id);
+    for (const MutationSite& m : fn.mutations) {
       sink.report(
-          t[i].line, "param-version",
-          "write to Parameter storage (" + what + ") in '" + fn.name +
-              "' without bump_version() in the same function body; stale "
-              "packed-weight panels would serve the old effective weights "
-              "(nn/packed_weights.h)");
+          m.line, "param-version",
+          "write to Parameter storage (" + m.what + ") in '" + fn.name +
+              "' without bump_version() in the same function body, and " +
+              why + "; stale packed-weight panels would serve the old "
+              "effective weights (nn/packed_weights.h)");
     }
   }
 }
@@ -450,18 +95,33 @@ void rule_param_version(const Toks& t, const Segmentation& seg, Sink& sink) {
 // ---- layer-reentrancy -------------------------------------------------------
 
 void rule_layer_reentrancy(const Toks& t, const Segmentation& seg,
+                           const ProjectIndex& index,
                            const std::set<std::string>& layer_classes,
                            Sink& sink) {
-  // `mutable` members anywhere in a Layer-derived class body.
+  // `mutable` members anywhere in a Layer-derived class body — unless the
+  // member's type is a conlint:lockfree-annotated class (a reviewed
+  // internally-synchronised design, e.g. telemetry cells).
   for (const ClassRange& c : seg.classes) {
     if (layer_classes.count(c.name) == 0) continue;
     for (std::size_t i = c.open + 1; i < c.close; ++i) {
-      if (is_ident(t, i, "mutable")) {
-        sink.report(t[i].line, "layer-reentrancy",
-                    "mutable member in Layer-derived class '" + c.name +
-                        "': forward/backward are const and run concurrently "
-                        "on shared models (nn/layer.h contract)");
+      if (!is_ident(t, i, "mutable")) continue;
+      bool lockfree_type = false;
+      for (std::size_t j = i + 1; j < c.close; ++j) {
+        if (t[j].kind == TokKind::kPunct &&
+            (t[j].text == ";" || t[j].text == "{" || t[j].text == "=")) {
+          break;
+        }
+        if (t[j].kind == TokKind::kIdent &&
+            index.class_is_lockfree(t[j].text)) {
+          lockfree_type = true;
+          break;
+        }
       }
+      if (lockfree_type) continue;
+      sink.report(t[i].line, "layer-reentrancy",
+                  "mutable member in Layer-derived class '" + c.name +
+                      "': forward/backward are const and run concurrently "
+                      "on shared models (nn/layer.h contract)");
     }
   }
   // Direct member mutation inside forward/backward bodies.
@@ -581,7 +241,7 @@ void rule_determinism(const Toks& t, Sink& sink) {
   }
 }
 
-// ---- hot-path-alloc ---------------------------------------------------------
+// ---- hot-path-alloc (direct) ------------------------------------------------
 
 void rule_hot_path_alloc(const Toks& t, const LexResult& lx, Sink& sink) {
   if (lx.hotpaths.empty()) return;
@@ -598,19 +258,21 @@ void rule_hot_path_alloc(const Toks& t, const LexResult& lx, Sink& sink) {
     const std::string& s = t[i].text;
     const bool member_access =
         i > 0 && (is_punct(t, i - 1, ".") || is_punct(t, i - 1, "->"));
-    if (s == "new" && !member_access) {
+    if (s == "new" && !member_access && !one_time_storage_stmt(t, i)) {
       sink.report(t[i].line, "hot-path-alloc",
                   "operator new inside a conlint:hotpath region");
       continue;
     }
-    if (s == "vector" && is_punct(t, i + 1, "<") && !member_access) {
+    if (s == "vector" && is_punct(t, i + 1, "<") && !member_access &&
+        !one_time_storage_stmt(t, i)) {
       sink.report(t[i].line, "hot-path-alloc",
                   "std::vector constructed inside a conlint:hotpath region");
       continue;
     }
     if ((s == "resize" || s == "push_back" || s == "emplace_back" ||
-         s == "reserve") &&
-        member_access && is_punct(t, i + 1, "(")) {
+         s == "reserve" || s == "push" || s == "emplace") &&
+        member_access && is_punct(t, i + 1, "(") &&
+        !one_time_storage_stmt(t, i)) {
       sink.report(t[i].line, "hot-path-alloc",
                   "." + s + "() may allocate inside a conlint:hotpath region");
       continue;
@@ -618,7 +280,8 @@ void rule_hot_path_alloc(const Toks& t, const LexResult& lx, Sink& sink) {
     if (s == "Tensor" && !member_access && !is_punct(t, i + 1, "::") &&
         !is_punct(t, i + 1, "&") && !is_punct(t, i + 1, "*") &&
         !is_punct(t, i + 1, ">") && !is_punct(t, i + 1, ",") &&
-        !is_punct(t, i + 1, ")") && !is_punct(t, i + 1, ";")) {
+        !is_punct(t, i + 1, ")") && !is_punct(t, i + 1, ";") &&
+        !one_time_storage_stmt(t, i)) {
       sink.report(t[i].line, "hot-path-alloc",
                   "Tensor constructed inside a conlint:hotpath region "
                   "(hoist the buffer out of the loop and reuse it)");
@@ -632,6 +295,99 @@ void rule_hot_path_alloc(const Toks& t, const LexResult& lx, Sink& sink) {
                   "function_ref-style callable");
       continue;
     }
+    if ((s == "make_shared" || s == "make_unique") &&
+        (is_punct(t, i + 1, "<") || is_punct(t, i + 1, "(")) &&
+        !one_time_storage_stmt(t, i)) {
+      sink.report(t[i].line, "hot-path-alloc",
+                  "std::" + s + " inside a conlint:hotpath region");
+      continue;
+    }
+    if ((s == "malloc" || s == "calloc" || s == "realloc") && !member_access &&
+        is_punct(t, i + 1, "(") && !one_time_storage_stmt(t, i)) {
+      sink.report(t[i].line, "hot-path-alloc",
+                  s + "() inside a conlint:hotpath region");
+      continue;
+    }
+  }
+}
+
+// ---- transitive-hot-path-alloc ---------------------------------------------
+
+void rule_transitive_hotpath(const std::string& path,
+                             const ProjectIndex& index, const CallGraph& graph,
+                             Sink& sink) {
+  const FileIndex* fi = index.file(path);
+  if (fi == nullptr || fi->hotpaths.empty()) return;
+  auto in_hotpath = [&](int line) {
+    for (const HotpathRegion& r : fi->hotpaths) {
+      if (line >= r.begin_line && (r.end_line == 0 || line <= r.end_line)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t id : fi->function_ids) {
+    const FunctionDef& fn = index.functions()[id];
+    for (const CallSite& c : fn.calls) {
+      if (c.member || !in_hotpath(c.line)) continue;
+      const std::string chain = graph.alloc_chain(fn, c);
+      if (chain.empty()) continue;
+      sink.report(c.line, "transitive-hot-path-alloc",
+                  "call to '" + c.name +
+                      "' inside a conlint:hotpath region reaches an "
+                      "allocation: " +
+                      chain);
+    }
+  }
+}
+
+// ---- transitive-determinism -------------------------------------------------
+
+void rule_transitive_determinism(const std::string& path,
+                                 const ProjectIndex& index,
+                                 const CallGraph& graph, Sink& sink) {
+  const FileIndex* fi = index.file(path);
+  if (fi == nullptr) return;
+  for (std::size_t id : fi->function_ids) {
+    const FunctionDef& fn = index.functions()[id];
+    for (const CallSite& c : fn.calls) {
+      const CallGraph::TaintResult r = graph.taint_chain(fn, c);
+      // Sources in non-exempt files are flagged at the source by the direct
+      // determinism rule; the transitive rule exists for sources *hiding*
+      // in exempt trees, reached from code that must stay reproducible.
+      if (!r.found || !r.source_exempt) continue;
+      sink.report(c.line, "transitive-determinism",
+                  "call to '" + c.name +
+                      "' reaches a non-deterministic source (" + r.what +
+                      ") through an exempt tree: " + r.chain +
+                      "; results must not depend on hidden entropy "
+                      "(util/rng.h)");
+    }
+  }
+}
+
+// ---- atomic-discipline ------------------------------------------------------
+
+void rule_atomic_discipline(const std::string& path, const ProjectIndex& index,
+                            Sink& sink) {
+  const FileIndex* fi = index.file(path);
+  if (fi == nullptr) return;
+  const char* const advice =
+      "memory_order_relaxed outside a conlint:lockfree(<reason>) type or "
+      "function: relaxed ordering needs a recorded argument for why "
+      "unsynchronised access is sound (DESIGN.md §7)";
+  for (std::size_t id : fi->function_ids) {
+    const FunctionDef& fn = index.functions()[id];
+    if (fn.relaxed_lines.empty() || fn.lockfree) continue;
+    if (!fn.class_name.empty() && index.class_is_lockfree(fn.class_name)) {
+      continue;
+    }
+    for (int line : fn.relaxed_lines) {
+      sink.report(line, "atomic-discipline", advice);
+    }
+  }
+  for (int line : fi->orphan_relaxed_lines) {
+    sink.report(line, "atomic-discipline", advice);
   }
 }
 
@@ -680,74 +436,20 @@ void rule_include_hygiene(const std::string& path, const Toks& t,
 
 }  // namespace
 
-// ---- ProjectIndex -----------------------------------------------------------
-
-void ProjectIndex::index_source(const std::string& source) {
-  LexResult lx = lex(source);
-  const Toks& t = lx.tokens;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (!(is_ident(t, i, "class") || is_ident(t, i, "struct"))) continue;
-    if (t[i + 1].kind != TokKind::kIdent) continue;
-    const std::string name = t[i + 1].text;
-    std::size_t j = i + 2;
-    if (is_ident(t, j, "final")) ++j;
-    if (!is_punct(t, j, ":")) continue;
-    // Parse the base list up to '{'.
-    std::vector<std::string> bases;
-    std::string last_ident;
-    for (++j; j < t.size(); ++j) {
-      if (is_punct(t, j, "{")) break;
-      if (is_punct(t, j, ";")) break;  // forward-decl-ish; no body
-      if (t[j].kind == TokKind::kIdent) {
-        if (t[j].text == "public" || t[j].text == "protected" ||
-            t[j].text == "private" || t[j].text == "virtual") {
-          continue;
-        }
-        last_ident = t[j].text;  // last component of a qualified name wins
-      } else if (is_punct(t, j, ",")) {
-        if (!last_ident.empty()) bases.push_back(last_ident);
-        last_ident.clear();
-      }
-    }
-    if (!last_ident.empty()) bases.push_back(last_ident);
-    if (!bases.empty() && is_punct(t, j, "{")) {
-      auto& entry = bases_[name];
-      entry.insert(entry.end(), bases.begin(), bases.end());
-    }
-  }
-}
-
-std::set<std::string> ProjectIndex::derived_from(
-    const std::string& root) const {
-  std::set<std::string> out{root};
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& [name, bases] : bases_) {
-      if (out.count(name) != 0) continue;
-      for (const std::string& b : bases) {
-        if (out.count(b) != 0) {
-          out.insert(name);
-          changed = true;
-          break;
-        }
-      }
-    }
-  }
-  return out;
-}
-
-// ---- entry point ------------------------------------------------------------
+// ---- entry points -----------------------------------------------------------
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
-      "param-version", "layer-reentrancy", "determinism", "hot-path-alloc",
+      "param-version",      "layer-reentrancy",
+      "determinism",        "transitive-determinism",
+      "hot-path-alloc",     "transitive-hot-path-alloc",
+      "lock-order",         "atomic-discipline",
       "include-hygiene"};
   return names;
 }
 
 FileLint lint_source(const std::string& path, const std::string& source,
-                     const ProjectIndex& index) {
+                     const ProjectIndex& index, const CallGraph& graph) {
   FileLint out;
   LexResult lx = lex(source);
 
@@ -755,6 +457,7 @@ FileLint lint_source(const std::string& path, const std::string& source,
   sink.file = &path;
   sink.active = &out.diagnostics;
   sink.suppressed = &out.suppressed;
+  sink.used_allows = &out.used_allows;
   for (const Allow& a : lx.allows) {
     bool known = false;
     for (const std::string& r : rule_names()) known = known || r == a.rule;
@@ -769,25 +472,91 @@ FileLint lint_source(const std::string& path, const std::string& source,
   for (const DirectiveError& e : lx.directive_errors) {
     out.diagnostics.push_back({path, e.line, "directive", e.message});
   }
+  if (const FileIndex* fi = index.file(path)) {
+    for (const DirectiveError& e : fi->lockfree_errors) {
+      out.diagnostics.push_back({path, e.line, "directive", e.message});
+    }
+  }
 
   Segmentation seg = segment(lx.tokens);
   const bool is_header = ends_with(path, ".h") || ends_with(path, ".hpp");
-  // src/store/ reads the wall clock only for the observational
-  // "registered-at" provenance lines in .drv sidecars; timestamps never
-  // enter a derivation hash or an artifact, so store contents stay
-  // deterministic.
-  const bool determinism_exempt = path_contains(path, "src/obs/") ||
-                                  path_contains(path, "src/util/") ||
-                                  path_contains(path, "src/store/");
 
-  rule_param_version(lx.tokens, seg, sink);
-  rule_layer_reentrancy(lx.tokens, seg, index.derived_from("Layer"), sink);
-  if (!determinism_exempt) rule_determinism(lx.tokens, sink);
+  rule_param_version(path, index, graph, sink);
+  rule_layer_reentrancy(lx.tokens, seg, index, index.derived_from("Layer"),
+                        sink);
+  if (!determinism_exempt_path(path)) rule_determinism(lx.tokens, sink);
+  rule_transitive_determinism(path, index, graph, sink);
   rule_hot_path_alloc(lx.tokens, lx, sink);
+  rule_transitive_hotpath(path, index, graph, sink);
+  rule_atomic_discipline(path, index, sink);
   rule_include_hygiene(path, lx.tokens, lx, is_header, sink);
 
   std::sort(out.diagnostics.begin(), out.diagnostics.end());
   std::sort(out.suppressed.begin(), out.suppressed.end());
+  return out;
+}
+
+ProjectLint lint_project(const ProjectIndex& index, const CallGraph& graph) {
+  ProjectLint out;
+  for (const std::vector<CallGraph::LockEdge>& cycle : graph.lock_cycles()) {
+    if (cycle.empty()) continue;
+    std::string order;
+    for (const CallGraph::LockEdge& e : cycle) {
+      if (order.empty()) order = e.from;
+      order += " -> " + e.to;
+    }
+    std::string evidence;
+    for (const CallGraph::LockEdge& e : cycle) {
+      if (!evidence.empty()) evidence += "; ";
+      evidence += e.note;
+    }
+    const CallGraph::LockEdge& anchor = cycle.front();
+    Diagnostic d{anchor.file, anchor.line, "lock-order",
+                 "potential deadlock: lock acquisition order cycle " + order +
+                     " (" + evidence + "); acquire these mutexes in one "
+                     "global order or collapse them behind a single lock"};
+    bool matched = false;
+    if (const FileIndex* fi = index.file(anchor.file)) {
+      for (const Allow& a : fi->allows) {
+        if (a.rule != "lock-order") continue;
+        if (a.line == anchor.line || a.line == anchor.line - 1) {
+          out.used_allows[anchor.file].insert({a.line, a.rule});
+          out.suppressed.push_back(d);
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) out.diagnostics.push_back(std::move(d));
+  }
+  std::sort(out.diagnostics.begin(), out.diagnostics.end());
+  std::sort(out.suppressed.begin(), out.suppressed.end());
+  return out;
+}
+
+std::vector<Diagnostic> stale_suppressions(
+    const ProjectIndex& index, const std::vector<std::string>& files,
+    const std::map<std::string, UsedAllows>& used) {
+  std::vector<Diagnostic> out;
+  for (const std::string& path : files) {
+    const FileIndex* fi = index.file(path);
+    if (fi == nullptr) continue;
+    const UsedAllows* u = nullptr;
+    auto it = used.find(path);
+    if (it != used.end()) u = &it->second;
+    for (const Allow& a : fi->allows) {
+      bool known = false;
+      for (const std::string& r : rule_names()) known = known || r == a.rule;
+      if (!known) continue;  // already a directive error
+      if (u != nullptr && u->count({a.line, a.rule}) != 0) continue;
+      out.push_back(
+          {path, a.line, "stale-suppression",
+           "conlint:allow(" + a.rule +
+               ") suppresses no finding; the engine now proves this site "
+               "clean — remove the annotation"});
+    }
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -1,38 +1,55 @@
-// conlint rule engine: project-invariant checks over token streams.
+// conlint rule engine: project-invariant checks over token streams, backed
+// by the two-pass ProjectIndex/CallGraph (index.h, callgraph.h).
 //
-// Rules (DESIGN.md §7 documents the invariant behind each):
-//   param-version    — writes to Parameter value/mask/transform storage must
-//                      be paired with bump_version() in the same function
-//                      body, or the packed-weight cache serves stale panels.
-//   layer-reentrancy — Layer-derived classes: no `mutable` members, and no
-//                      direct member mutation inside forward/backward
-//                      (both run concurrently on shared models).
-//   determinism      — no unseeded/wall-clock randomness outside src/obs/
-//                      and src/util/ (the study's bit-reproducibility
-//                      contract).
-//   hot-path-alloc   — no allocation inside `// conlint:hotpath begin/end`
-//                      regions (iterative attack loops, GEMM micro-kernels).
-//   include-hygiene  — headers carry #pragma once and never `using
-//                      namespace` (self-containment is enforced separately
-//                      by the generated per-header TU build targets); SIMD
-//                      intrinsics headers (<immintrin.h>, <arm_neon.h>, …)
-//                      appear only under src/tensor/kernels/, the sole
-//                      tree compiled with per-TU ISA flags behind the
-//                      runtime kernel dispatch.
-//   directive        — malformed conlint directives; never suppressible.
+// Per-file rules (DESIGN.md §7 documents the invariant behind each):
+//   param-version      — writes to Parameter value/mask/transform storage
+//                        must be paired with bump_version() in the same
+//                        function body OR in every indexed caller chain
+//                        (interprocedural since v2), or the packed-weight
+//                        cache serves stale panels.
+//   layer-reentrancy   — Layer-derived classes: no `mutable` members
+//                        (unless the member's type is conlint:lockfree-
+//                        annotated), and no direct member mutation inside
+//                        forward/backward.
+//   determinism        — no unseeded/wall-clock randomness outside
+//                        src/obs/, src/util/, src/store/.
+//   hot-path-alloc     — no allocation inside `// conlint:hotpath` regions
+//                        (thread_local/static one-time setup is exempt).
+//   include-hygiene    — #pragma once, no `using namespace` in headers,
+//                        intrinsics headers only under src/tensor/kernels/.
+//   atomic-discipline  — memory_order_relaxed only inside types or
+//                        functions annotated conlint:lockfree(<reason>).
+//   directive          — malformed conlint directives; never suppressible.
+//
+// Transitive rules (need the call graph):
+//   transitive-hot-path-alloc — a call made inside a hotpath region reaches
+//                        an allocation at any depth; the chain is printed.
+//                        Suppressible by allow(hot-path-alloc) too: one
+//                        annotation covers both the direct and the
+//                        transitive family at a site.
+//   transitive-determinism — non-exempt code reaches a randomness source
+//                        that lives in an exempt file (sources in
+//                        non-exempt files are already flagged directly).
+//                        allow(determinism) also covers it.
+//   lock-order         — cycles in the project-wide lock-acquisition-order
+//                        graph (reported once per cycle via lint_project,
+//                        anchored at the first edge's file).
 //
 // Every rule except `directive` is suppressible with
 //   // conlint:allow(<rule>): <reason>
 // on the offending line or the line directly above it. The reason string is
-// mandatory: an exception without a recorded justification is itself a
-// diagnostic.
+// mandatory. A suppression that suppresses nothing is itself reported
+// (stale-suppression; --strict-suppressions turns it into an error).
 #pragma once
 
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "callgraph.h"
+#include "index.h"
 #include "lexer.h"
 
 namespace conlint {
@@ -50,33 +67,41 @@ struct Diagnostic {
   }
 };
 
-// Cross-file knowledge collected in a first pass: the class hierarchy, so
-// rules can recognise Layer subclasses whose methods are defined in another
-// file than the class.
-class ProjectIndex {
- public:
-  // Records `class X : public Y, Z` edges found in `source`.
-  void index_source(const std::string& source);
-
-  // Classes transitively deriving from `root` (the root itself included).
-  std::set<std::string> derived_from(const std::string& root) const;
-
- private:
-  std::map<std::string, std::vector<std::string>> bases_;
-};
+// (line, rule-as-written) pairs of allow annotations that suppressed at
+// least one finding — the complement feeds stale-suppression reporting.
+using UsedAllows = std::set<std::pair<int, std::string>>;
 
 struct FileLint {
   std::vector<Diagnostic> diagnostics;  // active findings
   std::vector<Diagnostic> suppressed;   // findings matched by an allow
+  UsedAllows used_allows;
 };
 
 // All suppressible rule names (for allow() validation and --json).
 const std::vector<std::string>& rule_names();
 
 // Lints one file. `path` decides header-ness (include-hygiene) and the
-// determinism exemption (src/obs/, src/util/); use repo-relative paths so
-// diagnostics are stable across checkouts.
+// determinism exemption; use repo-relative paths so diagnostics are stable
+// across checkouts. `index` must contain `path` (add_file'd with the same
+// source) for the index-backed rules to see its functions.
 FileLint lint_source(const std::string& path, const std::string& source,
-                     const ProjectIndex& index);
+                     const ProjectIndex& index, const CallGraph& graph);
+
+// Project-global rules — currently lock-order cycle reporting. Each cycle
+// is anchored at its first edge's file/line and suppressible by an
+// allow(lock-order) there.
+struct ProjectLint {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<Diagnostic> suppressed;
+  std::map<std::string, UsedAllows> used_allows;  // per anchor file
+};
+ProjectLint lint_project(const ProjectIndex& index, const CallGraph& graph);
+
+// Stale-suppression pass: allow annotations in `files` (repo-relative, must
+// be indexed) that appear in no UsedAllows entry. Reported under the
+// non-suppressible `stale-suppression` rule.
+std::vector<Diagnostic> stale_suppressions(
+    const ProjectIndex& index, const std::vector<std::string>& files,
+    const std::map<std::string, UsedAllows>& used);
 
 }  // namespace conlint

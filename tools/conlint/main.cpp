@@ -1,21 +1,29 @@
 // conlint CLI: lints the project trees (src/, tests/, bench/, examples/)
-// against the invariants in lint.h.
+// against the invariants in lint.h, using the two-pass index/call-graph
+// engine (index.h, callgraph.h).
 //
 // Usage:
-//   conlint --root <repo-root> [--json] [--manifest-dir <dir>] [file...]
+//   conlint --root <repo-root> [--json] [--manifest-dir <dir>]
+//           [--strict-suppressions] [file...]
 //
 // With explicit file arguments only those files are linted (still using the
-// whole-project class index from --root). Exit status: 0 clean, 1 findings,
-// 2 usage or I/O error.
+// whole-project index from --root, so transitive rules see every callee).
+// Stale conlint:allow annotations are warnings by default and errors under
+// --strict-suppressions. Exit status: 0 clean, 1 findings, 2 usage or I/O
+// error.
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "callgraph.h"
+#include "index.h"
 #include "lint.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
@@ -23,13 +31,6 @@
 namespace fs = std::filesystem;
 
 namespace {
-
-const char* const kTrees[] = {"src", "tests", "bench", "examples"};
-
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
-}
 
 bool read_file(const fs::path& p, std::string& out) {
   std::ifstream in(p, std::ios::binary);
@@ -51,6 +52,7 @@ std::string relative_to(const fs::path& p, const fs::path& root) {
 int main(int argc, char** argv) {
   std::string root = ".";
   bool json = false;
+  bool strict_suppressions = false;
   std::string manifest_dir;
   std::vector<std::string> explicit_files;
 
@@ -60,11 +62,14 @@ int main(int argc, char** argv) {
       root = argv[++a];
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--strict-suppressions") {
+      strict_suppressions = true;
     } else if (arg == "--manifest-dir" && a + 1 < argc) {
       manifest_dir = argv[++a];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: conlint --root <repo-root> [--json] "
-                   "[--manifest-dir <dir>] [file...]\n";
+                   "[--manifest-dir <dir>] [--strict-suppressions] "
+                   "[file...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "conlint: unknown option '" << arg << "'\n";
@@ -81,57 +86,92 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Collect the files to lint.
+  // One deterministic walk (sorted by generic path — directory iteration
+  // order is filesystem-specific) serves both the index and, absent
+  // explicit file arguments, the lint list. Byte-identical --json output on
+  // every filesystem depends on this.
+  const std::vector<fs::path> tree_files = conlint::collect_lintable_files(
+      root_path);
+
   std::vector<fs::path> files;
   if (!explicit_files.empty()) {
     for (const std::string& f : explicit_files) files.emplace_back(f);
+    std::sort(files.begin(), files.end(),
+              [](const fs::path& a, const fs::path& b) {
+                return a.generic_string() < b.generic_string();
+              });
   } else {
-    for (const char* tree : kTrees) {
-      const fs::path dir = root_path / tree;
-      if (!fs::exists(dir)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-        if (entry.is_regular_file() && lintable(entry.path())) {
-          files.push_back(entry.path());
-        }
-      }
-    }
-    std::sort(files.begin(), files.end());
+    files = tree_files;
   }
 
-  // Pass 1: the project-wide class index always covers all trees, so a
-  // Layer subclass is recognised even when linting a single file.
+  // Pass 1: project-wide index over every tree file (even when linting a
+  // subset, transitive rules need every definition).
   conlint::ProjectIndex index;
-  {
-    std::vector<fs::path> index_files;
-    for (const char* tree : kTrees) {
-      const fs::path dir = root_path / tree;
-      if (!fs::exists(dir)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-        if (entry.is_regular_file() && lintable(entry.path())) {
-          index_files.push_back(entry.path());
-        }
-      }
-    }
-    for (const fs::path& p : index_files) {
-      std::string source;
-      if (read_file(p, source)) index.index_source(source);
+  for (const fs::path& p : tree_files) {
+    std::string source;
+    if (read_file(p, source)) {
+      index.add_file(relative_to(p, root_path), source);
     }
   }
+  // Explicit files may live outside the trees; index them too.
+  for (const fs::path& p : files) {
+    const std::string rel = relative_to(p, root_path);
+    if (index.file(rel) != nullptr) continue;
+    std::string source;
+    if (read_file(p, source)) index.add_file(rel, source);
+  }
+  const conlint::CallGraph graph(index);
 
-  // Pass 2: per-file rules.
+  // Pass 2: per-file rules, then project-global rules.
   std::vector<conlint::Diagnostic> diagnostics;
   std::size_t suppressed_count = 0;
+  std::size_t allow_count = 0;
+  std::vector<std::string> linted;
+  std::map<std::string, conlint::UsedAllows> used_allows;
   for (const fs::path& p : files) {
     std::string source;
     if (!read_file(p, source)) {
       std::cerr << "conlint: cannot read '" << p.string() << "'\n";
       return 2;
     }
-    conlint::FileLint fl =
-        conlint::lint_source(relative_to(p, root_path), source, index);
+    const std::string rel = relative_to(p, root_path);
+    conlint::FileLint fl = conlint::lint_source(rel, source, index, graph);
     diagnostics.insert(diagnostics.end(), fl.diagnostics.begin(),
                        fl.diagnostics.end());
     suppressed_count += fl.suppressed.size();
+    used_allows[rel].insert(fl.used_allows.begin(), fl.used_allows.end());
+    linted.push_back(rel);
+    if (const conlint::FileIndex* fi = index.file(rel)) {
+      allow_count += fi->allows.size();
+    }
+  }
+
+  {
+    conlint::ProjectLint pl = conlint::lint_project(index, graph);
+    const std::set<std::string> linted_set(linted.begin(), linted.end());
+    for (conlint::Diagnostic& d : pl.diagnostics) {
+      // When linting a subset, only report cycles anchored in it.
+      if (linted_set.count(d.file) != 0) diagnostics.push_back(std::move(d));
+    }
+    for (const conlint::Diagnostic& d : pl.suppressed) {
+      if (linted_set.count(d.file) != 0) ++suppressed_count;
+    }
+    for (const auto& [file, used] : pl.used_allows) {
+      used_allows[file].insert(used.begin(), used.end());
+    }
+  }
+
+  // Allows consumed as transitive-walk barriers never surface as suppressed
+  // findings (the barrier kills the finding), so merge them in before the
+  // stale pass or they would be reported as dead annotations.
+  for (const auto& [file, used] : graph.barrier_allows_used()) {
+    used_allows[file].insert(used.begin(), used.end());
+  }
+
+  const std::vector<conlint::Diagnostic> stale =
+      conlint::stale_suppressions(index, linted, used_allows);
+  if (strict_suppressions) {
+    diagnostics.insert(diagnostics.end(), stale.begin(), stale.end());
   }
   std::sort(diagnostics.begin(), diagnostics.end());
 
@@ -141,6 +181,8 @@ int main(int argc, char** argv) {
     doc.set("root", root);
     doc.set("files_linted", static_cast<std::int64_t>(files.size()));
     doc.set("suppressed", static_cast<std::int64_t>(suppressed_count));
+    doc.set("allow_annotations", static_cast<std::int64_t>(allow_count));
+    doc.set("strict_suppressions", strict_suppressions);
     con::obs::Json rules = con::obs::Json::array();
     for (const std::string& r : conlint::rule_names()) rules.push_back(r);
     doc.set("rules", std::move(rules));
@@ -154,21 +196,44 @@ int main(int argc, char** argv) {
       diags.push_back(std::move(j));
     }
     doc.set("diagnostics", std::move(diags));
+    con::obs::Json stale_arr = con::obs::Json::array();
+    if (!strict_suppressions) {
+      for (const conlint::Diagnostic& d : stale) {
+        con::obs::Json j = con::obs::Json::object();
+        j.set("file", d.file);
+        j.set("line", d.line);
+        j.set("message", d.message);
+        stale_arr.push_back(std::move(j));
+      }
+    }
+    doc.set("stale_suppressions", std::move(stale_arr));
     std::cout << doc.dump(2) << "\n";
   } else {
     for (const conlint::Diagnostic& d : diagnostics) {
       std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
                 << d.message << "\n";
     }
+    if (!strict_suppressions) {
+      for (const conlint::Diagnostic& d : stale) {
+        std::cout << d.file << ":" << d.line << ": warning: [" << d.rule
+                  << "] " << d.message << "\n";
+      }
+    }
     std::cout << "conlint: " << files.size() << " files, "
               << diagnostics.size() << " diagnostic"
               << (diagnostics.size() == 1 ? "" : "s") << ", "
-              << suppressed_count << " suppressed\n";
+              << suppressed_count << " suppressed, " << allow_count
+              << " allow annotation" << (allow_count == 1 ? "" : "s") << "\n";
   }
 
   if (!manifest_dir.empty()) {
     std::error_code ec;
-    fs::create_directories(manifest_dir, ec);  // best effort; write reports
+    fs::create_directories(manifest_dir, ec);
+    if (ec) {
+      std::cerr << "conlint: cannot create manifest dir '" << manifest_dir
+                << "': " << ec.message() << "\n";
+      return 2;
+    }
     con::obs::RunManifest m;
     m.name = "conlint";
     m.config.emplace_back("root", con::obs::Json(root));
@@ -176,6 +241,8 @@ int main(int argc, char** argv) {
         "files_linted", con::obs::Json(static_cast<std::int64_t>(files.size())));
     m.extra_counters.emplace_back("conlint.diagnostics", diagnostics.size());
     m.extra_counters.emplace_back("conlint.suppressed", suppressed_count);
+    m.extra_counters.emplace_back("conlint.allow_annotations", allow_count);
+    m.extra_counters.emplace_back("conlint.stale_suppressions", stale.size());
     if (con::obs::write_manifest(m, manifest_dir).empty()) {
       std::cerr << "conlint: cannot write manifest to '" << manifest_dir
                 << "'\n";
